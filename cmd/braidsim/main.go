@@ -1,0 +1,65 @@
+// Command braidsim reproduces Figure 6: the braid simulation of the
+// four benchmark applications on the tiled double-defect architecture
+// under priority Policies 0-6, reporting the schedule-length to
+// critical-path ratio (the paper's blue bars) and average mesh
+// utilization (the red curve).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"surfcomm/internal/apps"
+	"surfcomm/internal/braid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("braidsim: ")
+	distance := flag.Int("d", 9, "surface code distance")
+	seed := flag.Int64("seed", 1, "layout seed")
+	only := flag.String("app", "", "run a single application (GSE, SQ, SHA-1, IM)")
+	localT := flag.Bool("local-t", false, "ablation: magic states pre-delivered (T gates local)")
+	verify := flag.Bool("verify", false, "record each static schedule and replay-validate it")
+	flag.Parse()
+
+	fmt.Printf("Figure 6: braid schedule / critical path and mesh utilization (d=%d)\n", *distance)
+	if *localT {
+		fmt.Println("ablation: magic-state traffic disabled")
+	}
+	fmt.Println(strings.Repeat("-", 84))
+	fmt.Printf("%-8s %-10s %12s %12s %10s %10s %10s\n",
+		"App", "Policy", "ratio", "util %", "braids", "adaptive", "reinject")
+
+	for _, w := range apps.Fig6Suite() {
+		if *only != "" && !strings.EqualFold(*only, w.Name) {
+			continue
+		}
+		for _, p := range braid.AllPolicies {
+			r, err := braid.Simulate(w.Circuit, p, braid.Config{
+				Distance:       *distance,
+				Seed:           *seed,
+				LocalTOps:      *localT,
+				RecordSchedule: *verify,
+			})
+			if err != nil {
+				log.Fatalf("%s %v: %v", w.Name, p, err)
+			}
+			status := ""
+			if *verify {
+				if err := braid.Replay(w.Circuit, r.Arch, r.Schedule); err != nil {
+					log.Fatalf("%s %v: replay validation failed: %v", w.Name, p, err)
+				}
+				status = fmt.Sprintf("  replay-ok (%d entries)", len(r.Schedule))
+			}
+			fmt.Printf("%-8s %-10s %12.2f %12.1f %10d %10d %10d%s\n",
+				w.Name, p, r.Ratio, 100*r.AvgUtilization, r.BraidsPlaced, r.AdaptiveRoutes, r.Reinjections, status)
+		}
+		fmt.Println(strings.Repeat("-", 84))
+	}
+	fmt.Println("Paper: parallel apps (SHA-1, IM) start up to ~12x above the critical path and")
+	fmt.Println("policies recover up to ~7x, while serial apps are near-critical-path throughout;")
+	fmt.Println("utilization rises with policy sophistication (up to ~22%).")
+}

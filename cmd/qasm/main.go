@@ -1,0 +1,88 @@
+// Command qasm emits the benchmark applications in the toolchain's flat
+// QASM dialect for inspection or interchange, or parses a QASM file and
+// reports its frontend statistics.
+//
+//	qasm -app IM -n 16 -steps 1 > im.qasm
+//	qasm -stats im.qasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"surfcomm/internal/apps"
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/resource"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qasm: ")
+	app := flag.String("app", "", "application to emit: GSE, SQ, SHA-1, IM, IM-semi")
+	n := flag.Int("n", 8, "problem size (GSE molecule size, SQ bits, IM spins)")
+	steps := flag.Int("steps", 1, "Trotter steps (GSE, IM)")
+	iters := flag.Int("iters", 1, "Grover iterations (SQ)")
+	rounds := flag.Int("rounds", 1, "compression rounds (SHA-1)")
+	width := flag.Int("width", 16, "word width (SHA-1)")
+	stats := flag.Bool("stats", false, "read QASM files from args and print frontend statistics")
+	flag.Parse()
+
+	if *stats {
+		if flag.NArg() == 0 {
+			log.Fatal("-stats needs at least one QASM file")
+		}
+		for _, path := range flag.Args() {
+			if err := printStats(path); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	c, err := generate(*app, *n, *steps, *iters, *rounds, *width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := circuit.WriteQASM(os.Stdout, c); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func generate(app string, n, steps, iters, rounds, width int) (*circuit.Circuit, error) {
+	switch strings.ToUpper(app) {
+	case "GSE":
+		return apps.GSE(apps.GSEConfig{M: n, Steps: steps}), nil
+	case "SQ":
+		return apps.SQ(apps.SQConfig{N: n, Iters: iters}), nil
+	case "SHA-1", "SHA1":
+		return apps.SHA1(apps.SHA1Config{Rounds: rounds, WordWidth: width}), nil
+	case "IM":
+		return apps.Ising(apps.IsingConfig{N: n, Steps: steps}, true), nil
+	case "IM-SEMI":
+		return apps.Ising(apps.IsingConfig{N: n, Steps: steps}, false), nil
+	case "":
+		return nil, fmt.Errorf("choose an application with -app (GSE, SQ, SHA-1, IM, IM-semi)")
+	}
+	return nil, fmt.Errorf("unknown application %q", app)
+}
+
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := circuit.ReadQASM(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	est, err := resource.EstimateCircuit(c)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: %s\n", path, est)
+	return nil
+}

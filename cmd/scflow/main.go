@@ -1,0 +1,129 @@
+// Command scflow runs the compilation frontend over the benchmark
+// applications and prints the paper's characterization tables: the
+// communication-method comparison (Table 1, measured from both backend
+// simulators) and the application summary with parallelism factors
+// (Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"surfcomm/internal/apps"
+	"surfcomm/internal/braid"
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/layout"
+	"surfcomm/internal/resource"
+	"surfcomm/internal/simd"
+	"surfcomm/internal/surface"
+	"surfcomm/internal/teleport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scflow: ")
+	table1 := flag.Bool("table1", false, "print only the Table 1 communication comparison")
+	table2 := flag.Bool("table2", false, "print only the Table 2 application summary")
+	flag.Parse()
+	both := !*table1 && !*table2
+
+	if *table1 || both {
+		if err := printTable1(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if both {
+		fmt.Println()
+	}
+	if *table2 || both {
+		if err := printTable2(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printTable1 measures the defining properties of the two communication
+// methods: braid latency is distance-independent (low time) but braids
+// claim whole routes and bigger tiles (high space, not prefetchable);
+// teleportation transit grows with distance (high time) but vanishes
+// under EPR prefetch.
+func printTable1() error {
+	const d = 9
+
+	braidCycles := func(cols, a, b int) (int64, error) {
+		c := circuit.New("pair", cols)
+		c.Append(circuit.CNOT, a, b)
+		place := layout.RowMajor(cols)
+		r, err := braid.Simulate(c, braid.Policy1, braid.Config{Distance: d, Placement: place})
+		if err != nil {
+			return 0, err
+		}
+		return r.ScheduleCycles, nil
+	}
+	nearBraid, err := braidCycles(8, 0, 1)
+	if err != nil {
+		return err
+	}
+	farBraid, err := braidCycles(8, 0, 7)
+	if err != nil {
+		return err
+	}
+
+	// The EPR factory sits at the bottom-right of the region grid; a
+	// "near" pair adjoins it, a "far" pair sits at the opposite corner.
+	teleportStall := func(from, to int, window int64) (int64, error) {
+		sched := &simd.Schedule{
+			Config:    simd.Config{Regions: 16, Width: 8},
+			Timesteps: 8,
+			Moves:     []simd.Move{{Timestep: 5, Qubit: 0, From: from, To: to}},
+		}
+		r, err := teleport.Distribute(sched, window, teleport.Config{Distance: d})
+		if err != nil {
+			return 0, err
+		}
+		return r.StallCycles, nil
+	}
+	nearTele, err := teleportStall(14, 15, 0)
+	if err != nil {
+		return err
+	}
+	farTele, err := teleportStall(0, 1, 0)
+	if err != nil {
+		return err
+	}
+	hiddenTele, err := teleportStall(0, 1, teleport.PrefetchAll)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Table 1: communication-method tradeoffs (measured, d = %d)\n", d)
+	fmt.Println("----------------------------------------------------------------------")
+	fmt.Printf("%-14s %-22s %-28s %s\n", "Method", "Space (qubits/tile)", "Time (EC cycles)", "Prefetchable?")
+	fmt.Printf("%-14s %-22d transit near=%-3d far=%-6d yes (JIT stall=%d)\n",
+		"Teleportation", surface.PlanarTileQubits(d), nearTele, farTele, hiddenTele)
+	fmt.Printf("%-14s %-22d braid   near=%-3d far=%-6d no (claims whole route)\n",
+		"Braiding", surface.DoubleDefectTileQubits(d), nearBraid, farBraid)
+	fmt.Println()
+	fmt.Println("Planar/teleport: low space, distance-dependent latency, prefetchable.")
+	fmt.Println("Double-defect/braid: high space, distance-independent latency, not prefetchable.")
+	return nil
+}
+
+func printTable2() error {
+	fmt.Println("Table 2: benchmark applications (measured)")
+	fmt.Println("------------------------------------------------------------------------------------------")
+	fmt.Printf("%-8s %-10s %-10s %-10s %-10s %-12s %s\n",
+		"App", "Qubits", "Ops", "T-count", "2q ops", "Depth", "Parallelism")
+	for _, w := range apps.Table2Suite() {
+		e, err := resource.EstimateCircuit(w.Circuit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-10d %-10d %-10d %-10d %-12d %.1f\n",
+			w.Name, e.LogicalQubits, e.LogicalOps, e.TCount, e.TwoQubitOps, e.CriticalPath, e.Parallelism)
+	}
+	fmt.Println()
+	fmt.Println("Paper's parallelism factors: GSE 1.2, SQ 1.5, SHA-1 29, IM 66.")
+	return nil
+}

@@ -1,0 +1,190 @@
+// Command sweep runs the design-space exploration of paper §7 and §8.1:
+//
+//	-fig7   absolute space and time vs computation size (SQ, p_P=1e-8)
+//	-fig8   double-defect:planar resource ratios and crossover (SQ, IM)
+//	-fig9   crossover boundary across physical error rates (all apps)
+//	-epr    pipelined EPR distribution window sweep (§8.1)
+//
+// With no flags, all four studies run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"surfcomm/internal/apps"
+	"surfcomm/internal/simd"
+	"surfcomm/internal/teleport"
+	"surfcomm/internal/toolflow"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	fig7 := flag.Bool("fig7", false, "Figure 7: absolute scaling")
+	fig8 := flag.Bool("fig8", false, "Figure 8: resource ratios and crossover")
+	fig9 := flag.Bool("fig9", false, "Figure 9: crossover boundaries")
+	epr := flag.Bool("epr", false, "§8.1: EPR window sweep")
+	pp := flag.Float64("pp", 1e-8, "physical error rate for -fig7/-fig8")
+	seed := flag.Int64("seed", 1, "characterization seed")
+	flag.Parse()
+	all := !*fig7 && !*fig8 && !*fig9 && !*epr
+
+	var models []toolflow.AppModel
+	needModels := all || *fig7 || *fig8 || *fig9
+	if needModels {
+		var err error
+		models, err = toolflow.ReferenceModels(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if all || *fig7 {
+		if err := runFig7(models, *pp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if all || *fig8 {
+		if err := runFig8(models, *pp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if all || *fig9 {
+		runFig9(models)
+		fmt.Println()
+	}
+	if all || *epr {
+		if err := runEPR(*seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func runFig7(models []toolflow.AppModel, pp float64) error {
+	m, err := toolflow.ModelFor(models, "SQ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 7: absolute resource usage, SQ application (p_P=%.0e)\n", pp)
+	fmt.Println(strings.Repeat("-", 86))
+	fmt.Printf("%-10s %4s %14s %14s %14s %14s\n",
+		"K (1/p_L)", "d", "planar sec", "dd sec", "planar qubits", "dd qubits")
+	pts, err := toolflow.Curve(m, pp, 0, 24, 1)
+	if err != nil {
+		return err
+	}
+	for i, dp := range pts {
+		if i%2 != 0 {
+			continue
+		}
+		fmt.Printf("%-10.1e %4d %14.3e %14.3e %14.3e %14.3e\n",
+			dp.TotalOps, dp.Distance, dp.PlanarSeconds, dp.DDSeconds, dp.PlanarQubits, dp.DDQubits)
+	}
+	fmt.Println("Paper: small instances run in under a second; ~1000 physical qubits for modest sizes.")
+	return nil
+}
+
+func runFig8(models []toolflow.AppModel, pp float64) error {
+	for _, name := range []string{"SQ", "IM_Fully_Inlined"} {
+		m, err := toolflow.ModelFor(models, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 8: double-defect relative to planar, %s (p_P=%.0e)\n", name, pp)
+		fmt.Println(strings.Repeat("-", 64))
+		fmt.Printf("%-10s %4s %10s %10s %12s\n", "K (1/p_L)", "d", "qubits", "time", "qubits*time")
+		pts, err := toolflow.Curve(m, pp, 0, 24, 1)
+		if err != nil {
+			return err
+		}
+		for i, dp := range pts {
+			if i%2 != 0 {
+				continue
+			}
+			fmt.Printf("%-10.1e %4d %10.2f %10.3f %12.3f\n",
+				dp.TotalOps, dp.Distance, dp.QubitsRatio, dp.TimeRatio, dp.SpaceTimeRatio)
+		}
+		if k, ok := toolflow.Crossover(m, pp); ok {
+			fmt.Printf("crossover: double-defect favored beyond K ~= %.1e\n", k)
+		} else {
+			fmt.Println("crossover: planar favored across the full 1e0..1e24 range")
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper: planar better at small sizes; crossover occurs much later for the")
+	fmt.Println("parallel IM than for the serial SQ (congestion hurts braids more).")
+	return nil
+}
+
+func runFig9(models []toolflow.AppModel) {
+	rates := toolflow.Figure9ErrorRates()
+	fmt.Println("Figure 9: crossover boundary K*(p_P) per application")
+	fmt.Println("(design points under the boundary favor planar codes)")
+	fmt.Println(strings.Repeat("-", 30+12*len(rates)))
+	fmt.Printf("%-18s", "p_P:")
+	for _, r := range rates {
+		fmt.Printf(" %10.0e", r)
+	}
+	fmt.Println()
+	for _, m := range models {
+		fmt.Printf("%-18s", m.Name)
+		for _, pt := range toolflow.Boundary(m, rates) {
+			if pt.OffChart {
+				fmt.Printf(" %10s", ">1e24")
+			} else {
+				fmt.Printf(" %10.1e", pt.CrossoverOps)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper: boundaries fall as devices get faultier and sit higher for more")
+	fmt.Println("parallel applications.")
+}
+
+func runEPR(seed int64) error {
+	fmt.Println("§8.1: pipelined EPR distribution — look-ahead window sweep")
+	cfg := teleport.Config{Distance: 9}
+	for _, w := range apps.Fig6Suite() {
+		regions := 4
+		if w.Circuit.NumQubits > 128 {
+			regions = 16
+		}
+		width := 32
+		if perBank := (w.Circuit.NumQubits + regions - 1) / regions; perBank > width {
+			width = perBank
+		}
+		sched, err := simd.Run(w.Circuit, simd.Config{Regions: regions, Width: width, Seed: seed})
+		if err != nil {
+			return err
+		}
+		jit := teleport.JITWindow(sched, cfg)
+		windows := []int64{0, jit / 4, jit / 2, jit, 2 * jit, 8 * jit, teleport.PrefetchAll}
+		results, err := teleport.SweepWindows(sched, windows, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s (%d moves, %d timesteps)\n", w.Name, len(sched.Moves), sched.Timesteps)
+		fmt.Printf("%-14s %12s %12s %12s\n", "window", "peak live", "stall cyc", "overhead %")
+		for _, r := range results {
+			label := fmt.Sprintf("%d", r.WindowCycles)
+			if r.WindowCycles == teleport.PrefetchAll {
+				label = "prefetch-all"
+			}
+			fmt.Printf("%-14s %12d %12d %12.1f\n",
+				label, r.PeakLiveEPR, r.StallCycles, 100*r.LatencyOverhead)
+		}
+		flood := results[len(results)-1]
+		jitRes := results[3]
+		if jitRes.PeakLiveEPR > 0 {
+			fmt.Printf("JIT vs prefetch-all: %.1fx fewer live EPR qubits at %.1f%% latency overhead\n",
+				float64(flood.PeakLiveEPR)/float64(jitRes.PeakLiveEPR), 100*jitRes.LatencyOverhead)
+		}
+	}
+	fmt.Println("\nPaper: up to ~24x qubit savings at <= ~4% extra latency.")
+	return nil
+}

@@ -1,0 +1,43 @@
+// Error decoding (paper §2.3): run the matching decoder's Monte Carlo
+// across code distances and physical error rates, reproducing the two
+// regimes the whole design space rests on — exponential suppression
+// below threshold, and the uncorrectable regime above it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfcomm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const trials = 2000
+	rates := []float64{0.01, 0.03, 0.08, 0.15, 0.25}
+	distances := []int{3, 5, 7}
+
+	fmt.Println("logical error rate per decode round (matching decoder, toric lattice)")
+	fmt.Printf("%-10s", "p \\ d")
+	for _, d := range distances {
+		fmt.Printf(" %10d", d)
+	}
+	fmt.Println()
+	for _, p := range rates {
+		fmt.Printf("%-10.2f", p)
+		for _, d := range distances {
+			r, err := surfcomm.MeasureLogicalErrorRate(d, p, trials, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.4f", r.LogicalRate)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Below threshold (~0.10) the columns fall with distance — the suppression")
+	fmt.Println("the toolflow's p_L(d) = A*(p_P/p_th)^((d+1)/2) model assumes. Above it,")
+	fmt.Println("more distance no longer helps: the uncorrectable regime of Figure 9's")
+	fmt.Println("right edge.")
+}

@@ -1,0 +1,270 @@
+package apps
+
+import (
+	"testing"
+
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/resource"
+)
+
+func estimate(t *testing.T, c *circuit.Circuit) resource.Estimate {
+	t.Helper()
+	e, err := resource.EstimateCircuit(c)
+	if err != nil {
+		t.Fatalf("estimate %s: %v", c.Name, err)
+	}
+	return e
+}
+
+func TestGSEOpsFormulaMatchesGenerator(t *testing.T) {
+	for _, cfg := range []GSEConfig{
+		{M: 2, Steps: 1},
+		{M: 5, Steps: 3},
+		{M: 10, Steps: 2},
+		{M: 7, Steps: 1, RotationTDepth: 4},
+	} {
+		c := GSE(cfg)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if got, want := c.Ops(), GSEOps(cfg); got != want {
+			t.Errorf("%+v: generated %d ops, formula %d", cfg, got, want)
+		}
+	}
+}
+
+func TestGSEIsSerial(t *testing.T) {
+	e := estimate(t, GSE(GSEConfig{M: 10, Steps: 2}))
+	if e.Parallelism < 1.0 || e.Parallelism > 1.6 {
+		t.Errorf("GSE parallelism = %.2f, want Table 2 regime ~1.2", e.Parallelism)
+	}
+	if e.LogicalQubits != 11 {
+		t.Errorf("GSE qubits = %d, want 11", e.LogicalQubits)
+	}
+}
+
+func TestSQOpsFormulaMatchesGenerator(t *testing.T) {
+	for _, cfg := range []SQConfig{
+		{N: 4, Iters: 1},
+		{N: 8, Iters: 2},
+		{N: 6, Iters: 3},
+	} {
+		c := SQ(cfg)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if got, want := c.Ops(), SQOps(cfg); got != want {
+			t.Errorf("%+v: generated %d ops, formula %d", cfg, got, want)
+		}
+	}
+}
+
+func TestSQIsMostlySerial(t *testing.T) {
+	e := estimate(t, SQ(SQConfig{N: 8, Iters: 2}))
+	if e.Parallelism < 1.1 || e.Parallelism > 2.5 {
+		t.Errorf("SQ parallelism = %.2f, want Table 2 regime ~1.5", e.Parallelism)
+	}
+}
+
+func TestSQDefaultItersSmall(t *testing.T) {
+	c := SQ(SQConfig{N: 4})
+	// Optimal for n=4: ceil(pi/4 * 4) = 4 iterations.
+	if got, want := c.Ops(), SQOps(SQConfig{N: 4, Iters: 4}); got != want {
+		t.Errorf("default iters ops = %d, want %d", got, want)
+	}
+}
+
+func TestSQRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []SQConfig{{N: 3, Iters: 1}, {N: 2, Iters: 1}, {N: 7, Iters: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%+v should panic", cfg)
+				}
+			}()
+			SQ(cfg)
+		}()
+	}
+}
+
+func TestSQOptimalItersGrowth(t *testing.T) {
+	if SQOptimalIters(8) >= SQOptimalIters(10) {
+		t.Error("optimal iterations should grow with n")
+	}
+	if got := SQOptimalIters(4); got != 4 {
+		t.Errorf("SQOptimalIters(4) = %v, want 4", got)
+	}
+}
+
+func TestSHA1OpsFormulaMatchesGenerator(t *testing.T) {
+	for _, cfg := range []SHA1Config{
+		{Rounds: 1, WordWidth: 8},
+		{Rounds: 2, WordWidth: 16},
+		{Rounds: 17, WordWidth: 8}, // crosses the schedule-update boundary
+		{Rounds: 21, WordWidth: 8}, // crosses the Ch->Parity boundary
+	} {
+		c := SHA1(cfg)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if got, want := c.Ops(), SHA1Ops(cfg); got != want {
+			t.Errorf("%+v: generated %d ops, formula %d", cfg, got, want)
+		}
+	}
+}
+
+func TestSHA1IsHighlyParallel(t *testing.T) {
+	e := estimate(t, SHA1(SHA1Config{Rounds: 2, WordWidth: 32}))
+	if e.Parallelism < 8 {
+		t.Errorf("SHA-1 parallelism = %.2f, want Table 2 regime (tens)", e.Parallelism)
+	}
+}
+
+func TestSHA1QubitCount(t *testing.T) {
+	c := SHA1(SHA1Config{Rounds: 1, WordWidth: 32})
+	want := 27*32 + PrefixAdderAncillas(32)
+	if c.NumQubits != want {
+		t.Errorf("SHA-1 qubits = %d, want %d", c.NumQubits, want)
+	}
+}
+
+func TestIsingOpsFormulaMatchesGenerator(t *testing.T) {
+	for _, cfg := range []IsingConfig{
+		{N: 2, Steps: 1},
+		{N: 9, Steps: 2},
+		{N: 16, Steps: 3, RotationTDepth: 4},
+	} {
+		for _, fully := range []bool{false, true} {
+			c := Ising(cfg, fully)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%+v fully=%v: %v", cfg, fully, err)
+			}
+			if got, want := c.Ops(), IsingOps(cfg); got != want {
+				t.Errorf("%+v fully=%v: generated %d ops, formula %d", cfg, fully, got, want)
+			}
+		}
+	}
+}
+
+func TestIsingSemiHasBarriers(t *testing.T) {
+	semi := Ising(IsingConfig{N: 8, Steps: 3}, false)
+	fully := Ising(IsingConfig{N: 8, Steps: 3}, true)
+	if semi.CountOp(circuit.Barrier) != 12 {
+		t.Errorf("semi barriers = %d, want 12 (two per fenced call, two calls per step)", semi.CountOp(circuit.Barrier))
+	}
+	if fully.CountOp(circuit.Barrier) != 0 {
+		t.Errorf("fully inlined barriers = %d, want 0", fully.CountOp(circuit.Barrier))
+	}
+}
+
+func TestIsingInliningIncreasesParallelism(t *testing.T) {
+	cfg := IsingConfig{N: 64, Steps: 3}
+	semi := estimate(t, Ising(cfg, false))
+	fully := estimate(t, Ising(cfg, true))
+	if fully.Parallelism <= semi.Parallelism {
+		t.Errorf("fully inlined parallelism %.1f should exceed semi %.1f",
+			fully.Parallelism, semi.Parallelism)
+	}
+}
+
+func TestIsingIsHighlyParallel(t *testing.T) {
+	e := estimate(t, Ising(IsingConfig{N: 96, Steps: 2}, false))
+	if e.Parallelism < 30 {
+		t.Errorf("IM parallelism = %.2f, want Table 2 regime (tens)", e.Parallelism)
+	}
+}
+
+func TestTable2SuiteOrdering(t *testing.T) {
+	// The load-bearing claim of Table 2: GSE < SQ << SHA-1 < IM.
+	suite := Table2Suite()
+	if len(suite) != 4 {
+		t.Fatalf("suite size = %d, want 4", len(suite))
+	}
+	par := map[string]float64{}
+	for _, w := range suite {
+		par[w.Name] = estimate(t, w.Circuit).Parallelism
+	}
+	if !(par["GSE"] < par["SQ"] && par["SQ"] < par["SHA-1"] && par["SHA-1"] < par["IM"]) {
+		t.Errorf("parallelism ordering violated: %v", par)
+	}
+}
+
+func TestFig6SuitePreservesOrdering(t *testing.T) {
+	par := map[string]float64{}
+	for _, w := range Fig6Suite() {
+		par[w.Name] = estimate(t, w.Circuit).Parallelism
+	}
+	if !(par["GSE"] < 3 && par["SQ"] < 3) {
+		t.Errorf("serial apps should stay serial: %v", par)
+	}
+	if !(par["SHA-1"] > 5 && par["IM"] > 5) {
+		t.Errorf("parallel apps should stay parallel: %v", par)
+	}
+}
+
+func TestIMVariantsNames(t *testing.T) {
+	vs := IMVariants(16, 2)
+	if vs[0].Name != "IM_Semi_Inlined" || vs[1].Name != "IM_Fully_Inlined" {
+		t.Errorf("variant names unexpected: %s, %s", vs[0].Name, vs[1].Name)
+	}
+}
+
+func TestScalingModels(t *testing.T) {
+	for _, name := range []string{"GSE", "SQ", "SHA-1", "IM", "IM_Semi_Inlined", "IM_Fully_Inlined"} {
+		s, err := ScalingFor(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q4, q12 := s.QubitsForOps(1e4), s.QubitsForOps(1e12)
+		if q4 <= 0 || q12 <= 0 {
+			t.Errorf("%s: nonpositive qubit counts %v %v", name, q4, q12)
+		}
+		if q12 < q4 {
+			t.Errorf("%s: qubits should be nondecreasing in K: %v then %v", name, q4, q12)
+		}
+	}
+	if _, err := ScalingFor("nope"); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestSHA1ScalingQubitsConstant(t *testing.T) {
+	s, _ := ScalingFor("SHA-1")
+	if s.QubitsForOps(1e3) != s.QubitsForOps(1e20) {
+		t.Error("SHA-1 register file should be size-independent")
+	}
+}
+
+func TestSQScalingInversionConsistent(t *testing.T) {
+	// Round-trip: qubits at K = SQOpsAt(n) should be ~2.5n-1.
+	for _, n := range []int{8, 16, 24} {
+		k := SQOpsAt(n)
+		s, _ := ScalingFor("SQ")
+		got := s.QubitsForOps(k)
+		want := 2.5*float64(n) - 1
+		if got < want-3 || got > want+3 {
+			t.Errorf("n=%d: QubitsForOps(%g) = %.1f, want ~%.1f", n, k, got, want)
+		}
+	}
+}
+
+func TestSQOpsAtMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 4; n <= 120; n += 2 {
+		k := SQOpsAt(n)
+		if k <= prev {
+			t.Fatalf("SQOpsAt not increasing at n=%d", n)
+		}
+		prev = k
+	}
+	if SQOpsAt(120) < 1e19 {
+		t.Errorf("SQOpsAt(120) = %g, expected to reach Figure 8 scales", SQOpsAt(120))
+	}
+}
+
+func TestSHA1OpsAtLinearInBlocks(t *testing.T) {
+	one, two := SHA1OpsAt(1), SHA1OpsAt(2)
+	if two != 2*one {
+		t.Errorf("SHA1OpsAt should be linear: %v, %v", one, two)
+	}
+}

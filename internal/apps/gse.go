@@ -1,0 +1,67 @@
+package apps
+
+import (
+	"fmt"
+
+	"surfcomm/internal/circuit"
+)
+
+// GSEConfig sizes the Ground State Estimation workload: iterative phase
+// estimation over a Trotterized molecular Hamiltonian on M system
+// qubits, Steps Trotter steps, with RotationTDepth fragments per
+// synthesized rotation (0 selects the builder default).
+type GSEConfig struct {
+	M              int
+	Steps          int
+	RotationTDepth int
+}
+
+// GSE generates the Ground State Estimation circuit (paper Table 2:
+// parallelism factor ~1.2). One phase ancilla serializes every
+// controlled rotation — each Hamiltonian term is applied as a
+// controlled-Rz through the ancilla, with basis-change and CNOT-ladder
+// dressing for the coupling terms. The only exposed parallelism is the
+// basis-change layer overlapping the ancilla chain, which is why the
+// application is the paper's most serial workload.
+func GSE(cfg GSEConfig) *circuit.Circuit {
+	if cfg.M < 2 || cfg.Steps < 1 {
+		panic(fmt.Sprintf("apps: GSE needs M >= 2 and Steps >= 1, got %+v", cfg))
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("gse_m%d_s%d", cfg.M, cfg.Steps), 1+cfg.M)
+	b.RotationTDepth = cfg.RotationTDepth
+	anc := 0
+	sys := func(i int) int { return 1 + i }
+
+	for step := 0; step < cfg.Steps; step++ {
+		b.PrepX(anc)
+		// Single-qubit Z terms: controlled rotation per system qubit,
+		// all chained through the phase ancilla.
+		for i := 0; i < cfg.M; i++ {
+			b.CRz(anc, sys(i), 0.31*float64(i+1))
+		}
+		// Nearest-neighbor coupling terms: basis change, entangle,
+		// controlled rotation, disentangle, restore basis.
+		for i := 0; i+1 < cfg.M; i++ {
+			b.H(sys(i))
+			b.H(sys(i + 1))
+			b.CNOT(sys(i), sys(i+1))
+			b.CRz(anc, sys(i+1), 0.17*float64(i+1))
+			b.CNOT(sys(i), sys(i+1))
+			b.H(sys(i))
+			b.H(sys(i + 1))
+		}
+		b.MeasX(anc)
+	}
+	return b.Circuit
+}
+
+// GSEOps returns the exact logical-op count GSE emits, in closed form.
+func GSEOps(cfg GSEConfig) int {
+	r := cfg.RotationTDepth
+	if r == 0 {
+		r = circuit.DefaultRotationTDepth
+	}
+	crz := 2*(2*r+1) + 2 // two synthesized rotations plus two CNOTs
+	perStep := 2 + cfg.M*crz + (cfg.M-1)*(crz+6)
+	return cfg.Steps * perStep
+}

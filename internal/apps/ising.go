@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"fmt"
+
+	"surfcomm/internal/circuit"
+)
+
+// IsingConfig sizes the Ising Model workload: digitized adiabatic
+// evolution of an N-spin chain over Steps Trotter steps, with a serial
+// parity probe after every step.
+type IsingConfig struct {
+	N              int
+	Steps          int
+	RotationTDepth int
+}
+
+// probeStride selects which spins the per-step parity probe samples.
+const probeStride = 4
+
+// probeSpins returns the sampled spin indices for an N-spin chain.
+func probeSpins(n int) []int {
+	var spins []int
+	for i := 0; i < n; i += probeStride {
+		spins = append(spins, i)
+	}
+	return spins
+}
+
+// IsingProgram generates the Ising workload as a hierarchical program
+// (paper Table 2: parallelism ~66). The entry module alternates two
+// calls per Trotter step:
+//
+//   - trotter_step: exp(-iθZZ) on the even bonds (disjoint — fully
+//     bit-parallel), then the odd bonds, then a transverse-field Rx on
+//     every spin. This is the wide, layered part.
+//   - parity_probe: a serial CNOT chain collecting the parity of every
+//     fourth spin onto a probe ancilla, measured each step (the
+//     energy-tracking readout of digitized adiabatic experiments).
+//
+// Flattening depth models the paper's inlining knob (§7.3). With
+// Flatten(0) every call is fenced (IM_Semi_Inlined): the serial probe
+// sits between steps and stretches the critical path. With
+// Flatten(circuit.InlineAll) (IM_Fully_Inlined) the probe chain of step
+// s pipelines under the wide layers of step s+1, so the critical path
+// is set by the Trotter layers alone — fully inlining buys parallelism,
+// which is exactly the upward movement of the IM boundary in Figure 9.
+func IsingProgram(cfg IsingConfig) *circuit.Program {
+	if cfg.N < 2 || cfg.Steps < 1 {
+		panic(fmt.Sprintf("apps: Ising needs N >= 2 and Steps >= 1, got %+v", cfg))
+	}
+	n := cfg.N
+	probe := n // probe ancilla index
+	p := circuit.NewProgram(fmt.Sprintf("im_n%d_s%d", n, cfg.Steps), n+1)
+
+	step := moduleFromBuilder("trotter_step", n, cfg.RotationTDepth, func(b *circuit.Builder) {
+		for i := 0; i+1 < n; i += 2 {
+			b.ZZ(i, i+1, 0.21)
+		}
+		for i := 1; i+1 < n; i += 2 {
+			b.ZZ(i, i+1, 0.21)
+		}
+		for q := 0; q < n; q++ {
+			b.Rx(q, 0.4)
+		}
+	})
+	if err := p.AddModule(step); err != nil {
+		panic(err)
+	}
+
+	spins := probeSpins(n)
+	probeFormals := len(spins) + 1 // sampled spins plus the ancilla (last)
+	probeMod := moduleFromBuilder("parity_probe", probeFormals, cfg.RotationTDepth, func(b *circuit.Builder) {
+		anc := probeFormals - 1
+		b.PrepZ(anc)
+		for i := 0; i < len(spins); i++ {
+			b.CNOT(i, anc)
+		}
+		b.MeasZ(anc)
+	})
+	if err := p.AddModule(probeMod); err != nil {
+		panic(err)
+	}
+
+	main := p.Modules[p.Entry]
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	probeArgs := append(append([]int(nil), spins...), probe)
+	for s := 0; s < cfg.Steps; s++ {
+		main.Call("trotter_step", all...)
+		main.Call("parity_probe", probeArgs...)
+	}
+	return p
+}
+
+// Ising flattens IsingProgram at the requested inlining level.
+func Ising(cfg IsingConfig, fullyInline bool) *circuit.Circuit {
+	depth := 0
+	if fullyInline {
+		depth = circuit.InlineAll
+	}
+	c, err := IsingProgram(cfg).Flatten(depth)
+	if err != nil {
+		panic(err) // generator-produced programs are valid by construction
+	}
+	if fullyInline {
+		c.Name += "_fully"
+	} else {
+		c.Name += "_semi"
+	}
+	return c
+}
+
+// IsingOps returns the exact logical-op count Ising emits (barriers are
+// not operations, so the count is inlining-independent).
+func IsingOps(cfg IsingConfig) int {
+	r := cfg.RotationTDepth
+	if r == 0 {
+		r = circuit.DefaultRotationTDepth
+	}
+	gate := 2*r + 3 // ZZ = 2 CNOT + rotation; Rx = rotation + 2 H
+	bonds := cfg.N - 1
+	probe := len(probeSpins(cfg.N)) + 2 // CNOT chain + prep + measure
+	return cfg.Steps * ((bonds+cfg.N)*gate + probe)
+}
+
+// moduleFromBuilder runs a builder-based generator and converts the
+// resulting gates into a reusable module body.
+func moduleFromBuilder(name string, n, rotDepth int, f func(*circuit.Builder)) *circuit.Module {
+	b := circuit.NewBuilder(name, n)
+	b.RotationTDepth = rotDepth
+	f(b)
+	m := &circuit.Module{Name: name, NumQubits: n}
+	for _, g := range b.Circuit.Gates {
+		m.Insts = append(m.Insts, circuit.Inst{Op: g.Op, Args: g.Qubits})
+	}
+	return m
+}

@@ -1,0 +1,40 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"surfcomm/internal/circuit"
+)
+
+// TestAppsRoundTripThroughQASM serializes every suite application to
+// the QASM dialect and parses it back, checking gate-for-gate equality —
+// the interchange path a downstream user would rely on.
+func TestAppsRoundTripThroughQASM(t *testing.T) {
+	workloads := []Workload{
+		{Name: "GSE", Circuit: GSE(GSEConfig{M: 6, Steps: 1})},
+		{Name: "SQ", Circuit: SQ(SQConfig{N: 6, Iters: 1})},
+		{Name: "SHA-1", Circuit: SHA1(SHA1Config{Rounds: 1, WordWidth: 8})},
+		{Name: "IM-semi", Circuit: Ising(IsingConfig{N: 12, Steps: 1}, false)},
+		{Name: "IM-fully", Circuit: Ising(IsingConfig{N: 12, Steps: 1}, true)},
+	}
+	for _, w := range workloads {
+		text := circuit.QASMString(w.Circuit)
+		got, err := circuit.ReadQASM(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", w.Name, err)
+		}
+		if got.NumQubits != w.Circuit.NumQubits {
+			t.Errorf("%s: qubits %d != %d", w.Name, got.NumQubits, w.Circuit.NumQubits)
+		}
+		if len(got.Gates) != len(w.Circuit.Gates) {
+			t.Fatalf("%s: gates %d != %d", w.Name, len(got.Gates), len(w.Circuit.Gates))
+		}
+		for i := range got.Gates {
+			if got.Gates[i].String() != w.Circuit.Gates[i].String() {
+				t.Fatalf("%s: gate %d: %q != %q", w.Name, i,
+					got.Gates[i].String(), w.Circuit.Gates[i].String())
+			}
+		}
+	}
+}

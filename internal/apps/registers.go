@@ -1,0 +1,238 @@
+// Package apps generates the paper's benchmark applications (Table 2) as
+// logical circuits: Ground State Estimation (GSE), Square Root via
+// Grover search (SQ), SHA-1 decryption rounds (SHA-1), and the digitized
+// adiabatic Ising model (IM). Each generator is parameterized by problem
+// size, emits the Clifford+T instruction set via circuit.Builder, and is
+// paired with a closed-form operation-count formula used by the
+// design-space sweeps at computation sizes too large to materialize.
+//
+// The generators substitute for the paper's Scaffold sources compiled by
+// ScaffCC: they reproduce the dataflow shape (serial ancilla chains in
+// GSE, Toffoli ladders in SQ, bitwise word-parallel logic plus adder
+// trees in SHA-1, even/odd bond layers in IM) that determines
+// communication behavior downstream.
+package apps
+
+import (
+	"fmt"
+
+	"surfcomm/internal/circuit"
+)
+
+// Register is a view of a word of logical qubits, least significant bit
+// first. Rotations are views (compiler renaming), not gates.
+type Register []int
+
+// NewRegister allocates indices [base, base+width) as a register.
+func NewRegister(base, width int) Register {
+	r := make(Register, width)
+	for i := range r {
+		r[i] = base + i
+	}
+	return r
+}
+
+// RotL returns the register rotated left by k bit positions (bit i of
+// the result is bit (i-k) mod width of the input). This is qubit
+// relabeling: free at the logical level, as in the paper's toolflow.
+func (r Register) RotL(k int) Register {
+	n := len(r)
+	if n == 0 {
+		return nil
+	}
+	k = ((k % n) + n) % n
+	out := make(Register, n)
+	for i := range out {
+		out[i] = r[(i-k+n)%n]
+	}
+	return out
+}
+
+// XorInto appends bitwise src ⊕= into dst (CNOT per bit); the layers are
+// fully bit-parallel.
+func XorInto(b *circuit.Builder, src, dst Register) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("apps: xor width mismatch %d vs %d", len(src), len(dst)))
+	}
+	for i := range src {
+		b.CNOT(src[i], dst[i])
+	}
+}
+
+// AndInto appends bitwise dst ⊕= x·y (Toffoli per bit).
+func AndInto(b *circuit.Builder, x, y, dst Register) {
+	if len(x) != len(y) || len(x) != len(dst) {
+		panic("apps: and width mismatch")
+	}
+	for i := range x {
+		b.Toffoli(x[i], y[i], dst[i])
+	}
+}
+
+// maj appends the Cuccaro majority step on (x, y, z).
+func maj(b *circuit.Builder, x, y, z int) {
+	b.CNOT(z, y)
+	b.CNOT(z, x)
+	b.Toffoli(x, y, z)
+}
+
+// uma appends the Cuccaro unmajority-and-add step on (x, y, z).
+func uma(b *circuit.Builder, x, y, z int) {
+	b.Toffoli(x, y, z)
+	b.CNOT(z, x)
+	b.CNOT(x, y)
+}
+
+// RippleAdd appends the Cuccaro ripple-carry adder computing
+// y ← x + y (mod 2^width) with a single carry ancilla. The carry chain
+// is inherently serial — the low-parallelism adder baseline.
+func RippleAdd(b *circuit.Builder, x, y Register, carry int) {
+	if len(x) != len(y) {
+		panic("apps: adder width mismatch")
+	}
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	maj(b, carry, y[0], x[0])
+	for i := 1; i < n; i++ {
+		maj(b, x[i-1], y[i], x[i])
+	}
+	for i := n - 1; i >= 1; i-- {
+		uma(b, x[i-1], y[i], x[i])
+	}
+	uma(b, carry, y[0], x[0])
+}
+
+// rippleAddOps returns the exact gate count RippleAdd emits for a width.
+func rippleAddOps(width int) int {
+	// Each MAJ and each UMA is 2 CNOT + 1 Toffoli (15 gates) = 17 gates.
+	return width * 2 * 17
+}
+
+// PrefixAdderAncillas returns the ancilla demand of PrefixAdd for a
+// width: generate and propagate registers at each Kogge-Stone level.
+func PrefixAdderAncillas(width int) int {
+	levels := koggeStoneLevels(width)
+	return width * (levels + 1) * 2
+}
+
+func koggeStoneLevels(width int) int {
+	l := 0
+	for stride := 1; stride < width; stride *= 2 {
+		l++
+	}
+	return l
+}
+
+// PrefixAdd appends a Kogge-Stone carry-lookahead adder computing
+// sum ← x + y (mod 2^width), out of place, leaving x and y intact and
+// returning all ancillas to |0> (compute, copy out, uncompute).
+//
+// Unlike the ripple adder, all work within a prefix level is
+// bit-parallel, so depth is O(log width) Toffoli layers — this is the
+// adder that gives SHA-1 its word-level parallelism.
+//
+// anc must provide PrefixAdderAncillas(len(x)) clean qubits.
+func PrefixAdd(b *circuit.Builder, x, y, sum Register, anc Register) {
+	n := len(x)
+	if len(y) != n || len(sum) != n {
+		panic("apps: prefix adder width mismatch")
+	}
+	if len(anc) < PrefixAdderAncillas(n) {
+		panic(fmt.Sprintf("apps: prefix adder needs %d ancillas, got %d", PrefixAdderAncillas(n), len(anc)))
+	}
+	levels := koggeStoneLevels(n)
+	// Carve per-level G and P registers out of the ancilla pool.
+	g := make([]Register, levels+1)
+	p := make([]Register, levels+1)
+	off := 0
+	for l := 0; l <= levels; l++ {
+		g[l] = anc[off : off+n]
+		off += n
+		p[l] = anc[off : off+n]
+		off += n
+	}
+
+	// Level 0: g0_i = x_i·y_i ; p0_i = x_i ⊕ y_i. Fully bit-parallel.
+	level0 := func() {
+		for i := 0; i < n; i++ {
+			b.Toffoli(x[i], y[i], g[0][i])
+			b.CNOT(x[i], p[0][i])
+			b.CNOT(y[i], p[0][i])
+		}
+	}
+	// Kogge-Stone combine, level l with stride 2^(l-1):
+	//   G_l[i] = G_{l-1}[i] ⊕ P_{l-1}[i]·G_{l-1}[i-s]
+	//   P_l[i] = P_{l-1}[i]·P_{l-1}[i-s]
+	// For i < s the pair passes through unchanged (CNOT copies).
+	combine := func(l int) {
+		s := 1 << (l - 1)
+		for i := 0; i < n; i++ {
+			if i < s {
+				b.CNOT(g[l-1][i], g[l][i])
+				b.CNOT(p[l-1][i], p[l][i])
+				continue
+			}
+			b.CNOT(g[l-1][i], g[l][i])
+			b.Toffoli(p[l-1][i], g[l-1][i-s], g[l][i])
+			b.Toffoli(p[l-1][i], p[l-1][i-s], p[l][i])
+		}
+	}
+	uncombine := func(l int) {
+		s := 1 << (l - 1)
+		for i := n - 1; i >= 0; i-- {
+			if i < s {
+				b.CNOT(p[l-1][i], p[l][i])
+				b.CNOT(g[l-1][i], g[l][i])
+				continue
+			}
+			b.Toffoli(p[l-1][i], p[l-1][i-s], p[l][i])
+			b.Toffoli(p[l-1][i], g[l-1][i-s], g[l][i])
+			b.CNOT(g[l-1][i], g[l][i])
+		}
+	}
+	unlevel0 := func() {
+		for i := n - 1; i >= 0; i-- {
+			b.CNOT(y[i], p[0][i])
+			b.CNOT(x[i], p[0][i])
+			b.Toffoli(x[i], y[i], g[0][i])
+		}
+	}
+
+	level0()
+	for l := 1; l <= levels; l++ {
+		combine(l)
+	}
+	// sum_i = p0_i ⊕ carry_i, carry_i = G_top[i-1] (carry into bit i).
+	for i := 0; i < n; i++ {
+		b.CNOT(x[i], sum[i])
+		b.CNOT(y[i], sum[i])
+		if i > 0 {
+			b.CNOT(g[levels][i-1], sum[i])
+		}
+	}
+	for l := levels; l >= 1; l-- {
+		uncombine(l)
+	}
+	unlevel0()
+}
+
+// prefixAddOps returns the exact gate count PrefixAdd emits for a width.
+func prefixAddOps(width int) int {
+	n := width
+	levels := koggeStoneLevels(n)
+	toffoliGates := 15 // circuit.Builder Toffoli expansion size
+	// Level 0 compute+uncompute: per bit 1 Toffoli + 2 CNOT, twice.
+	ops := 2 * n * (toffoliGates + 2)
+	// Combine levels, compute+uncompute.
+	for l := 1; l <= levels; l++ {
+		s := 1 << (l - 1)
+		pass := s * 2                          // CNOT pairs for i < s
+		rest := (n - s) * (1 + 2*toffoliGates) // copy + two Toffolis
+		ops += 2 * (pass + rest)
+	}
+	// Sum copy-out: 2 CNOT per bit + carry CNOT for bits 1..n-1.
+	ops += 2*n + (n - 1)
+	return ops
+}

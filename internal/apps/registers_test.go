@@ -1,0 +1,251 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/logicsim"
+	"surfcomm/internal/resource"
+)
+
+func TestNewRegister(t *testing.T) {
+	r := NewRegister(5, 4)
+	want := []int{5, 6, 7, 8}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("r[%d] = %d, want %d", i, r[i], want[i])
+		}
+	}
+}
+
+func TestRotL(t *testing.T) {
+	r := NewRegister(0, 4) // [0 1 2 3]
+	got := r.RotL(1)       // bit i of result = bit i-1 of input
+	want := []int{3, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RotL(1)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Rotation by width (and by 0) is identity.
+	for _, k := range []int{0, 4, 8, -4} {
+		g := r.RotL(k)
+		for i := range r {
+			if g[i] != r[i] {
+				t.Errorf("RotL(%d) not identity at %d", k, i)
+			}
+		}
+	}
+	// Negative rotation is the inverse.
+	inv := r.RotL(1).RotL(-1)
+	for i := range r {
+		if inv[i] != r[i] {
+			t.Errorf("RotL(1) then RotL(-1) not identity at %d", i)
+		}
+	}
+}
+
+func TestRotLQuickPermutation(t *testing.T) {
+	f := func(width uint8, k int8) bool {
+		n := int(width%16) + 1
+		r := NewRegister(0, n)
+		g := r.RotL(int(k))
+		seen := make(map[int]bool, n)
+		for _, q := range g {
+			if q < 0 || q >= n || seen[q] {
+				return false
+			}
+			seen[q] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorIntoCounts(t *testing.T) {
+	b := circuit.NewBuilder("xor", 8)
+	XorInto(b, NewRegister(0, 4), NewRegister(4, 4))
+	if got := b.Circuit.CountOp(circuit.CNOT); got != 4 {
+		t.Errorf("CNOTs = %d, want 4", got)
+	}
+}
+
+func TestAndIntoCounts(t *testing.T) {
+	b := circuit.NewBuilder("and", 12)
+	AndInto(b, NewRegister(0, 4), NewRegister(4, 4), NewRegister(8, 4))
+	if got := b.Circuit.TCount(); got != 4*7 {
+		t.Errorf("T count = %d, want %d", got, 28)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	b := circuit.NewBuilder("bad", 8)
+	for name, f := range map[string]func(){
+		"xor": func() { XorInto(b, NewRegister(0, 3), NewRegister(4, 4)) },
+		"and": func() { AndInto(b, NewRegister(0, 2), NewRegister(2, 2), NewRegister(4, 3)) },
+		"ripple": func() {
+			RippleAdd(b, NewRegister(0, 2), NewRegister(2, 3), 7)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: width mismatch should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRippleAddOpsFormula(t *testing.T) {
+	for _, width := range []int{1, 4, 8, 16} {
+		b := circuit.NewBuilder("ripple", 2*width+1)
+		RippleAdd(b, NewRegister(0, width), NewRegister(width, width), 2*width)
+		if got, want := b.Circuit.Ops(), rippleAddOps(width); got != want {
+			t.Errorf("width %d: generated %d ops, formula %d", width, got, want)
+		}
+	}
+}
+
+func TestRippleAddIsSerial(t *testing.T) {
+	width := 8
+	b := circuit.NewBuilder("ripple", 2*width+1)
+	RippleAdd(b, NewRegister(0, width), NewRegister(width, width), 2*width)
+	e, err := resource.EstimateCircuit(b.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Parallelism > 2.0 {
+		t.Errorf("ripple adder parallelism = %.2f, want carry-chain-serial (< 2)", e.Parallelism)
+	}
+}
+
+func TestPrefixAddOpsFormula(t *testing.T) {
+	for _, width := range []int{4, 8, 16, 32} {
+		n := 3*width + PrefixAdderAncillas(width)
+		b := circuit.NewBuilder("prefix", n)
+		x := NewRegister(0, width)
+		y := NewRegister(width, width)
+		sum := NewRegister(2*width, width)
+		anc := NewRegister(3*width, PrefixAdderAncillas(width))
+		PrefixAdd(b, x, y, sum, anc)
+		if got, want := b.Circuit.Ops(), prefixAddOps(width); got != want {
+			t.Errorf("width %d: generated %d ops, formula %d", width, got, want)
+		}
+	}
+}
+
+func TestPrefixAddIsParallel(t *testing.T) {
+	width := 32
+	n := 3*width + PrefixAdderAncillas(width)
+	b := circuit.NewBuilder("prefix", n)
+	PrefixAdd(b,
+		NewRegister(0, width),
+		NewRegister(width, width),
+		NewRegister(2*width, width),
+		NewRegister(3*width, PrefixAdderAncillas(width)))
+	e, err := resource.EstimateCircuit(b.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Parallelism < 8 {
+		t.Errorf("prefix adder parallelism = %.2f, want word-level (>= 8)", e.Parallelism)
+	}
+}
+
+func TestPrefixAddNeedsAncillas(t *testing.T) {
+	b := circuit.NewBuilder("prefix", 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("insufficient ancillas should panic")
+		}
+	}()
+	PrefixAdd(b, NewRegister(0, 8), NewRegister(8, 8), NewRegister(16, 8), NewRegister(24, 3))
+}
+
+// TestRippleAddComputesSums verifies the Cuccaro adder on basis states:
+// y ← x + y (mod 2^w), x preserved, carry ancilla returned clean.
+func TestRippleAddComputesSums(t *testing.T) {
+	width := 8
+	b := circuit.NewBuilder("ripple", 2*width+1)
+	b.KeepMacros = true
+	x := NewRegister(0, width)
+	y := NewRegister(width, width)
+	carry := 2 * width
+	RippleAdd(b, x, y, carry)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 64; trial++ {
+		xv := rng.Uint64() & 0xFF
+		yv := rng.Uint64() & 0xFF
+		in := logicsim.NewState(b.Circuit.NumQubits)
+		in.SetUint64(x, xv)
+		in.SetUint64(y, yv)
+		out, err := logicsim.Run(b.Circuit, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Uint64(y); got != (xv+yv)&0xFF {
+			t.Fatalf("ripple %d+%d = %d, want %d", xv, yv, got, (xv+yv)&0xFF)
+		}
+		if out.Uint64(x) != xv {
+			t.Fatalf("ripple corrupted x: %d -> %d", xv, out.Uint64(x))
+		}
+		if out[carry] {
+			t.Fatal("ripple left carry ancilla dirty")
+		}
+	}
+}
+
+// TestPrefixAddComputesSums verifies the Kogge-Stone adder on basis
+// states: sum ← x + y (mod 2^w), operands preserved, every ancilla
+// returned to zero (the compute/copy/uncompute discipline).
+func TestPrefixAddComputesSums(t *testing.T) {
+	for _, width := range []int{4, 5, 8, 16} {
+		ancN := PrefixAdderAncillas(width)
+		b := circuit.NewBuilder("prefix", 3*width+ancN)
+		b.KeepMacros = true
+		x := NewRegister(0, width)
+		y := NewRegister(width, width)
+		sum := NewRegister(2*width, width)
+		anc := NewRegister(3*width, ancN)
+		PrefixAdd(b, x, y, sum, anc)
+		mask := uint64(1)<<uint(width) - 1
+		rng := rand.New(rand.NewSource(int64(width)))
+		for trial := 0; trial < 64; trial++ {
+			xv := rng.Uint64() & mask
+			yv := rng.Uint64() & mask
+			in := logicsim.NewState(b.Circuit.NumQubits)
+			in.SetUint64(x, xv)
+			in.SetUint64(y, yv)
+			out, err := logicsim.Run(b.Circuit, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := out.Uint64(sum); got != (xv+yv)&mask {
+				t.Fatalf("width %d: %d+%d = %d, want %d", width, xv, yv, got, (xv+yv)&mask)
+			}
+			if out.Uint64(x) != xv || out.Uint64(y) != yv {
+				t.Fatalf("width %d: operands corrupted", width)
+			}
+			for _, q := range anc {
+				if out[q] {
+					t.Fatalf("width %d: ancilla q%d dirty after add", width, q)
+				}
+			}
+		}
+	}
+}
+
+func TestKoggeStoneLevels(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4, 32: 5, 5: 3}
+	for width, want := range cases {
+		if got := koggeStoneLevels(width); got != want {
+			t.Errorf("levels(%d) = %d, want %d", width, got, want)
+		}
+	}
+}

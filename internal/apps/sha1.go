@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"fmt"
+	"math/bits"
+
+	"surfcomm/internal/circuit"
+)
+
+// SHA1Config sizes the SHA-1 decryption workload. Rounds is the number
+// of compression rounds (the full function uses 80); WordWidth is the
+// architectural word size (32 for real SHA-1; tests shrink it). The
+// workload is the preimage-search setting of the paper: the message
+// schedule starts in uniform superposition and the compression function
+// runs reversibly over it.
+type SHA1Config struct {
+	Rounds    int
+	WordWidth int
+}
+
+func (cfg SHA1Config) normalize() SHA1Config {
+	if cfg.WordWidth == 0 {
+		cfg.WordWidth = 32
+	}
+	return cfg
+}
+
+// sha1IV are the standard chaining-value constants for registers a..e.
+var sha1IV = [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+
+// sha1K returns the round constant for round i.
+func sha1K(i int) uint32 {
+	switch {
+	case i < 20:
+		return 0x5A827999
+	case i < 40:
+		return 0x6ED9EBA1
+	case i < 60:
+		return 0x8F1BBCDC
+	default:
+		return 0xCA62C1D6
+	}
+}
+
+// SHA1 generates the SHA-1 compression circuit (paper Table 2:
+// parallelism ~29). Parallelism comes from three bit-parallel sources —
+// the 16-word superposed message schedule, the bitwise f-functions
+// (Ch/Parity/Maj as Toffoli/CNOT layers), and the Kogge-Stone prefix
+// adders whose levels are word-wide — stacked against the serial
+// accumulation chain through register a.
+//
+// Register file: architectural a..e, a 16-word rotating schedule, a
+// five-word recycle pool for f-outputs and add accumulators (registers
+// are reset with bitwise PrepZ on reuse), a round-constant word, and a
+// clean adder-ancilla bank shared by the in-round adds.
+func SHA1(cfg SHA1Config) *circuit.Circuit {
+	cfg = cfg.normalize()
+	if cfg.Rounds < 1 || cfg.WordWidth < 4 {
+		panic(fmt.Sprintf("apps: SHA1 needs Rounds >= 1, WordWidth >= 4, got %+v", cfg))
+	}
+	w := cfg.WordWidth
+	bank := PrefixAdderAncillas(w)
+	total := 5*w + 16*w + 5*w + w + bank
+	b := circuit.NewBuilder(fmt.Sprintf("sha1_r%d_w%d", cfg.Rounds, w), total)
+
+	next := 0
+	alloc := func(width int) Register {
+		r := NewRegister(next, width)
+		next += width
+		return r
+	}
+	arch := make([]Register, 5) // a b c d e
+	for i := range arch {
+		arch[i] = alloc(w)
+	}
+	sched := make([]Register, 16)
+	for i := range sched {
+		sched[i] = alloc(w)
+	}
+	pool := make([]Register, 5)
+	for i := range pool {
+		pool[i] = alloc(w)
+	}
+	kreg := alloc(w)
+	anc := alloc(bank)
+
+	// allocReg takes a register from the recycle pool and resets it.
+	allocReg := func() Register {
+		r := pool[0]
+		pool = pool[1:]
+		for _, q := range r {
+			b.PrepZ(q)
+		}
+		return r
+	}
+	freeReg := func(r Register) { pool = append(pool, r) }
+
+	// setConst flips the bits of a (freshly reset) register to match the
+	// low bits of a classical constant.
+	setConst := func(r Register, c uint32) {
+		for i, q := range r {
+			if c>>(uint(i)%32)&1 == 1 {
+				b.X(q)
+			}
+		}
+	}
+
+	// Initialization: chaining values classical, message in superposition.
+	for i, r := range arch {
+		setConst(r, sha1IV[i])
+	}
+	for _, r := range sched {
+		for _, q := range r {
+			b.H(q)
+		}
+	}
+
+	for i := 0; i < cfg.Rounds; i++ {
+		// Message schedule: w[i] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]).
+		if i >= 16 {
+			slot := i % 16
+			XorInto(b, sched[(i-3)%16], sched[slot])
+			XorInto(b, sched[(i-8)%16], sched[slot])
+			XorInto(b, sched[(i-14)%16], sched[slot])
+			sched[slot] = sched[slot].RotL(1)
+		}
+		// f(b,c,d) into a fresh word, per round regime.
+		t := allocReg()
+		bb, cc, dd := arch[1], arch[2], arch[3]
+		switch {
+		case i < 20:
+			// Ch(b,c,d) = (b AND c) ⊕ (¬b AND d)
+			AndInto(b, bb, cc, t)
+			for _, q := range bb {
+				b.X(q)
+			}
+			AndInto(b, bb, dd, t)
+			for _, q := range bb {
+				b.X(q)
+			}
+		case i >= 40 && i < 60:
+			// Maj(b,c,d)
+			AndInto(b, bb, cc, t)
+			AndInto(b, bb, dd, t)
+			AndInto(b, cc, dd, t)
+		default:
+			// Parity(b,c,d)
+			XorInto(b, bb, t)
+			XorInto(b, cc, t)
+			XorInto(b, dd, t)
+		}
+		// Round constant.
+		for _, q := range kreg {
+			b.PrepZ(q)
+		}
+		setConst(kreg, sha1K(i))
+		// temp = rotl5(a) + f + e + k + w[i]: chain of prefix adds into
+		// fresh accumulators.
+		acc1 := allocReg()
+		PrefixAdd(b, arch[0].RotL(5), t, acc1, anc)
+		acc2 := allocReg()
+		PrefixAdd(b, acc1, arch[4], acc2, anc)
+		acc3 := allocReg()
+		PrefixAdd(b, acc2, sched[i%16], acc3, anc)
+		acc4 := allocReg()
+		PrefixAdd(b, acc3, kreg, acc4, anc)
+
+		// Rotate the architectural registers; recycle the dead ones.
+		oldE := arch[4]
+		arch[4] = arch[3]
+		arch[3] = arch[2]
+		arch[2] = arch[1].RotL(30)
+		arch[1] = arch[0]
+		arch[0] = acc4
+		freeReg(t)
+		freeReg(acc1)
+		freeReg(acc2)
+		freeReg(acc3)
+		freeReg(oldE)
+	}
+	for _, r := range arch {
+		for _, q := range r {
+			b.MeasZ(q)
+		}
+	}
+	return b.Circuit
+}
+
+// popcountWidth counts set bits of c restricted to the low `width` bits.
+func popcountWidth(c uint32, width int) int {
+	if width >= 32 {
+		return bits.OnesCount32(c)
+	}
+	return bits.OnesCount32(c & (1<<uint(width) - 1))
+}
+
+// SHA1Ops returns the exact logical-op count SHA1 emits, in closed form.
+func SHA1Ops(cfg SHA1Config) int {
+	cfg = cfg.normalize()
+	w := cfg.WordWidth
+	ops := 0
+	for i := range sha1IV {
+		ops += popcountWidth(sha1IV[i], w)
+	}
+	ops += 16 * w // schedule superposition
+	add := prefixAddOps(w)
+	for i := 0; i < cfg.Rounds; i++ {
+		if i >= 16 {
+			ops += 3 * w
+		}
+		ops += w // t reset
+		switch {
+		case i < 20:
+			ops += 2*15*w + 2*w // Ch
+		case i >= 40 && i < 60:
+			ops += 3 * 15 * w // Maj
+		default:
+			ops += 3 * w // Parity
+		}
+		ops += w + popcountWidth(sha1K(i), w) // kreg reset + constant
+		ops += 4*w + 4*add                    // accumulator resets + adds
+	}
+	ops += 5 * w // final measurement
+	return ops
+}
+
+// SHA1OpsAt returns the op count of `blocks` sequential 80-round
+// compressions as a float (the Figure 9 x-axis scaling: longer messages
+// mean proportionally more logical work on the same register file).
+func SHA1OpsAt(blocks float64) float64 {
+	return blocks * float64(SHA1Ops(SHA1Config{Rounds: 80}))
+}

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"surfcomm/internal/circuit"
+)
+
+// SQConfig sizes the Square Root workload: Grover search over an N-bit
+// input register (N even, >= 4) for Iters Grover iterations. Iters = 0
+// selects the optimal ⌈(π/4)·2^(N/2)⌉ count — only sensible for tiny N;
+// simulations pass explicit small iteration counts.
+type SQConfig struct {
+	N              int
+	Iters          int
+	RotationTDepth int
+}
+
+// SQOptimalIters returns the optimal Grover iteration count for an
+// N-bit search space as a float (exceeds integer range for large N).
+func SQOptimalIters(n int) float64 {
+	return math.Ceil(math.Pi / 4 * math.Pow(2, float64(n)/2))
+}
+
+// SQ generates the Square Root circuit (paper Table 2: parallelism
+// ~1.5): Grover iterations whose oracle computes pairwise partial
+// products of the input (one bit-parallel Toffoli layer — the source of
+// the modest parallelism) and folds them into a phase flip through a
+// serial Toffoli ladder; the diffusion operator is the standard
+// H/X/multi-controlled-Z/X/H sandwich, again ladder-dominated.
+func SQ(cfg SQConfig) *circuit.Circuit {
+	if cfg.N < 4 || cfg.N%2 != 0 {
+		panic(fmt.Sprintf("apps: SQ needs even N >= 4, got %d", cfg.N))
+	}
+	iters := cfg.Iters
+	if iters == 0 {
+		opt := SQOptimalIters(cfg.N)
+		if opt > 1<<20 {
+			panic(fmt.Sprintf("apps: SQ optimal iteration count %g too large to materialize; set Iters", opt))
+		}
+		iters = int(opt)
+	}
+	n := cfg.N
+	w := n / 2
+	ladN := n - 2 // ladder ancillas; n-1 controls need n-2
+	if w-1 > ladN {
+		ladN = w - 1
+	}
+	total := n + w + ladN + 1
+	b := circuit.NewBuilder(fmt.Sprintf("sq_n%d_i%d", n, iters), total)
+	b.RotationTDepth = cfg.RotationTDepth
+
+	in := NewRegister(0, n)
+	work := NewRegister(n, w)
+	lad := NewRegister(n+w, ladN)
+	phase := n + w + ladN
+
+	// Uniform superposition over the search register.
+	for _, q := range in {
+		b.H(q)
+	}
+	b.PrepX(phase)
+
+	for it := 0; it < iters; it++ {
+		// Oracle: bit-parallel partial-product layer, then the serial
+		// phase ladder, then uncompute.
+		for i := 0; i < w; i++ {
+			b.Toffoli(in[2*i], in[2*i+1], work[i])
+		}
+		mcPhase(b, work, lad, phase)
+		for i := w - 1; i >= 0; i-- {
+			b.Toffoli(in[2*i], in[2*i+1], work[i])
+		}
+		// Diffusion about the mean.
+		for _, q := range in {
+			b.H(q)
+		}
+		for _, q := range in {
+			b.X(q)
+		}
+		mcPhase(b, in[:n-1], lad, in[n-1])
+		for _, q := range in {
+			b.X(q)
+		}
+		for _, q := range in {
+			b.H(q)
+		}
+	}
+	for _, q := range in {
+		b.MeasZ(q)
+	}
+	return b.Circuit
+}
+
+// mcPhase applies a phase flip conditioned on every control being 1,
+// via the standard Toffoli ladder over clean ancillas (computed, used,
+// uncomputed). The ladder is inherently serial — each rung depends on
+// the previous ancilla.
+func mcPhase(b *circuit.Builder, controls Register, anc Register, target int) {
+	k := len(controls)
+	switch k {
+	case 0:
+		b.Z(target)
+		return
+	case 1:
+		b.CZ(controls[0], target)
+		return
+	}
+	if len(anc) < k-1 {
+		panic(fmt.Sprintf("apps: mcPhase with %d controls needs %d ancillas, got %d", k, k-1, len(anc)))
+	}
+	b.Toffoli(controls[0], controls[1], anc[0])
+	for i := 2; i < k; i++ {
+		b.Toffoli(controls[i], anc[i-2], anc[i-1])
+	}
+	b.CZ(anc[k-2], target)
+	for i := k - 1; i >= 2; i-- {
+		b.Toffoli(controls[i], anc[i-2], anc[i-1])
+	}
+	b.Toffoli(controls[0], controls[1], anc[0])
+}
+
+// mcPhaseOps returns the gate count of mcPhase for k controls.
+func mcPhaseOps(k int) int {
+	switch k {
+	case 0, 1:
+		return 1
+	}
+	return 2*(k-1)*15 + 1
+}
+
+// SQIterOps returns the exact logical-op count of one Grover iteration.
+func SQIterOps(n int) int {
+	w := n / 2
+	oracle := 2*w*15 + mcPhaseOps(w)
+	diffusion := 4*n + mcPhaseOps(n-1)
+	return oracle + diffusion
+}
+
+// SQOps returns the exact logical-op count SQ emits, in closed form.
+func SQOps(cfg SQConfig) int {
+	iters := cfg.Iters
+	if iters == 0 {
+		iters = int(SQOptimalIters(cfg.N))
+	}
+	return cfg.N + 1 + iters*SQIterOps(cfg.N) + cfg.N
+}
+
+// SQOpsAt returns the total-op count at the optimal iteration count as
+// a float, usable far beyond integer range (the Figure 7–9 x-axis).
+func SQOpsAt(n int) float64 {
+	return float64(n) + 1 + SQOptimalIters(n)*float64(SQIterOps(n)) + float64(n)
+}

@@ -1,0 +1,112 @@
+// Package braid simulates computation and communication on the tiled
+// double-defect architecture (paper §4.5, §6): every logical qubit owns
+// one lattice tile, two-qubit operations are braids — circuit-switched
+// path claims on the channel mesh between tiles — and T gates braid a
+// magic state in from a factory port. The engine discovers a static
+// schedule by dynamic simulation (paper §6.1) under the seven priority
+// policies of §6.3 and reports the schedule-length-to-critical-path
+// ratio and mesh utilization of Figure 6.
+package braid
+
+import (
+	"fmt"
+
+	"surfcomm/internal/layout"
+	"surfcomm/internal/mesh"
+	"surfcomm/internal/surface"
+)
+
+// factoryColumnPitch intersperses one factory column after every this
+// many data columns — the paper's 1:4 ancilla-to-data balance (§4.3),
+// with dedicated factories supplying the tiles around them (Fig. 3b).
+const factoryColumnPitch = 4
+
+// Arch is the floorplan of a tiled double-defect machine: data tiles
+// hold the program's logical qubits at their optimized (or row-major)
+// positions, and magic-state factory ports occupy dedicated columns
+// interspersed through the fabric. Every tile attaches to the channel
+// mesh at its top-left corner junction.
+type Arch struct {
+	TileRows, TileCols int
+	DataTiles          int
+	QubitTile          []layout.Coord // per logical qubit (physical grid coords)
+	FactoryTiles       []layout.Coord // factory ports, one tile each
+}
+
+// NewArch builds the floorplan for a placement of logical qubits. Data
+// columns keep their relative order; a factory column is inserted after
+// every factoryColumnPitch data columns (and at the right edge when the
+// last group is partial), so every tile is at most two columns from a
+// magic-state source.
+func NewArch(p *layout.Placement) (*Arch, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("braid: %w", err)
+	}
+	n := len(p.Pos)
+	if n == 0 {
+		return nil, fmt.Errorf("braid: no qubits to place")
+	}
+	fcols := (p.Cols + factoryColumnPitch - 1) / factoryColumnPitch
+	if fcols < 1 {
+		fcols = 1
+	}
+	a := &Arch{
+		TileRows:  p.Rows,
+		TileCols:  p.Cols + fcols,
+		DataTiles: n,
+		QubitTile: make([]layout.Coord, n),
+	}
+	// Physical column of data column c: shifted right once per factory
+	// column already inserted to its left.
+	for q, c := range p.Pos {
+		a.QubitTile[q] = layout.Coord{Row: c.Row, Col: c.Col + c.Col/factoryColumnPitch}
+	}
+	// Factory columns sit after each group of factoryColumnPitch data
+	// columns: physical columns pitch, 2*pitch+1, ... one port per row.
+	for f := 0; f < fcols; f++ {
+		col := (f+1)*factoryColumnPitch + f
+		if col >= a.TileCols {
+			col = a.TileCols - 1
+		}
+		for r := 0; r < p.Rows; r++ {
+			a.FactoryTiles = append(a.FactoryTiles, layout.Coord{Row: r, Col: col})
+		}
+	}
+	return a, nil
+}
+
+// Junction returns the mesh attachment point of a tile coordinate.
+func (a *Arch) Junction(c layout.Coord) mesh.Node {
+	return mesh.Node{Row: c.Row, Col: c.Col}
+}
+
+// QubitJunction returns the mesh attachment point of a logical qubit.
+func (a *Arch) QubitJunction(q int) mesh.Node {
+	return a.Junction(a.QubitTile[q])
+}
+
+// FactoryJunction returns the mesh attachment point of factory port f.
+func (a *Arch) FactoryJunction(f int) mesh.Node {
+	return a.Junction(a.FactoryTiles[f])
+}
+
+// NewMesh returns an empty channel mesh spanning all tile corners.
+func (a *Arch) NewMesh() *mesh.Mesh {
+	return mesh.New(a.TileRows+1, a.TileCols+1)
+}
+
+// TotalTiles returns the tile count of the floorplan (data + factory).
+func (a *Arch) TotalTiles() int {
+	return a.DataTiles + len(a.FactoryTiles)
+}
+
+// PhysicalQubits returns the physical-qubit footprint of the floorplan
+// at distance d: every tile (data and factory) plus the braid-channel
+// corridors between tiles.
+func (a *Arch) PhysicalQubits(d int) int {
+	tile := surface.DoubleDefectTileQubits(d)
+	tiles := a.TotalTiles() * tile
+	channels := (a.TileRows + 1) * a.TileCols * surface.ChannelWidthQubits(d) * (2*d - 1)
+	channels += (a.TileCols + 1) * a.TileRows * surface.ChannelWidthQubits(d) * (2*d - 1)
+	return tiles + channels
+}

@@ -1,0 +1,175 @@
+package braid
+
+import (
+	"testing"
+
+	"surfcomm/internal/layout"
+	"surfcomm/internal/mesh"
+	"surfcomm/internal/surface"
+)
+
+func TestNewArchBasics(t *testing.T) {
+	p := layout.RowMajor(16) // 4x4 grid
+	a, err := NewArch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DataTiles != 16 {
+		t.Errorf("data tiles = %d, want 16", a.DataTiles)
+	}
+	// 4 data columns -> 1 factory column with one port per row.
+	if len(a.FactoryTiles) != 4 {
+		t.Errorf("factory ports = %d, want 4", len(a.FactoryTiles))
+	}
+	if a.TileCols != 5 {
+		t.Errorf("tile cols = %d, want 5 (4 data + 1 factory)", a.TileCols)
+	}
+	if a.TotalTiles() != 20 {
+		t.Errorf("total tiles = %d, want 20", a.TotalTiles())
+	}
+	// Ports sit in the dedicated factory column, inside the floorplan.
+	for _, f := range a.FactoryTiles {
+		if f.Col != 4 {
+			t.Errorf("port at %v, want factory column 4", f)
+		}
+		if f.Row < 0 || f.Row >= a.TileRows {
+			t.Errorf("port at %v outside floorplan", f)
+		}
+	}
+}
+
+func TestNewArchProvisioningNearQuarter(t *testing.T) {
+	// Larger fabric: ports should land near the 1:4 ancilla:data rule.
+	p := layout.RowMajor(100) // 10x10
+	a, err := NewArch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(a.FactoryTiles)) / float64(a.DataTiles)
+	if ratio < 0.15 || ratio > 0.40 {
+		t.Errorf("port:data ratio = %.2f, want near 1:4", ratio)
+	}
+}
+
+func TestNewArchNoTileCollisions(t *testing.T) {
+	for _, n := range []int{1, 5, 9, 13, 25, 49, 60, 100, 592} {
+		a, err := NewArch(layout.RowMajor(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		seen := map[layout.Coord]string{}
+		for q, c := range a.QubitTile {
+			if c.Row < 0 || c.Row >= a.TileRows || c.Col < 0 || c.Col >= a.TileCols {
+				t.Fatalf("n=%d: qubit %d at %v outside %dx%d", n, q, c, a.TileRows, a.TileCols)
+			}
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("n=%d: tile %v used by %s and qubit %d", n, c, prev, q)
+			}
+			seen[c] = "data"
+		}
+		for f, c := range a.FactoryTiles {
+			if c.Row < 0 || c.Row >= a.TileRows || c.Col < 0 || c.Col >= a.TileCols {
+				t.Fatalf("n=%d: port %d at %v outside floorplan", n, f, c)
+			}
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("n=%d: tile %v used by %s and port %d", n, c, prev, f)
+			}
+			seen[c] = "factory"
+		}
+		if len(a.FactoryTiles) == 0 {
+			t.Fatalf("n=%d: no factory ports", n)
+		}
+	}
+}
+
+func TestNewArchRejectsBadPlacement(t *testing.T) {
+	bad := &layout.Placement{Rows: 1, Cols: 1, Pos: []layout.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 0}}}
+	if _, err := NewArch(bad); err == nil {
+		t.Error("colliding placement should be rejected")
+	}
+	empty := &layout.Placement{Rows: 0, Cols: 0}
+	if _, err := NewArch(empty); err == nil {
+		t.Error("empty placement should be rejected")
+	}
+}
+
+func TestJunctionMapping(t *testing.T) {
+	p := layout.RowMajor(4) // 2x2 data grid
+	a, err := NewArch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.NewMesh()
+	if m.Rows() != a.TileRows+1 || m.Cols() != a.TileCols+1 {
+		t.Errorf("mesh %dx%d, want %dx%d", m.Rows(), m.Cols(), a.TileRows+1, a.TileCols+1)
+	}
+	for q := 0; q < a.DataTiles; q++ {
+		if !m.InBounds(a.QubitJunction(q)) {
+			t.Errorf("qubit %d junction out of mesh bounds", q)
+		}
+	}
+	for f := range a.FactoryTiles {
+		if !m.InBounds(a.FactoryJunction(f)) {
+			t.Errorf("factory %d junction out of mesh bounds", f)
+		}
+	}
+	// Distinct data qubits attach at distinct junctions.
+	seen := map[mesh.Node]bool{}
+	for q := 0; q < a.DataTiles; q++ {
+		j := a.QubitJunction(q)
+		if seen[j] {
+			t.Errorf("junction %v shared by multiple qubits", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestEveryTileNearAFactory(t *testing.T) {
+	a, err := NewArch(layout.RowMajor(64)) // 8x8 data
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < a.DataTiles; q++ {
+		best := 1 << 30
+		for f := range a.FactoryTiles {
+			d := manhattanCoord(a.QubitTile[q], a.FactoryTiles[f])
+			if d < best {
+				best = d
+			}
+		}
+		if best > factoryColumnPitch+a.TileRows {
+			t.Errorf("qubit %d is %d tiles from nearest factory", q, best)
+		}
+	}
+}
+
+func manhattanCoord(a, b layout.Coord) int {
+	dr := a.Row - b.Row
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := a.Col - b.Col
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+func TestPhysicalQubitsScaleWithDistance(t *testing.T) {
+	a, err := NewArch(layout.RowMajor(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for d := 3; d <= 15; d += 2 {
+		q := a.PhysicalQubits(d)
+		if q <= prev {
+			t.Errorf("physical qubits not increasing at d=%d: %d <= %d", d, q, prev)
+		}
+		prev = q
+	}
+	d := 5
+	if a.PhysicalQubits(d) < a.TotalTiles()*surface.DoubleDefectTileQubits(d) {
+		t.Error("footprint below bare tile area")
+	}
+}

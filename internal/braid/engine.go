@@ -1,0 +1,767 @@
+package braid
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/layout"
+	"surfcomm/internal/mesh"
+	"surfcomm/internal/partition"
+	"surfcomm/internal/resource"
+)
+
+// Config tunes a braid simulation. Zero values select defaults.
+type Config struct {
+	// Distance is the code distance d: braids stabilize for d cycles,
+	// local logical gates take d syndrome cycles. Zero selects 9.
+	Distance int
+	// Seed drives the layout optimizer.
+	Seed int64
+	// AdaptTimeout is how long (cycles) an event must be blocked before
+	// the router escalates from dimension-ordered to adaptive routes.
+	// Zero selects one braid lifetime, 2(d+1).
+	AdaptTimeout int64
+	// DropTimeout is how long an event may be blocked before it is
+	// dropped and re-injected (demoted behind fresh events). Zero
+	// selects 8(d+1).
+	DropTimeout int64
+	// LocalTOps is the ablation knob: when true, T gates execute
+	// locally (magic states assumed pre-delivered) instead of braiding
+	// a state in from a factory port. The paper's model — and the
+	// default — is that every T operation's ancilla is produced in a
+	// factory and consumed at the data (§4.3), which is a major source
+	// of braid traffic.
+	LocalTOps bool
+	// FactoryRefill is the recovery time of a factory port after
+	// supplying a state (cycles): the port's share of distillation
+	// pipeline throughput. Zero selects d (factories continuously
+	// prepare states, paper §4.3).
+	FactoryRefill int64
+	// MaxAttemptsPerRound bounds failed placement attempts per
+	// scheduling round (greedy placement stops after this many misses;
+	// a full scan is forced whenever the network is idle). Zero
+	// selects 48.
+	MaxAttemptsPerRound int
+	// Placement overrides the policy-selected qubit arrangement.
+	Placement *layout.Placement
+	// RecordSchedule captures the discovered static schedule in
+	// Result.Schedule so it can be independently validated (Replay) or
+	// exported for execution — the paper's "replay the dynamic schedule
+	// as a static one".
+	RecordSchedule bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Distance == 0 {
+		c.Distance = 9
+	}
+	if c.AdaptTimeout == 0 {
+		c.AdaptTimeout = int64(2 * (c.Distance + 1))
+	}
+	if c.DropTimeout == 0 {
+		c.DropTimeout = int64(8 * (c.Distance + 1))
+	}
+	if c.FactoryRefill == 0 {
+		c.FactoryRefill = int64(c.Distance)
+	}
+	if c.MaxAttemptsPerRound == 0 {
+		c.MaxAttemptsPerRound = 48
+	}
+	return c
+}
+
+// Result reports one braid simulation (one bar plus one utilization
+// point of Figure 6).
+type Result struct {
+	Policy             Policy
+	Distance           int
+	ScheduleCycles     int64
+	CriticalPathCycles int64
+	// Ratio is ScheduleCycles / CriticalPathCycles — the blue bars of
+	// Figure 6 (1.0 is a perfect contention-free schedule).
+	Ratio float64
+	// AvgUtilization is the time-averaged fraction of busy mesh links —
+	// the red curve of Figure 6.
+	AvgUtilization float64
+	Ops            int
+	BraidsPlaced   int64
+	AdaptiveRoutes int64
+	Reinjections   int64
+	Tiles          int
+	PhysicalQubits int
+	// Schedule is the recorded static schedule (nil unless
+	// Config.RecordSchedule is set).
+	Schedule []ScheduleEntry
+	// Arch is the floorplan the schedule was discovered on (set only
+	// when the schedule is recorded; needed to replay it).
+	Arch *Arch
+}
+
+type opKind uint8
+
+const (
+	opBarrier opKind = iota
+	opLocal
+	opBraid
+	opMagic
+)
+
+type op struct {
+	kind    opKind
+	qubits  []int
+	latency int64 // local latency; braids use phase latency
+	remDeps int
+	phase   int // 0 pending-open, 1 opening, 2 pending-close, 3 closing, 4 done
+	path    mesh.Path
+	factory int
+}
+
+// event is a pending placement attempt: the opening or closing phase of
+// a braid, or a local gate waiting for its tile.
+type event struct {
+	opIndex    int
+	phase      int // 0 = opening / local, 1 = closing
+	closing    bool
+	height     int
+	length     int
+	readySince int64
+	generation int
+}
+
+type compKind uint8
+
+const (
+	compLocal compKind = iota
+	compOpenDone
+	compCloseDone
+	compWake // factory refill timer: wakes the scheduler, no payload
+)
+
+type completion struct {
+	time int64
+	op   int
+	kind compKind
+	seq  int64 // insertion order: deterministic pop order at equal times
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type engine struct {
+	cfg    Config
+	policy Policy
+	arch   *Arch
+	net    *mesh.Mesh
+	dag    *resource.DAG
+	ops    []op
+
+	ready     []*event // sorted by policy priority
+	maxHeight int      // max height among ready (Policy 6 length rule)
+	atMax     int      // ready events at maxHeight
+
+	heap      completionHeap
+	seq       int64
+	now       int64
+	doneCount int
+
+	tileBusy      []bool
+	factoryBusy   []bool
+	factoryFreeAt []int64
+
+	busyIntegral   int64
+	lastT          int64
+	braidsPlaced   int64
+	adaptiveRoutes int64
+	reinjections   int64
+
+	record   bool
+	schedule []ScheduleEntry
+}
+
+// recordEntry appends to the static schedule when recording is on.
+func (e *engine) recordEntry(entry ScheduleEntry) {
+	if e.record {
+		e.schedule = append(e.schedule, entry)
+	}
+}
+
+// InteractionGraph converts a circuit's two-qubit interaction profile
+// into a partition graph for the layout optimizer.
+func InteractionGraph(c *circuit.Circuit) *partition.Graph {
+	g := partition.NewGraph(c.NumQubits)
+	for _, gt := range c.Gates {
+		if gt.Op.IsTwoQubit() {
+			// Gate operands are validated distinct; error impossible.
+			_ = g.AddEdge(gt.Qubits[0], gt.Qubits[1], 1)
+		}
+	}
+	return g
+}
+
+// Simulate discovers a static braid schedule for the circuit under the
+// given policy and configuration, returning Figure 6 metrics.
+func Simulate(c *circuit.Circuit, p Policy, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if p < Policy0 || p > Policy6 {
+		return Result{}, fmt.Errorf("braid: unknown policy %d", int(p))
+	}
+	dag, err := resource.Build(c)
+	if err != nil {
+		return Result{}, err
+	}
+	place := cfg.Placement
+	if place == nil {
+		if p.OptimizedLayout() {
+			place, err = layout.Optimized(InteractionGraph(c), cfg.Seed)
+			if err != nil {
+				return Result{}, err
+			}
+		} else {
+			place = layout.RowMajor(c.NumQubits)
+		}
+	}
+	arch, err := NewArch(place)
+	if err != nil {
+		return Result{}, err
+	}
+	e := &engine{
+		cfg:    cfg,
+		policy: p,
+		arch:   arch,
+		net:    arch.NewMesh(),
+		dag:    dag,
+		record: cfg.RecordSchedule,
+	}
+	if err := e.buildOps(c); err != nil {
+		return Result{}, err
+	}
+	if err := e.run(); err != nil {
+		return Result{}, err
+	}
+	_, critical := dag.ASAPWeighted(e.latencyWeight)
+	res := Result{
+		Policy:             p,
+		Distance:           cfg.Distance,
+		ScheduleCycles:     e.now,
+		CriticalPathCycles: critical,
+		Ops:                c.Ops(),
+		BraidsPlaced:       e.braidsPlaced,
+		AdaptiveRoutes:     e.adaptiveRoutes,
+		Reinjections:       e.reinjections,
+		Tiles:              arch.TotalTiles(),
+		PhysicalQubits:     arch.PhysicalQubits(cfg.Distance),
+	}
+	if critical > 0 {
+		res.Ratio = float64(e.now) / float64(critical)
+	}
+	if e.now > 0 && e.net.TotalLinks() > 0 {
+		res.AvgUtilization = float64(e.busyIntegral) / float64(e.now*int64(e.net.TotalLinks()))
+	}
+	if cfg.RecordSchedule {
+		res.Schedule = e.schedule
+		res.Arch = arch
+	}
+	return res, nil
+}
+
+func (e *engine) buildOps(c *circuit.Circuit) error {
+	d := int64(e.cfg.Distance)
+	e.ops = make([]op, len(c.Gates))
+	for i, g := range c.Gates {
+		o := &e.ops[i]
+		o.qubits = g.Qubits
+		o.remDeps = len(e.dag.Preds[i])
+		o.factory = -1
+		switch {
+		case g.Op == circuit.Barrier:
+			o.kind = opBarrier
+		case g.Op.IsTwoQubit():
+			o.kind = opBraid
+		case g.Op.IsT() && !e.cfg.LocalTOps:
+			o.kind = opMagic
+		default:
+			// Local logical operations are cheap on the surface code:
+			// Paulis are frame updates, H/S/measure/prep are transversal
+			// or single-round operations, and T (with a delivered magic
+			// state) is one interaction. The d-cycle stabilization burden
+			// rides on braids, not on tile-local gates — this asymmetry
+			// ("an entire braid in 1 cycle, but stable for d") is what
+			// creates the contention scaling of §6.
+			o.kind = opLocal
+			o.latency = 1
+		}
+		_ = d
+	}
+	e.tileBusy = make([]bool, e.arch.TileRows*e.arch.TileCols)
+	e.factoryBusy = make([]bool, len(e.arch.FactoryTiles))
+	e.factoryFreeAt = make([]int64, len(e.arch.FactoryTiles))
+	if !e.cfg.LocalTOps && len(e.arch.FactoryTiles) == 0 {
+		return fmt.Errorf("braid: magic traffic enabled but no factories provisioned")
+	}
+	return nil
+}
+
+// latencyWeight is the contention-free latency of gate i — the cost
+// model shared by the engine and the critical-path baseline.
+func (e *engine) latencyWeight(i int) int64 {
+	o := &e.ops[i]
+	switch o.kind {
+	case opBarrier:
+		return 0
+	case opLocal:
+		return o.latency
+	default: // braid or magic: open phase + close phase
+		return 2 * e.phaseLatency()
+	}
+}
+
+// phaseLatency is one braid phase: the 1-cycle claim (the braid extends
+// its full length in a single cycle regardless of distance) plus d
+// stabilization cycles (paper Fig. 5).
+func (e *engine) phaseLatency() int64 { return int64(e.cfg.Distance) + 1 }
+
+func (e *engine) tileIndex(c layout.Coord) int { return c.Row*e.arch.TileCols + c.Col }
+
+func (e *engine) run() error {
+	heights := e.dag.Heights()
+	// Seed the ready set with dependency-free ops.
+	var worklist []int
+	for i := range e.ops {
+		if e.ops[i].remDeps == 0 {
+			worklist = append(worklist, i)
+		}
+	}
+	e.admit(worklist, heights)
+
+	for e.doneCount < len(e.ops) {
+		placed := e.trySchedule(false, heights)
+		if len(e.heap) == 0 {
+			if placed > 0 {
+				continue
+			}
+			if e.trySchedule(true, heights) == 0 {
+				detail := "empty ready set"
+				if len(e.ready) > 0 {
+					h := e.ready[0]
+					o := &e.ops[h.opIndex]
+					detail = fmt.Sprintf("head op %d kind=%d phase=%d opPhase=%d qubits=%v factory=%d tileBusy=%v factBusy=%v factFree=%v",
+						h.opIndex, o.kind, h.phase, o.phase, o.qubits, o.factory,
+						e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[0]])], e.factoryBusy, e.factoryFreeAt)
+				}
+				return fmt.Errorf("braid: no progress at t=%d with %d ops pending, %d ready, idle network (%s)",
+					e.now, len(e.ops)-e.doneCount, len(e.ready), detail)
+			}
+			continue
+		}
+		e.advance(heights)
+	}
+	e.flushUtil(e.now)
+	return nil
+}
+
+// admit inserts newly dependency-free ops: barriers complete instantly
+// (cascading), real ops become ready events.
+func (e *engine) admit(worklist []int, heights []int) {
+	for len(worklist) > 0 {
+		i := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		if e.ops[i].kind == opBarrier {
+			e.doneCount++
+			for _, s := range e.dag.Succs[i] {
+				e.ops[s].remDeps--
+				if e.ops[s].remDeps == 0 {
+					worklist = append(worklist, int(s))
+				}
+			}
+			continue
+		}
+		e.insertEvent(&event{
+			opIndex:    i,
+			height:     heights[i],
+			length:     e.opLength(i),
+			readySince: e.now,
+		})
+	}
+}
+
+// opLength estimates the braid length of an op (junction Manhattan
+// distance); local ops are length 0.
+func (e *engine) opLength(i int) int {
+	o := &e.ops[i]
+	switch o.kind {
+	case opBraid:
+		return mesh.Manhattan(e.arch.QubitJunction(o.qubits[0]), e.arch.QubitJunction(o.qubits[1]))
+	case opMagic:
+		dst := e.arch.QubitJunction(o.qubits[0])
+		best := 0
+		for f := range e.arch.FactoryTiles {
+			d := mesh.Manhattan(e.arch.FactoryJunction(f), dst)
+			if f == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	return 0
+}
+
+// insertEvent places ev into the sorted ready slice (binary search on
+// the policy order), maintaining the Policy-6 max-height bookkeeping.
+func (e *engine) insertEvent(ev *event) {
+	if ev.height > e.maxHeight {
+		e.maxHeight = ev.height
+		e.atMax = 0
+		e.resort()
+	}
+	if ev.height == e.maxHeight {
+		e.atMax++
+	}
+	idx := sort.Search(len(e.ready), func(i int) bool {
+		return e.less(ev, e.ready[i])
+	})
+	e.ready = append(e.ready, nil)
+	copy(e.ready[idx+1:], e.ready[idx:])
+	e.ready[idx] = ev
+}
+
+// less is the scheduling order: program order for Policy 0, the
+// priority heuristics otherwise.
+func (e *engine) less(a, b *event) bool {
+	if !e.policy.Interleave() {
+		if a.opIndex != b.opIndex {
+			return a.opIndex < b.opIndex
+		}
+		return a.phase < b.phase
+	}
+	return e.policy.eventPriority(a, b, e.maxHeight)
+}
+
+func (e *engine) resort() {
+	sort.SliceStable(e.ready, func(i, j int) bool { return e.less(e.ready[i], e.ready[j]) })
+}
+
+func (e *engine) trySchedule(full bool, heights []int) int {
+	if len(e.ready) == 0 {
+		return 0
+	}
+	if !e.policy.Interleave() {
+		return e.tryScheduleInOrder()
+	}
+	placed, failures := 0, 0
+	resorted := false
+	out := e.ready[:0]
+	stop := -1
+	for idx, ev := range e.ready {
+		if stop >= 0 {
+			out = append(out, ev)
+			continue
+		}
+		if e.place(ev) {
+			placed++
+			e.atMaxRetireDeferred(ev, &resorted)
+			continue
+		}
+		if age := e.now - ev.readySince; e.cfg.DropTimeout > 0 && age > e.cfg.DropTimeout {
+			ev.generation++
+			ev.readySince = e.now
+			e.reinjections++
+			resorted = true
+		}
+		failures++
+		out = append(out, ev)
+		if !full && failures >= e.cfg.MaxAttemptsPerRound {
+			stop = idx
+		}
+	}
+	e.ready = out
+	if resorted {
+		e.refreshMax()
+		e.resort()
+	}
+	return placed
+}
+
+// tryScheduleInOrder is the Policy-0 scheduler: opening events issue
+// strictly in program order with head-of-line blocking. Closing events
+// are exempt — a braid that has opened must always be allowed to
+// shrink, otherwise a blocked newer opening ahead of an older braid's
+// close deadlocks the network (priority inversion on held tiles and
+// factory ports).
+func (e *engine) tryScheduleInOrder() int {
+	placed := 0
+	blockedOpen := false
+	out := e.ready[:0]
+	for _, ev := range e.ready {
+		if !ev.closing && blockedOpen {
+			out = append(out, ev)
+			continue
+		}
+		if e.place(ev) {
+			placed++
+			continue
+		}
+		out = append(out, ev)
+		if !ev.closing {
+			blockedOpen = true
+		}
+	}
+	e.ready = out
+	return placed
+}
+
+// atMaxRetireDeferred handles max-height bookkeeping for a placed event
+// without immediately resorting mid-iteration; the resort (if needed)
+// happens once after the placement loop.
+func (e *engine) atMaxRetireDeferred(ev *event, resorted *bool) {
+	if ev.height == e.maxHeight {
+		e.atMax--
+		if e.atMax <= 0 {
+			*resorted = true
+		}
+	}
+}
+
+func (e *engine) refreshMax() {
+	e.maxHeight = 0
+	e.atMax = 0
+	for _, r := range e.ready {
+		if r.height > e.maxHeight {
+			e.maxHeight = r.height
+			e.atMax = 1
+		} else if r.height == e.maxHeight {
+			e.atMax++
+		}
+	}
+}
+
+func (e *engine) place(ev *event) bool {
+	o := &e.ops[ev.opIndex]
+	switch o.kind {
+	case opLocal:
+		t := e.tileIndex(e.arch.QubitTile[o.qubits[0]])
+		if e.tileBusy[t] {
+			return false
+		}
+		e.tileBusy[t] = true
+		e.push(completion{time: e.now + o.latency, op: ev.opIndex, kind: compLocal})
+		e.recordEntry(ScheduleEntry{
+			Op: ev.opIndex, Kind: EntryLocal, Start: e.now, End: e.now + o.latency, Factory: -1,
+		})
+		return true
+	case opBraid:
+		if ev.phase == 0 {
+			return e.placeBraidOpen(ev, o)
+		}
+		return e.placeClose(ev, o, e.arch.QubitJunction(o.qubits[0]), e.arch.QubitJunction(o.qubits[1]))
+	case opMagic:
+		if ev.phase == 0 {
+			return e.placeMagicOpen(ev, o)
+		}
+		return e.placeClose(ev, o, e.arch.FactoryJunction(o.factory), e.arch.QubitJunction(o.qubits[0]))
+	}
+	return false
+}
+
+func (e *engine) placeBraidOpen(ev *event, o *op) bool {
+	ta := e.tileIndex(e.arch.QubitTile[o.qubits[0]])
+	tb := e.tileIndex(e.arch.QubitTile[o.qubits[1]])
+	if e.tileBusy[ta] || e.tileBusy[tb] {
+		return false
+	}
+	path, ok := e.route(ev, e.arch.QubitJunction(o.qubits[0]), e.arch.QubitJunction(o.qubits[1]))
+	if !ok {
+		return false
+	}
+	e.reserve(path, ev.opIndex)
+	e.tileBusy[ta] = true
+	e.tileBusy[tb] = true
+	o.path = path
+	o.phase = 1
+	e.push(completion{time: e.now + e.phaseLatency(), op: ev.opIndex, kind: compOpenDone})
+	e.recordEntry(ScheduleEntry{
+		Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + e.phaseLatency(),
+		Path: append(mesh.Path(nil), path...), Factory: -1,
+	})
+	return true
+}
+
+func (e *engine) placeMagicOpen(ev *event, o *op) bool {
+	td := e.tileIndex(e.arch.QubitTile[o.qubits[0]])
+	if e.tileBusy[td] {
+		return false
+	}
+	dst := e.arch.QubitJunction(o.qubits[0])
+	// Nearest available factory first; deterministic tie-break on index.
+	type cand struct{ f, dist int }
+	var cands []cand
+	for f := range e.arch.FactoryTiles {
+		if e.factoryBusy[f] || e.factoryFreeAt[f] > e.now {
+			continue
+		}
+		cands = append(cands, cand{f, mesh.Manhattan(e.arch.FactoryJunction(f), dst)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].f < cands[j].f
+	})
+	for _, c := range cands {
+		path, ok := e.route(ev, e.arch.FactoryJunction(c.f), dst)
+		if !ok {
+			continue
+		}
+		e.reserve(path, ev.opIndex)
+		e.tileBusy[td] = true
+		e.factoryBusy[c.f] = true
+		o.factory = c.f
+		o.path = path
+		o.phase = 1
+		e.push(completion{time: e.now + e.phaseLatency(), op: ev.opIndex, kind: compOpenDone})
+		e.recordEntry(ScheduleEntry{
+			Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + e.phaseLatency(),
+			Path: append(mesh.Path(nil), path...), Factory: c.f,
+		})
+		return true
+	}
+	return false
+}
+
+func (e *engine) placeClose(ev *event, o *op, src, dst mesh.Node) bool {
+	path, ok := e.route(ev, src, dst)
+	if !ok {
+		return false
+	}
+	e.reserve(path, ev.opIndex)
+	o.path = path
+	o.phase = 3
+	e.push(completion{time: e.now + e.phaseLatency(), op: ev.opIndex, kind: compCloseDone})
+	e.recordEntry(ScheduleEntry{
+		Op: ev.opIndex, Kind: EntryClose, Start: e.now, End: e.now + e.phaseLatency(),
+		Path: append(mesh.Path(nil), path...), Factory: o.factory,
+	})
+	return true
+}
+
+// route escalates from dimension-ordered to adaptive search once the
+// event has been blocked past the adaptivity timeout (paper §6.1).
+func (e *engine) route(ev *event, src, dst mesh.Node) (mesh.Path, bool) {
+	p := mesh.XYPath(src, dst)
+	if e.net.PathFree(p) {
+		return p, true
+	}
+	if e.now-ev.readySince >= e.cfg.AdaptTimeout {
+		p = mesh.YXPath(src, dst)
+		if e.net.PathFree(p) {
+			return p, true
+		}
+		if ap, ok := e.net.AdaptiveRoute(src, dst); ok {
+			e.adaptiveRoutes++
+			return ap, true
+		}
+	}
+	return nil, false
+}
+
+func (e *engine) reserve(p mesh.Path, owner int) {
+	if err := e.net.Reserve(p, owner); err != nil {
+		panic(fmt.Sprintf("braid: reservation invariant broken: %v", err))
+	}
+	e.braidsPlaced++
+}
+
+func (e *engine) release(p mesh.Path, owner int) {
+	if err := e.net.Release(p, owner); err != nil {
+		panic(fmt.Sprintf("braid: release invariant broken: %v", err))
+	}
+}
+
+func (e *engine) push(c completion) {
+	c.seq = e.seq
+	e.seq++
+	heap.Push(&e.heap, c)
+}
+
+// advance pops every completion at the next timestamp and processes it.
+func (e *engine) advance(heights []int) {
+	t := e.heap[0].time
+	e.flushUtil(t)
+	e.now = t
+	var worklist []int
+	for len(e.heap) > 0 && e.heap[0].time == t {
+		c := heap.Pop(&e.heap).(completion)
+		switch c.kind {
+		case compWake:
+			// Scheduler wake-up only.
+		case compLocal:
+			o := &e.ops[c.op]
+			e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[0]])] = false
+			worklist = e.completeOp(c.op, worklist)
+		case compOpenDone:
+			o := &e.ops[c.op]
+			e.release(o.path, c.op)
+			o.path = nil
+			o.phase = 2
+			e.insertEvent(&event{
+				opIndex:    c.op,
+				phase:      1,
+				closing:    true,
+				height:     heights[c.op],
+				length:     e.opLength(c.op),
+				readySince: e.now,
+			})
+		case compCloseDone:
+			o := &e.ops[c.op]
+			e.release(o.path, c.op)
+			o.path = nil
+			o.phase = 4
+			e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[0]])] = false
+			if o.kind == opBraid {
+				e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[1]])] = false
+			} else {
+				e.factoryBusy[o.factory] = false
+				e.factoryFreeAt[o.factory] = e.now + e.cfg.FactoryRefill
+				e.push(completion{time: e.factoryFreeAt[o.factory], kind: compWake})
+			}
+			worklist = e.completeOp(c.op, worklist)
+		}
+	}
+	e.admit(worklist, heights)
+}
+
+// completeOp marks an op done and returns newly dependency-free
+// successors appended to the worklist.
+func (e *engine) completeOp(i int, worklist []int) []int {
+	e.doneCount++
+	for _, s := range e.dag.Succs[i] {
+		e.ops[s].remDeps--
+		if e.ops[s].remDeps == 0 {
+			worklist = append(worklist, int(s))
+		}
+	}
+	return worklist
+}
+
+// flushUtil integrates busy-link time up to t.
+func (e *engine) flushUtil(t int64) {
+	e.busyIntegral += int64(e.net.BusyLinks()) * (t - e.lastT)
+	e.lastT = t
+}

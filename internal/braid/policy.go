@@ -1,0 +1,95 @@
+package braid
+
+import "fmt"
+
+// Policy selects the braid prioritization heuristic (paper §6.3).
+type Policy int
+
+const (
+	// Policy0 issues operations and events strictly in program order
+	// (head-of-line blocking; no interleaving).
+	Policy0 Policy = iota
+	// Policy1 adds event interleaving: any ready event may be placed,
+	// braids progress concurrently at different rates.
+	Policy1
+	// Policy2 adds the interaction-aware qubit layout of §6.2.
+	Policy2
+	// Policy3 adds criticality-first ordering (most dependent work first).
+	Policy3
+	// Policy4 adds length ordering (longest braids first).
+	Policy4
+	// Policy5 adds type ordering (closing braids before opening braids).
+	Policy5
+	// Policy6 combines all metrics: closing first, then criticality;
+	// shortest-first within the top criticality class, longest-first
+	// below it.
+	Policy6
+)
+
+// AllPolicies lists the policies in evaluation order (the Figure 6
+// x-axis).
+var AllPolicies = []Policy{Policy0, Policy1, Policy2, Policy3, Policy4, Policy5, Policy6}
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	if p < Policy0 || p > Policy6 {
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+	return fmt.Sprintf("Policy %d", int(p))
+}
+
+// Interleave reports whether the policy allows out-of-order event
+// placement (everything above Policy 0).
+func (p Policy) Interleave() bool { return p >= Policy1 }
+
+// OptimizedLayout reports whether the policy uses the interaction-aware
+// qubit arrangement (Policy 2 and above).
+func (p Policy) OptimizedLayout() bool { return p >= Policy2 }
+
+// byCriticality reports whether ready events sort by criticality.
+func (p Policy) byCriticality() bool { return p == Policy3 || p == Policy6 }
+
+// byLength reports whether ready events sort by braid length.
+func (p Policy) byLength() bool { return p == Policy4 || p == Policy6 }
+
+// byType reports whether closing braids outrank opening braids.
+func (p Policy) byType() bool { return p == Policy5 || p == Policy6 }
+
+// eventPriority orders two ready events under the policy; it reports
+// whether a should be attempted before b. maxHeight is the largest
+// criticality among currently ready events (Policy 6 treats the top
+// criticality class specially).
+func (p Policy) eventPriority(a, b *event, maxHeight int) bool {
+	if p.byType() && a.closing != b.closing {
+		return a.closing
+	}
+	if p.byCriticality() && a.height != b.height {
+		return a.height > b.height
+	}
+	if p.byLength() {
+		if p == Policy6 {
+			// Most critical braids: run the short ones first to retire
+			// as many as possible; below the top class, start the
+			// toughest (longest) braids early.
+			aTop := a.height == maxHeight
+			bTop := b.height == maxHeight
+			if aTop && bTop {
+				if a.length != b.length {
+					return a.length < b.length
+				}
+			} else if a.length != b.length {
+				return a.length > b.length
+			}
+		} else if a.length != b.length {
+			return a.length > b.length
+		}
+	}
+	if a.generation != b.generation {
+		// Dropped-and-reinjected events yield to fresh ones.
+		return a.generation < b.generation
+	}
+	if a.opIndex != b.opIndex {
+		return a.opIndex < b.opIndex
+	}
+	return a.phase < b.phase
+}

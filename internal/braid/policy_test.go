@@ -1,0 +1,110 @@
+package braid
+
+import "testing"
+
+func TestPolicyFlags(t *testing.T) {
+	if Policy0.Interleave() {
+		t.Error("Policy 0 must not interleave")
+	}
+	for _, p := range AllPolicies[1:] {
+		if !p.Interleave() {
+			t.Errorf("%v should interleave", p)
+		}
+	}
+	if Policy1.OptimizedLayout() {
+		t.Error("Policy 1 uses the naive layout")
+	}
+	for _, p := range AllPolicies[2:] {
+		if !p.OptimizedLayout() {
+			t.Errorf("%v should use the optimized layout", p)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Policy3.String() != "Policy 3" {
+		t.Errorf("String = %q", Policy3.String())
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Errorf("String = %q", Policy(9).String())
+	}
+}
+
+func TestPolicy5TypeOrdering(t *testing.T) {
+	closing := &event{opIndex: 5, closing: true, phase: 1}
+	opening := &event{opIndex: 1, closing: false}
+	if !Policy5.eventPriority(closing, opening, 0) {
+		t.Error("Policy 5: closing braids outrank opening braids")
+	}
+	if Policy5.eventPriority(opening, closing, 0) {
+		t.Error("Policy 5: ordering must be antisymmetric here")
+	}
+	// Without type ordering, program order wins.
+	if Policy1.eventPriority(closing, opening, 0) {
+		t.Error("Policy 1: lower op index should go first")
+	}
+}
+
+func TestPolicy3CriticalityOrdering(t *testing.T) {
+	hi := &event{opIndex: 9, height: 40}
+	lo := &event{opIndex: 1, height: 3}
+	if !Policy3.eventPriority(hi, lo, 40) {
+		t.Error("Policy 3: higher criticality first")
+	}
+	// Policy 4 ignores criticality; falls to program order.
+	if Policy4.eventPriority(hi, lo, 40) {
+		t.Error("Policy 4: should ignore criticality and use program order")
+	}
+}
+
+func TestPolicy4LengthOrdering(t *testing.T) {
+	long := &event{opIndex: 9, length: 12}
+	short := &event{opIndex: 1, length: 2}
+	if !Policy4.eventPriority(long, short, 0) {
+		t.Error("Policy 4: longest braid first")
+	}
+}
+
+func TestPolicy6CombinedOrdering(t *testing.T) {
+	maxH := 50
+	// Closing beats everything.
+	closing := &event{opIndex: 9, closing: true, height: 1}
+	criticalOpen := &event{opIndex: 1, height: maxH}
+	if !Policy6.eventPriority(closing, criticalOpen, maxH) {
+		t.Error("Policy 6: closing first")
+	}
+	// Among top-criticality events, shortest first.
+	shortTop := &event{opIndex: 9, height: maxH, length: 2}
+	longTop := &event{opIndex: 1, height: maxH, length: 9}
+	if !Policy6.eventPriority(shortTop, longTop, maxH) {
+		t.Error("Policy 6: shortest-first within the top criticality class")
+	}
+	// Below the top class, longest first.
+	shortLow := &event{opIndex: 1, height: 10, length: 2}
+	longLow := &event{opIndex: 9, height: 10, length: 9}
+	if !Policy6.eventPriority(longLow, shortLow, maxH) {
+		t.Error("Policy 6: longest-first below the top criticality class")
+	}
+	// Criticality still separates classes.
+	if !Policy6.eventPriority(criticalOpen, shortLow, maxH) {
+		t.Error("Policy 6: higher criticality class first")
+	}
+}
+
+func TestReinjectionDemotes(t *testing.T) {
+	fresh := &event{opIndex: 9, generation: 0}
+	dropped := &event{opIndex: 1, generation: 2}
+	if !Policy1.eventPriority(fresh, dropped, 0) {
+		t.Error("re-injected events yield to fresh ones")
+	}
+}
+
+func TestEventPriorityDeterministicTieBreak(t *testing.T) {
+	a := &event{opIndex: 3, phase: 0}
+	b := &event{opIndex: 3, phase: 1}
+	for _, p := range AllPolicies[1:] {
+		if !p.eventPriority(a, b, 0) || p.eventPriority(b, a, 0) {
+			t.Errorf("%v: phase tiebreak broken", p)
+		}
+	}
+}

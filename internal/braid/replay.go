@@ -1,0 +1,203 @@
+package braid
+
+import (
+	"fmt"
+	"sort"
+
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/mesh"
+	"surfcomm/internal/resource"
+)
+
+// The paper's braiding approach discovers a static schedule by dynamic
+// simulation and replays it at execution time (§6.1: "we replay the
+// dynamic schedule as a static one... failed schedules are not recorded
+// and used"). This file implements the recorded-schedule artifact and
+// an independent validator that checks what the quantum machine would
+// need to hold: every op scheduled, dependencies respected, and no two
+// claims overlapping on any tile, junction, or channel link.
+
+// EntryKind labels a schedule entry.
+type EntryKind uint8
+
+const (
+	// EntryLocal is a tile-local logical gate.
+	EntryLocal EntryKind = iota
+	// EntryOpen is a braid opening phase (path claimed Start..End).
+	EntryOpen
+	// EntryClose is a braid closing phase.
+	EntryClose
+)
+
+// String returns the entry kind name.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryLocal:
+		return "local"
+	case EntryOpen:
+		return "open"
+	case EntryClose:
+		return "close"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ScheduleEntry is one committed placement of the static schedule.
+type ScheduleEntry struct {
+	Op      int // gate index in the circuit
+	Kind    EntryKind
+	Start   int64
+	End     int64     // exclusive
+	Path    mesh.Path // braid phases only
+	Factory int       // magic braids only, else -1
+}
+
+// Replay validates a recorded schedule against its circuit and
+// architecture. It returns an error describing the first violation:
+// a missing or duplicated op, a dependency inversion, or a double-booked
+// physical resource.
+func Replay(c *circuit.Circuit, arch *Arch, schedule []ScheduleEntry) error {
+	dag, err := resource.Build(c)
+	if err != nil {
+		return err
+	}
+
+	// Collect per-op timing.
+	type opTiming struct {
+		startSet bool
+		start    int64
+		end      int64
+		opens    int
+		closes   int
+		hasLocal bool
+	}
+	timing := make([]opTiming, len(c.Gates))
+	for i, e := range schedule {
+		if e.Op < 0 || e.Op >= len(c.Gates) {
+			return fmt.Errorf("braid: entry %d references op %d outside circuit", i, e.Op)
+		}
+		if e.End <= e.Start {
+			return fmt.Errorf("braid: entry %d (%v op %d) has empty interval [%d,%d)", i, e.Kind, e.Op, e.Start, e.End)
+		}
+		t := &timing[e.Op]
+		switch e.Kind {
+		case EntryLocal:
+			t.hasLocal = true
+			t.start, t.startSet = e.Start, true
+			t.end = e.End
+		case EntryOpen:
+			t.opens++
+			t.start, t.startSet = e.Start, true
+			if err := e.Path.Validate(); err != nil {
+				return fmt.Errorf("braid: entry %d: %w", i, err)
+			}
+		case EntryClose:
+			t.closes++
+			if e.End > t.end {
+				t.end = e.End
+			}
+			if err := e.Path.Validate(); err != nil {
+				return fmt.Errorf("braid: entry %d: %w", i, err)
+			}
+		}
+	}
+
+	// Every non-barrier op appears exactly once with the right shape.
+	for i, g := range c.Gates {
+		t := timing[i]
+		switch {
+		case g.Op == circuit.Barrier:
+			if t.startSet || t.hasLocal || t.opens > 0 {
+				return fmt.Errorf("braid: barrier %d has schedule entries", i)
+			}
+		case g.Op.IsTwoQubit() || (g.Op.IsT() && t.opens > 0):
+			if t.opens != 1 || t.closes != 1 {
+				return fmt.Errorf("braid: op %d (%v) has %d opens, %d closes; want 1 and 1",
+					i, g.Op, t.opens, t.closes)
+			}
+		default:
+			if !t.hasLocal {
+				return fmt.Errorf("braid: op %d (%v) missing from schedule", i, g.Op)
+			}
+		}
+	}
+
+	// Dependencies: an op starts no earlier than every predecessor
+	// finishes (barriers are transparent: their effective end is the
+	// max end of their own predecessors).
+	effectiveEnd := make([]int64, len(c.Gates))
+	for i, g := range c.Gates { // program order is topological
+		if g.Op == circuit.Barrier {
+			var e int64
+			for _, p := range dag.Preds[i] {
+				if effectiveEnd[p] > e {
+					e = effectiveEnd[p]
+				}
+			}
+			effectiveEnd[i] = e
+			continue
+		}
+		for _, p := range dag.Preds[i] {
+			if timing[i].start < effectiveEnd[p] {
+				return fmt.Errorf("braid: op %d starts at %d before dependency %d finishes at %d",
+					i, timing[i].start, p, effectiveEnd[p])
+			}
+		}
+		effectiveEnd[i] = timing[i].end
+	}
+
+	// Resource exclusivity: junctions and links from braid paths, data
+	// tiles for local gates and braid endpoints (held open→close), and
+	// factory ports.
+	type claim struct {
+		start, end int64
+		op         int
+	}
+	claims := map[string][]claim{}
+	add := func(key string, start, end int64, op int) {
+		claims[key] = append(claims[key], claim{start, end, op})
+	}
+	for _, e := range schedule {
+		switch e.Kind {
+		case EntryLocal:
+			q := c.Gates[e.Op].Qubits[0]
+			add(fmt.Sprintf("tile:%v", arch.QubitTile[q]), e.Start, e.End, e.Op)
+		case EntryOpen, EntryClose:
+			for _, n := range e.Path {
+				add(fmt.Sprintf("junction:%v", n), e.Start, e.End, e.Op)
+			}
+			for _, l := range e.Path.Links() {
+				add(fmt.Sprintf("link:%v", l), e.Start, e.End, e.Op)
+			}
+		}
+	}
+	// Tile holds across the whole braid op (open start to close end) —
+	// same namespace as local-gate claims, so a local op on a tile
+	// engaged in a braid is flagged.
+	for i := range c.Gates {
+		g := c.Gates[i]
+		t := timing[i]
+		if t.opens == 0 {
+			continue
+		}
+		add(fmt.Sprintf("tile:%v", arch.QubitTile[g.Qubits[0]]), t.start, t.end, i)
+		if g.Op.IsTwoQubit() {
+			add(fmt.Sprintf("tile:%v", arch.QubitTile[g.Qubits[1]]), t.start, t.end, i)
+		}
+	}
+	for key, cs := range claims {
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].start != cs[b].start {
+				return cs[a].start < cs[b].start
+			}
+			return cs[a].end < cs[b].end
+		})
+		for i := 1; i < len(cs); i++ {
+			if cs[i].start < cs[i-1].end && cs[i].op != cs[i-1].op {
+				return fmt.Errorf("braid: %s double-booked: op %d [%d,%d) overlaps op %d [%d,%d)",
+					key, cs[i-1].op, cs[i-1].start, cs[i-1].end, cs[i].op, cs[i].start, cs[i].end)
+			}
+		}
+	}
+	return nil
+}

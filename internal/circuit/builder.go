@@ -1,0 +1,132 @@
+package circuit
+
+import "fmt"
+
+// DefaultRotationTDepth is the number of T-stage fragments used to
+// macro-expand one arbitrary-angle rotation into Clifford+T. The value
+// models a coarse gate-synthesis budget (~1e-3 synthesis accuracy with
+// period-era ("repeat-until-success"-free) ladder synthesis); it is a
+// knob, not physics: resource counts scale linearly in it.
+const DefaultRotationTDepth = 8
+
+// Builder appends gates to a Circuit with automatic macro decomposition
+// of non-native gates (Toffoli, arbitrary rotations) into the Clifford+T
+// set, matching what a ScaffCC-style frontend emits after gate synthesis.
+type Builder struct {
+	Circuit *Circuit
+
+	// RotationTDepth is the number of alternating H/T fragments emitted
+	// per arbitrary rotation. Zero selects DefaultRotationTDepth.
+	RotationTDepth int
+
+	// KeepMacros suppresses Toffoli expansion, emitting the macro
+	// opcode instead. Backends require expanded circuits; the flag
+	// exists so reversible-arithmetic blocks can be verified on basis
+	// states by the logicsim package.
+	KeepMacros bool
+}
+
+// NewBuilder returns a Builder over a fresh circuit with n qubits.
+func NewBuilder(name string, n int) *Builder {
+	return &Builder{Circuit: New(name, n)}
+}
+
+func (b *Builder) rotDepth() int {
+	if b.RotationTDepth > 0 {
+		return b.RotationTDepth
+	}
+	return DefaultRotationTDepth
+}
+
+// Gate appends a native gate directly.
+func (b *Builder) Gate(op Opcode, qubits ...int) { b.Circuit.Append(op, qubits...) }
+
+// PrepZ, PrepX, MeasZ, MeasX, X, Y, Z, H, S, Sdg, T, Tdg, CNOT, CZ, Swap
+// are the native single- and two-qubit appends.
+
+func (b *Builder) PrepZ(q int)   { b.Circuit.Append(PrepZ, q) }
+func (b *Builder) PrepX(q int)   { b.Circuit.Append(PrepX, q) }
+func (b *Builder) MeasZ(q int)   { b.Circuit.Append(MeasZ, q) }
+func (b *Builder) MeasX(q int)   { b.Circuit.Append(MeasX, q) }
+func (b *Builder) X(q int)       { b.Circuit.Append(X, q) }
+func (b *Builder) Y(q int)       { b.Circuit.Append(Y, q) }
+func (b *Builder) Z(q int)       { b.Circuit.Append(Z, q) }
+func (b *Builder) H(q int)       { b.Circuit.Append(H, q) }
+func (b *Builder) S(q int)       { b.Circuit.Append(S, q) }
+func (b *Builder) Sdg(q int)     { b.Circuit.Append(Sdg, q) }
+func (b *Builder) T(q int)       { b.Circuit.Append(T, q) }
+func (b *Builder) Tdg(q int)     { b.Circuit.Append(Tdg, q) }
+func (b *Builder) CNOT(c, t int) { b.Circuit.Append(CNOT, c, t) }
+func (b *Builder) CZ(a, c int)   { b.Circuit.Append(CZ, a, c) }
+func (b *Builder) Swap(a, c int) { b.Circuit.Append(Swap, a, c) }
+
+// Barrier appends a scheduling fence over the given qubits.
+func (b *Builder) Barrier(qubits ...int) { b.Circuit.Append(Barrier, qubits...) }
+
+// Toffoli appends the standard 7-T-gate Clifford+T decomposition of the
+// doubly-controlled NOT (controls c1, c2; target t).
+func (b *Builder) Toffoli(c1, c2, t int) {
+	if c1 == c2 || c1 == t || c2 == t {
+		panic(fmt.Sprintf("circuit: toffoli operands must be distinct: %d %d %d", c1, c2, t))
+	}
+	if b.KeepMacros {
+		b.Circuit.Append(Toffoli, c1, c2, t)
+		return
+	}
+	b.H(t)
+	b.CNOT(c2, t)
+	b.Tdg(t)
+	b.CNOT(c1, t)
+	b.T(t)
+	b.CNOT(c2, t)
+	b.Tdg(t)
+	b.CNOT(c1, t)
+	b.T(c2)
+	b.T(t)
+	b.H(t)
+	b.CNOT(c1, c2)
+	b.T(c1)
+	b.Tdg(c2)
+	b.CNOT(c1, c2)
+}
+
+// Rz appends an arbitrary Z-rotation as an alternating H/T fragment
+// ladder of configured depth — the coarse stand-in for gate synthesis
+// (Solovay-Kitaev / ladder methods). The angle is accepted for
+// documentation of intent; the resource model depends only on depth.
+func (b *Builder) Rz(q int, angle float64) {
+	_ = angle
+	for i := 0; i < b.rotDepth(); i++ {
+		b.H(q)
+		if i%2 == 0 {
+			b.T(q)
+		} else {
+			b.Tdg(q)
+		}
+	}
+	b.H(q)
+}
+
+// Rx appends an arbitrary X-rotation (basis change around Rz).
+func (b *Builder) Rx(q int, angle float64) {
+	b.H(q)
+	b.Rz(q, angle)
+	b.H(q)
+}
+
+// CRz appends a controlled-Z-rotation using the standard two-CNOT
+// conjugation: Rz(t, a/2); CNOT; Rz(t, -a/2); CNOT.
+func (b *Builder) CRz(c, t int, angle float64) {
+	b.Rz(t, angle/2)
+	b.CNOT(c, t)
+	b.Rz(t, -angle/2)
+	b.CNOT(c, t)
+}
+
+// ZZ appends exp(-i θ Z⊗Z) on (a, c): CNOT; Rz; CNOT. This is the Ising
+// coupling primitive.
+func (b *Builder) ZZ(a, c int, angle float64) {
+	b.CNOT(a, c)
+	b.Rz(c, angle)
+	b.CNOT(a, c)
+}

@@ -1,0 +1,119 @@
+package circuit
+
+import "testing"
+
+func TestToffoliDecomposition(t *testing.T) {
+	b := NewBuilder("toffoli", 3)
+	b.Toffoli(0, 1, 2)
+	c := b.Circuit
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TCount(); got != 7 {
+		t.Errorf("Toffoli T-count = %d, want 7", got)
+	}
+	if got := c.CountOp(CNOT); got != 6 {
+		t.Errorf("Toffoli CNOT count = %d, want 6", got)
+	}
+	if got := c.CountOp(H); got != 2 {
+		t.Errorf("Toffoli H count = %d, want 2", got)
+	}
+}
+
+func TestToffoliRejectsDuplicateOperands(t *testing.T) {
+	b := NewBuilder("bad", 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Toffoli with duplicate operands should panic")
+		}
+	}()
+	b.Toffoli(0, 0, 1)
+}
+
+func TestRzUsesConfiguredDepth(t *testing.T) {
+	b := NewBuilder("rz", 1)
+	b.RotationTDepth = 4
+	b.Rz(0, 1.234)
+	if got := b.Circuit.TCount(); got != 4 {
+		t.Errorf("Rz T-count = %d, want 4", got)
+	}
+	// Single-qubit rotation must only touch its qubit.
+	for _, g := range b.Circuit.Gates {
+		if len(g.Qubits) != 1 || g.Qubits[0] != 0 {
+			t.Fatalf("Rz emitted gate off-qubit: %v", g)
+		}
+	}
+}
+
+func TestRzDefaultDepth(t *testing.T) {
+	b := NewBuilder("rz", 1)
+	b.Rz(0, 0.5)
+	if got := b.Circuit.TCount(); got != DefaultRotationTDepth {
+		t.Errorf("default Rz T-count = %d, want %d", got, DefaultRotationTDepth)
+	}
+}
+
+func TestCRzStructure(t *testing.T) {
+	b := NewBuilder("crz", 2)
+	b.RotationTDepth = 2
+	b.CRz(0, 1, 0.7)
+	c := b.Circuit
+	if got := c.CountOp(CNOT); got != 2 {
+		t.Errorf("CRz CNOT count = %d, want 2", got)
+	}
+	if got := c.TCount(); got != 4 {
+		t.Errorf("CRz T-count = %d, want 4 (two rotations of depth 2)", got)
+	}
+}
+
+func TestZZStructure(t *testing.T) {
+	b := NewBuilder("zz", 2)
+	b.RotationTDepth = 2
+	b.ZZ(0, 1, 0.3)
+	c := b.Circuit
+	if got := c.CountOp(CNOT); got != 2 {
+		t.Errorf("ZZ CNOT count = %d, want 2", got)
+	}
+	first, last := c.Gates[0], c.Gates[len(c.Gates)-1]
+	if first.Op != CNOT || last.Op != CNOT {
+		t.Error("ZZ should be CNOT-conjugated")
+	}
+}
+
+func TestRxBasisChange(t *testing.T) {
+	b := NewBuilder("rx", 1)
+	b.RotationTDepth = 2
+	b.Rx(0, 0.3)
+	c := b.Circuit
+	if c.Gates[0].Op != H || c.Gates[len(c.Gates)-1].Op != H {
+		t.Error("Rx should be H-conjugated Rz")
+	}
+}
+
+func TestBuilderNativeGates(t *testing.T) {
+	b := NewBuilder("native", 3)
+	b.PrepZ(0)
+	b.PrepX(1)
+	b.X(0)
+	b.Y(1)
+	b.Z(2)
+	b.H(0)
+	b.S(1)
+	b.Sdg(2)
+	b.T(0)
+	b.Tdg(1)
+	b.CNOT(0, 1)
+	b.CZ(1, 2)
+	b.Swap(0, 2)
+	b.Barrier(0, 1)
+	b.MeasZ(0)
+	b.MeasX(1)
+	b.Gate(H, 2)
+	c := b.Circuit
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Gates); got != 17 {
+		t.Errorf("gate count = %d, want 17", got)
+	}
+}

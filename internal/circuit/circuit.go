@@ -1,0 +1,120 @@
+package circuit
+
+import "fmt"
+
+// Circuit is a flat logical program: a gate list over NumQubits logical
+// qubits, in program order. It is the unit every backend consumes.
+type Circuit struct {
+	Name      string
+	NumQubits int
+	Gates     []Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(name string, n int) *Circuit {
+	return &Circuit{Name: name, NumQubits: n}
+}
+
+// Validate checks every gate against the circuit's qubit count.
+func (c *Circuit) Validate() error {
+	if c.NumQubits < 0 {
+		return fmt.Errorf("circuit %q: negative qubit count", c.Name)
+	}
+	for i, g := range c.Gates {
+		if err := g.Validate(c.NumQubits); err != nil {
+			return fmt.Errorf("circuit %q gate %d: %w", c.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Append adds a gate, panicking on malformed input. Builders construct
+// gates from trusted code paths; the panic surfaces programming errors
+// immediately (applications never construct gates from user input).
+func (c *Circuit) Append(op Opcode, qubits ...int) {
+	g := Gate{Op: op, Qubits: qubits}
+	if err := g.Validate(c.NumQubits); err != nil {
+		panic(err)
+	}
+	c.Gates = append(c.Gates, g)
+}
+
+// Ops returns the number of resource-bearing operations (barriers are
+// scheduling metadata, not operations).
+func (c *Circuit) Ops() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Op != Barrier {
+			n++
+		}
+	}
+	return n
+}
+
+// CountOp returns how many gates with the given opcode the circuit holds.
+func (c *Circuit) CountOp(op Opcode) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TCount returns the number of magic-state-consuming gates (T and T†),
+// the quantity that sizes the magic-state factories.
+func (c *Circuit) TCount() int { return c.CountOp(T) + c.CountOp(Tdg) }
+
+// TwoQubitCount returns the number of two-qubit interactions, the
+// quantity that generates communication (braids or teleports).
+func (c *Circuit) TwoQubitCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Op.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram returns per-opcode gate counts.
+func (c *Circuit) Histogram() map[Opcode]int {
+	h := make(map[Opcode]int)
+	for _, g := range c.Gates {
+		h[g.Op]++
+	}
+	return h
+}
+
+// InteractionGraph returns the weighted logical-qubit interaction graph:
+// result[a][b] = number of two-qubit gates between a and b (symmetric,
+// no self edges). The layout optimizer partitions this graph.
+func (c *Circuit) InteractionGraph() map[int]map[int]int {
+	g := make(map[int]map[int]int)
+	add := func(a, b int) {
+		m := g[a]
+		if m == nil {
+			m = make(map[int]int)
+			g[a] = m
+		}
+		m[b]++
+	}
+	for _, gt := range c.Gates {
+		if gt.Op.IsTwoQubit() {
+			a, b := gt.Qubits[0], gt.Qubits[1]
+			add(a, b)
+			add(b, a)
+		}
+	}
+	return g
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		out.Gates[i] = Gate{Op: g.Op, Qubits: append([]int(nil), g.Qubits...)}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package circuit
+
+import (
+	"testing"
+)
+
+func buildSample() *Circuit {
+	c := New("sample", 4)
+	c.Append(PrepZ, 0)
+	c.Append(H, 0)
+	c.Append(CNOT, 0, 1)
+	c.Append(T, 1)
+	c.Append(Tdg, 2)
+	c.Append(CZ, 2, 3)
+	c.Append(Barrier, 0, 1, 2, 3)
+	c.Append(MeasZ, 0)
+	return c
+}
+
+func TestCircuitCounts(t *testing.T) {
+	c := buildSample()
+	if got := c.Ops(); got != 7 {
+		t.Errorf("Ops() = %d, want 7 (barrier excluded)", got)
+	}
+	if got := c.TCount(); got != 2 {
+		t.Errorf("TCount() = %d, want 2", got)
+	}
+	if got := c.TwoQubitCount(); got != 2 {
+		t.Errorf("TwoQubitCount() = %d, want 2", got)
+	}
+	if got := c.CountOp(H); got != 1 {
+		t.Errorf("CountOp(H) = %d, want 1", got)
+	}
+	h := c.Histogram()
+	if h[CNOT] != 1 || h[Barrier] != 1 || h[MeasZ] != 1 {
+		t.Errorf("Histogram unexpected: %v", h)
+	}
+}
+
+func TestCircuitValidate(t *testing.T) {
+	c := buildSample()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+	c.Gates = append(c.Gates, Gate{Op: CNOT, Qubits: []int{0, 9}})
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range gate should fail validation")
+	}
+}
+
+func TestAppendPanicsOnInvalid(t *testing.T) {
+	c := New("p", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Append with out-of-range qubit should panic")
+		}
+	}()
+	c.Append(H, 5)
+}
+
+func TestInteractionGraph(t *testing.T) {
+	c := New("ig", 4)
+	c.Append(CNOT, 0, 1)
+	c.Append(CNOT, 0, 1)
+	c.Append(CZ, 1, 2)
+	c.Append(H, 3)
+	g := c.InteractionGraph()
+	if g[0][1] != 2 || g[1][0] != 2 {
+		t.Errorf("edge (0,1) weight = %d/%d, want 2/2", g[0][1], g[1][0])
+	}
+	if g[1][2] != 1 || g[2][1] != 1 {
+		t.Errorf("edge (1,2) weight = %d/%d, want 1/1", g[1][2], g[2][1])
+	}
+	if len(g[3]) != 0 {
+		t.Errorf("qubit 3 should have no interactions, got %v", g[3])
+	}
+	if _, self := g[0][0]; self {
+		t.Error("self edge present")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := buildSample()
+	d := c.Clone()
+	d.Gates[2].Qubits[0] = 3
+	if c.Gates[2].Qubits[0] == 3 {
+		t.Error("Clone shares qubit slices with original")
+	}
+	d.Gates = append(d.Gates, Gate{Op: H, Qubits: []int{0}})
+	if len(c.Gates) == len(d.Gates) {
+		t.Error("Clone shares gate slice header growth")
+	}
+}
+
+func TestOpsEmptyCircuit(t *testing.T) {
+	c := New("empty", 0)
+	if c.Ops() != 0 || c.TCount() != 0 || c.TwoQubitCount() != 0 {
+		t.Error("empty circuit should have zero counts")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("empty circuit should validate: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteQASM serializes the circuit in the flat QASM dialect used by the
+// toolchain:
+//
+//	# comment
+//	qubits 5
+//	h q0
+//	cnot q0,q2
+//	barrier q1,q3
+//
+// The format round-trips through ReadQASM and exists for golden tests,
+// debugging, and interchange with external visualizers.
+func WriteQASM(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	if c.Name != "" {
+		fmt.Fprintf(bw, "# %s\n", c.Name)
+	}
+	fmt.Fprintf(bw, "qubits %d\n", c.NumQubits)
+	for _, g := range c.Gates {
+		fmt.Fprintln(bw, g.String())
+	}
+	return bw.Flush()
+}
+
+// QASMString renders the circuit as a QASM string.
+func QASMString(c *Circuit) string {
+	var sb strings.Builder
+	if err := WriteQASM(&sb, c); err != nil {
+		// strings.Builder writes cannot fail.
+		panic(err)
+	}
+	return sb.String()
+}
+
+// ReadQASM parses the flat QASM dialect produced by WriteQASM.
+func ReadQASM(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	c := &Circuit{NumQubits: -1}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if c.Name == "" && line == 1 {
+				c.Name = strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "qubits" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("qasm line %d: malformed qubits directive", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("qasm line %d: bad qubit count %q", line, fields[1])
+			}
+			c.NumQubits = n
+			continue
+		}
+		if c.NumQubits < 0 {
+			return nil, fmt.Errorf("qasm line %d: gate before qubits directive", line)
+		}
+		op, err := ParseOpcode(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("qasm line %d: %w", line, err)
+		}
+		var qubits []int
+		if len(fields) > 1 {
+			for _, tok := range strings.Split(fields[1], ",") {
+				tok = strings.TrimSpace(tok)
+				if !strings.HasPrefix(tok, "q") {
+					return nil, fmt.Errorf("qasm line %d: operand %q missing q prefix", line, tok)
+				}
+				q, err := strconv.Atoi(tok[1:])
+				if err != nil {
+					return nil, fmt.Errorf("qasm line %d: bad operand %q", line, tok)
+				}
+				qubits = append(qubits, q)
+			}
+		}
+		g := Gate{Op: op, Qubits: qubits}
+		if err := g.Validate(c.NumQubits); err != nil {
+			return nil, fmt.Errorf("qasm line %d: %w", line, err)
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits < 0 {
+		return nil, fmt.Errorf("qasm: missing qubits directive")
+	}
+	return c, nil
+}

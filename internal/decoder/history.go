@@ -1,0 +1,166 @@
+package decoder
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Syndrome-history decoding (paper §2.3): real syndrome measurements
+// are themselves faulty, so syndromes are recorded over d rounds and
+// decoded in a space-time volume — defects are syndrome *changes*
+// between consecutive rounds, and matching runs in three dimensions
+// (two space, one time). A defect pair joined through time is a
+// measurement error (no data correction); the spatial displacement of a
+// pair projects onto data corrections.
+
+// spacetimeDefect is an anomalous syndrome change at (round t,
+// plaquette (r,c)).
+type spacetimeDefect struct {
+	t int
+	d defect
+}
+
+// HistoryMonteCarlo estimates logical error rates for a syndrome
+// history of the given number of rounds: each round injects fresh data
+// errors with probability p per qubit and flips each syndrome bit with
+// probability q (the final round is measured perfectly, closing the
+// volume — the standard terminating round).
+type HistoryMonteCarlo struct {
+	Lattice *Lattice
+	Rounds  int
+	Rng     *rand.Rand
+}
+
+// Run samples, decodes the space-time volume, and counts logical
+// failures over the accumulated error.
+func (mc *HistoryMonteCarlo) Run(p, q float64, trials int) (Result, error) {
+	if p < 0 || p > 1 || q < 0 || q > 1 {
+		return Result{}, fmt.Errorf("decoder: rates (%g, %g) outside [0,1]", p, q)
+	}
+	if trials < 1 {
+		return Result{}, fmt.Errorf("decoder: need at least one trial")
+	}
+	if mc.Rounds < 1 {
+		return Result{}, fmt.Errorf("decoder: need at least one round")
+	}
+	l := mc.Lattice
+	res := Result{Distance: l.Distance(), PhysicalRate: p, Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		errs := l.NewErrorPattern() // cumulative data errors
+		prev := make([]bool, l.Checks())
+		var defects []spacetimeDefect
+		for t := 0; t < mc.Rounds; t++ {
+			for qb := range errs {
+				if mc.Rng.Float64() < p {
+					errs[qb] = !errs[qb]
+				}
+			}
+			meas := l.Syndrome(errs)
+			if t < mc.Rounds-1 { // final round is perfect
+				for i := range meas {
+					if mc.Rng.Float64() < q {
+						meas[i] = !meas[i]
+					}
+				}
+			}
+			for i := range meas {
+				if meas[i] != prev[i] {
+					defects = append(defects, spacetimeDefect{
+						t: t,
+						d: defect{r: i / l.d, c: i % l.d},
+					})
+				}
+			}
+			prev = meas
+		}
+		correction := l.decodeSpacetime(defects)
+
+		combined := l.NewErrorPattern()
+		for qb := range combined {
+			combined[qb] = errs[qb] != correction[qb]
+		}
+		for i, hot := range l.Syndrome(combined) {
+			if hot {
+				panic(fmt.Sprintf("decoder: space-time residual defect at plaquette %d", i))
+			}
+		}
+		if l.LogicalFailure(errs, correction) {
+			res.Failures++
+		}
+	}
+	res.LogicalRate = float64(res.Failures) / float64(res.Trials)
+	return res, nil
+}
+
+// decodeSpacetime matches defects in the space-time metric (torus
+// Manhattan + time separation) and projects each pair's spatial
+// displacement onto data corrections.
+func (l *Lattice) decodeSpacetime(defects []spacetimeDefect) ErrorPattern {
+	correction := l.NewErrorPattern()
+	n := len(defects)
+	if n == 0 {
+		return correction
+	}
+	dist := func(a, b spacetimeDefect) int {
+		dt := a.t - b.t
+		if dt < 0 {
+			dt = -dt
+		}
+		return l.torusDist(a.d, b.d) + dt
+	}
+	type cand struct{ a, b, w int }
+	cands := make([]cand, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			cands = append(cands, cand{a, b, dist(defects[a], defects[b])})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w < cands[j].w
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a < cands[j].a
+		}
+		return cands[i].b < cands[j].b
+	})
+	matched := make([]bool, n)
+	var pairs [][2]int
+	for _, c := range cands {
+		if !matched[c.a] && !matched[c.b] {
+			matched[c.a] = true
+			matched[c.b] = true
+			pairs = append(pairs, [2]int{c.a, c.b})
+		}
+	}
+	// 2-opt refinement, as in the single-round matcher.
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < len(pairs); i++ {
+			for j := i + 1; j < len(pairs); j++ {
+				a0, a1 := pairs[i][0], pairs[i][1]
+				b0, b1 := pairs[j][0], pairs[j][1]
+				cur := dist(defects[a0], defects[a1]) + dist(defects[b0], defects[b1])
+				if alt := dist(defects[a0], defects[b0]) + dist(defects[a1], defects[b1]); alt < cur {
+					pairs[i] = [2]int{a0, b0}
+					pairs[j] = [2]int{a1, b1}
+					improved = true
+					continue
+				}
+				if alt := dist(defects[a0], defects[b1]) + dist(defects[a1], defects[b0]); alt < cur {
+					pairs[i] = [2]int{a0, b1}
+					pairs[j] = [2]int{a1, b0}
+					improved = true
+				}
+			}
+		}
+	}
+	for _, pr := range pairs {
+		// The spatial projection carries the data correction; the time
+		// component is measurement-error bookkeeping.
+		l.flipGeodesic(correction, defects[pr[0]].d, defects[pr[1]].d)
+	}
+	return correction
+}

@@ -1,0 +1,247 @@
+// Package layout assigns logical qubits to tiles of a 2-D grid — the
+// mapping-level optimization of paper §6.2. The optimized placement
+// recursively bisects the qubit interaction graph (via the partition
+// package) while splitting the grid region in half, so strongly
+// interacting qubits land in the same subregion and braid routes stay
+// short. The naive row-major placement is retained as the baseline the
+// paper compares against.
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"surfcomm/internal/partition"
+)
+
+// Coord is a tile position on the grid (row-major).
+type Coord struct {
+	Row, Col int
+}
+
+// ManhattanDistance returns the L1 distance between coordinates.
+func ManhattanDistance(a, b Coord) int {
+	dr := a.Row - b.Row
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := a.Col - b.Col
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// Placement maps logical qubits to distinct grid coordinates.
+type Placement struct {
+	Rows, Cols int
+	Pos        []Coord
+}
+
+// GridFor returns the smallest near-square grid that fits n tiles.
+func GridFor(n int) (rows, cols int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	cols = int(math.Ceil(math.Sqrt(float64(n))))
+	rows = (n + cols - 1) / cols
+	return rows, cols
+}
+
+// RowMajor places qubit i at (i/cols, i%cols): the unoptimized baseline.
+func RowMajor(n int) *Placement {
+	rows, cols := GridFor(n)
+	p := &Placement{Rows: rows, Cols: cols, Pos: make([]Coord, n)}
+	for i := 0; i < n; i++ {
+		p.Pos[i] = Coord{Row: i / cols, Col: i % cols}
+	}
+	return p
+}
+
+// Validate checks that every qubit has an in-bounds, distinct tile.
+func (p *Placement) Validate() error {
+	seen := make(map[Coord]int, len(p.Pos))
+	for q, c := range p.Pos {
+		if c.Row < 0 || c.Row >= p.Rows || c.Col < 0 || c.Col >= p.Cols {
+			return fmt.Errorf("layout: qubit %d at %v outside %dx%d grid", q, c, p.Rows, p.Cols)
+		}
+		if prev, dup := seen[c]; dup {
+			return fmt.Errorf("layout: qubits %d and %d share tile %v", prev, q, c)
+		}
+		seen[c] = q
+	}
+	return nil
+}
+
+// Distance returns the Manhattan tile distance between two qubits.
+func (p *Placement) Distance(a, b int) int {
+	return ManhattanDistance(p.Pos[a], p.Pos[b])
+}
+
+// WeightedDistance returns Σ weight(a,b)·distance(a,b) over all
+// interaction edges — the objective the optimizer minimizes.
+func WeightedDistance(g *partition.Graph, p *Placement) int {
+	total := 0
+	n := g.NumVertices()
+	for a := 0; a < n; a++ {
+		for _, b := range g.Neighbors(a) {
+			if a < b {
+				total += g.EdgeWeight(a, b) * p.Distance(a, b)
+			}
+		}
+	}
+	return total
+}
+
+// Optimized places the interaction graph's vertices by recursive
+// bisection: the grid region and the vertex set are halved together,
+// cutting as little interaction weight as possible at each split.
+// Several bisection seeds are tried and the row-major baseline is kept
+// as a candidate, so the optimizer never returns a placement worse than
+// naive (chain-like interaction graphs are already near-optimal under
+// row-major).
+func Optimized(g *partition.Graph, seed int64) (*Placement, error) {
+	n := g.NumVertices()
+	best := RowMajor(n)
+	if n == 0 {
+		return best, nil
+	}
+	bestCost := WeightedDistance(g, best)
+	for trial := 0; trial < 3; trial++ {
+		p, err := bisectionPlacement(g, seed+int64(trial)*101)
+		if err != nil {
+			return nil, err
+		}
+		if cost := WeightedDistance(g, p); cost < bestCost {
+			best, bestCost = p, cost
+		}
+	}
+	return best, nil
+}
+
+// bisectionPlacement runs one recursive-bisection placement pass.
+func bisectionPlacement(g *partition.Graph, seed int64) (*Placement, error) {
+	n := g.NumVertices()
+	rows, cols := GridFor(n)
+	p := &Placement{Rows: rows, Cols: cols, Pos: make([]Coord, n)}
+	vertices := make([]int, n)
+	for i := range vertices {
+		vertices[i] = i
+	}
+	r := region{row: 0, col: 0, rows: rows, cols: cols}
+	if err := placeRecursive(g, vertices, r, p, seed); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("layout: internal error: %w", err)
+	}
+	return p, nil
+}
+
+// region is a rectangular grid window.
+type region struct {
+	row, col   int
+	rows, cols int
+}
+
+func (r region) capacity() int { return r.rows * r.cols }
+
+// split halves the region along its longer dimension, returning the two
+// subwindows (first gets the ceiling half).
+func (r region) split() (region, region) {
+	if r.cols >= r.rows {
+		left := (r.cols + 1) / 2
+		return region{r.row, r.col, r.rows, left},
+			region{r.row, r.col + left, r.rows, r.cols - left}
+	}
+	top := (r.rows + 1) / 2
+	return region{r.row, r.col, top, r.cols},
+		region{r.row + top, r.col, r.rows - top, r.cols}
+}
+
+// cells lists the region's coordinates row-major.
+func (r region) cells() []Coord {
+	out := make([]Coord, 0, r.capacity())
+	for i := 0; i < r.rows; i++ {
+		for j := 0; j < r.cols; j++ {
+			out = append(out, Coord{Row: r.row + i, Col: r.col + j})
+		}
+	}
+	return out
+}
+
+func placeRecursive(g *partition.Graph, vertices []int, r region, p *Placement, seed int64) error {
+	if len(vertices) > r.capacity() {
+		return fmt.Errorf("layout: %d vertices exceed region capacity %d", len(vertices), r.capacity())
+	}
+	if len(vertices) == 0 {
+		return nil
+	}
+	if len(vertices) <= 2 || r.capacity() <= 2 {
+		for i, v := range vertices {
+			p.Pos[v] = r.cells()[i]
+		}
+		return nil
+	}
+	rA, rB := r.split()
+	sub, mapping, err := g.InducedSubgraph(vertices)
+	if err != nil {
+		return err
+	}
+	side, _ := partition.Bisect(sub, partition.Options{Seed: seed})
+
+	// Fit the two parts to the subregion capacities: the bisection is
+	// balanced within tolerance, but regions have hard capacities, so
+	// surplus vertices migrate by best move gain.
+	fitSides(sub, side, rA.capacity(), rB.capacity())
+
+	zero, one := partition.SideVertices(side)
+	partA := make([]int, len(zero))
+	for i, v := range zero {
+		partA[i] = mapping[v]
+	}
+	partB := make([]int, len(one))
+	for i, v := range one {
+		partB[i] = mapping[v]
+	}
+	if err := placeRecursive(g, partA, rA, p, seed+1); err != nil {
+		return err
+	}
+	return placeRecursive(g, partB, rB, p, seed+2)
+}
+
+// fitSides enforces |side 0| ≤ capA and |side 1| ≤ capB by moving the
+// least-attached vertices off the oversubscribed side.
+func fitSides(g *partition.Graph, side []int, capA, capB int) {
+	counts := [2]int{}
+	for _, s := range side {
+		counts[s]++
+	}
+	caps := [2]int{capA, capB}
+	for from := 0; from < 2; from++ {
+		to := 1 - from
+		for counts[from] > caps[from] {
+			best, bestGain := -1, 0
+			for v, s := range side {
+				if s != from {
+					continue
+				}
+				gain := 0
+				for _, u := range g.Neighbors(v) {
+					w := g.EdgeWeight(v, u)
+					if side[u] == from {
+						gain -= w
+					} else {
+						gain += w
+					}
+				}
+				if best < 0 || gain > bestGain {
+					best, bestGain = v, gain
+				}
+			}
+			side[best] = to
+			counts[from]--
+			counts[to]++
+		}
+	}
+}

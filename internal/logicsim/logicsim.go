@@ -1,0 +1,80 @@
+// Package logicsim evaluates circuits composed purely of classical
+// reversible gates (X, CNOT, Toffoli, Swap, plus PrepZ resets and
+// Barrier fences) on computational basis states.
+//
+// It is the verification substrate for the reversible arithmetic inside
+// the application generators: adders and bitwise blocks built with
+// circuit.Builder in KeepMacros mode are replayed on random inputs and
+// checked against ordinary integer arithmetic. Quantum gates (H, T,
+// phases) are out of scope by design — a gate outside the classical
+// subset is an error, not an approximation.
+package logicsim
+
+import (
+	"fmt"
+
+	"surfcomm/internal/circuit"
+)
+
+// State is an assignment of classical bits to logical qubits.
+type State []bool
+
+// NewState returns an all-zero state for n qubits.
+func NewState(n int) State { return make(State, n) }
+
+// Uint64 packs qubits of a register view (least significant first) into
+// an integer. Widths above 64 bits panic.
+func (s State) Uint64(reg []int) uint64 {
+	if len(reg) > 64 {
+		panic("logicsim: register wider than 64 bits")
+	}
+	var v uint64
+	for i, q := range reg {
+		if s[q] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// SetUint64 stores the low len(reg) bits of v into the register view.
+func (s State) SetUint64(reg []int, v uint64) {
+	for i, q := range reg {
+		s[q] = v>>uint(i)&1 == 1
+	}
+}
+
+// Run applies the circuit to the input state and returns the output
+// state. The input is copied; it is not modified. Gates outside the
+// classical reversible subset yield an error identifying the offender.
+func Run(c *circuit.Circuit, in State) (State, error) {
+	if len(in) != c.NumQubits {
+		return nil, fmt.Errorf("logicsim: state width %d != circuit width %d", len(in), c.NumQubits)
+	}
+	s := make(State, len(in))
+	copy(s, in)
+	for i, g := range c.Gates {
+		switch g.Op {
+		case circuit.X:
+			s[g.Qubits[0]] = !s[g.Qubits[0]]
+		case circuit.CNOT:
+			if s[g.Qubits[0]] {
+				s[g.Qubits[1]] = !s[g.Qubits[1]]
+			}
+		case circuit.Toffoli:
+			if s[g.Qubits[0]] && s[g.Qubits[1]] {
+				s[g.Qubits[2]] = !s[g.Qubits[2]]
+			}
+		case circuit.Swap:
+			a, b := g.Qubits[0], g.Qubits[1]
+			s[a], s[b] = s[b], s[a]
+		case circuit.PrepZ:
+			s[g.Qubits[0]] = false
+		case circuit.Barrier:
+			// Scheduling metadata; no effect on state.
+		default:
+			return nil, fmt.Errorf("logicsim: gate %d (%v) is not classical reversible logic", i, g.Op)
+		}
+	}
+	return s, nil
+}

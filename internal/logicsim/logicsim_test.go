@@ -1,0 +1,141 @@
+package logicsim
+
+import (
+	"testing"
+
+	"surfcomm/internal/circuit"
+)
+
+func run(t *testing.T, c *circuit.Circuit, in State) State {
+	t.Helper()
+	out, err := Run(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestXFlips(t *testing.T) {
+	c := circuit.New("x", 1)
+	c.Append(circuit.X, 0)
+	out := run(t, c, NewState(1))
+	if !out[0] {
+		t.Error("X|0> should be |1>")
+	}
+	out = run(t, c, State{true})
+	if out[0] {
+		t.Error("X|1> should be |0>")
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	c := circuit.New("cnot", 2)
+	c.Append(circuit.CNOT, 0, 1)
+	cases := []struct{ c0, t0, t1 bool }{
+		{false, false, false},
+		{false, true, true},
+		{true, false, true},
+		{true, true, false},
+	}
+	for _, tc := range cases {
+		out := run(t, c, State{tc.c0, tc.t0})
+		if out[0] != tc.c0 || out[1] != tc.t1 {
+			t.Errorf("CNOT(%v,%v) -> (%v,%v), want target %v", tc.c0, tc.t0, out[0], out[1], tc.t1)
+		}
+	}
+}
+
+func TestToffoliTruthTable(t *testing.T) {
+	c := circuit.New("tof", 3)
+	c.Append(circuit.Toffoli, 0, 1, 2)
+	for mask := 0; mask < 8; mask++ {
+		in := State{mask&1 == 1, mask&2 == 2, mask&4 == 4}
+		out := run(t, c, in)
+		wantT := in[2] != (in[0] && in[1])
+		if out[2] != wantT || out[0] != in[0] || out[1] != in[1] {
+			t.Errorf("Toffoli(%v) -> %v", in, out)
+		}
+	}
+}
+
+func TestSwap(t *testing.T) {
+	c := circuit.New("swap", 2)
+	c.Append(circuit.Swap, 0, 1)
+	out := run(t, c, State{true, false})
+	if out[0] || !out[1] {
+		t.Errorf("Swap(1,0) -> %v, want (0,1)", out)
+	}
+}
+
+func TestPrepZResets(t *testing.T) {
+	c := circuit.New("prep", 1)
+	c.Append(circuit.PrepZ, 0)
+	out := run(t, c, State{true})
+	if out[0] {
+		t.Error("PrepZ should reset to 0")
+	}
+}
+
+func TestBarrierIsNoop(t *testing.T) {
+	c := circuit.New("fence", 2)
+	c.Append(circuit.Barrier, 0, 1)
+	out := run(t, c, State{true, false})
+	if !out[0] || out[1] {
+		t.Error("Barrier should not change state")
+	}
+}
+
+func TestQuantumGateRejected(t *testing.T) {
+	c := circuit.New("h", 1)
+	c.Append(circuit.H, 0)
+	if _, err := Run(c, NewState(1)); err == nil {
+		t.Error("H should be rejected as non-classical")
+	}
+}
+
+func TestWidthMismatchRejected(t *testing.T) {
+	c := circuit.New("w", 2)
+	if _, err := Run(c, NewState(3)); err == nil {
+		t.Error("width mismatch should error")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	c := circuit.New("x", 1)
+	c.Append(circuit.X, 0)
+	in := NewState(1)
+	run(t, c, in)
+	if in[0] {
+		t.Error("Run must not mutate its input")
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	s := NewState(8)
+	reg := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.SetUint64(reg, 0xA5)
+	if got := s.Uint64(reg); got != 0xA5 {
+		t.Errorf("round trip = %#x, want 0xA5", got)
+	}
+	// Register views select and order bits: 0xA5 has bits 0 and 2 set.
+	if got := s.Uint64([]int{2, 0}); got != 0b11 {
+		t.Errorf("view = %#b, want 0b11", got)
+	}
+	if got := s.Uint64([]int{1, 0}); got != 0b10 {
+		t.Errorf("view = %#b, want 0b10", got)
+	}
+}
+
+func TestUint64TooWidePanics(t *testing.T) {
+	s := NewState(65)
+	reg := make([]int, 65)
+	for i := range reg {
+		reg[i] = i
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("width > 64 should panic")
+		}
+	}()
+	s.Uint64(reg)
+}

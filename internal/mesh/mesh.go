@@ -1,0 +1,256 @@
+// Package mesh implements the circuit-switched two-dimensional channel
+// network of the tiled double-defect architecture (paper §6.1, Fig. 5).
+// Junctions sit at tile corners ("the tile corners are routers");
+// channel segments between adjacent junctions are links. A braid claims
+// an entire path — every link and junction along it — atomically when
+// it opens and holds the claim until it closes: braids cannot cross,
+// cannot be buffered, and cannot share channels (no virtual channels).
+//
+// The package is purely spatial: reservation state, path validity, and
+// route search. Time (cycles, braid lifetimes, priorities) belongs to
+// the braid package.
+package mesh
+
+import "fmt"
+
+// Node is a junction at a tile corner.
+type Node struct {
+	Row, Col int
+}
+
+// Link is an undirected channel segment between two adjacent junctions,
+// stored in normalized order (A before B row-major).
+type Link struct {
+	A, B Node
+}
+
+// NewLink normalizes the endpoint order.
+func NewLink(a, b Node) Link {
+	if b.Row < a.Row || (b.Row == a.Row && b.Col < a.Col) {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// adjacent reports whether two junctions are one channel segment apart.
+func adjacent(a, b Node) bool {
+	dr := a.Row - b.Row
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := a.Col - b.Col
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr+dc == 1
+}
+
+// Manhattan returns the junction-grid L1 distance.
+func Manhattan(a, b Node) int {
+	dr := a.Row - b.Row
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := a.Col - b.Col
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// Path is a junction sequence; consecutive entries must be adjacent and
+// no junction may repeat.
+type Path []Node
+
+// Validate checks contiguity and self-avoidance.
+func (p Path) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("mesh: empty path")
+	}
+	seen := make(map[Node]bool, len(p))
+	for i, n := range p {
+		if seen[n] {
+			return fmt.Errorf("mesh: path revisits junction %v", n)
+		}
+		seen[n] = true
+		if i > 0 && !adjacent(p[i-1], n) {
+			return fmt.Errorf("mesh: path jump %v -> %v", p[i-1], n)
+		}
+	}
+	return nil
+}
+
+// Links returns the path's channel segments.
+func (p Path) Links() []Link {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]Link, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = NewLink(p[i-1], p[i])
+	}
+	return out
+}
+
+// Free is the owner value of unclaimed resources.
+const Free = -1
+
+// Mesh is the reservation state of a rows×cols junction grid.
+type Mesh struct {
+	rows, cols int
+	nodeOwner  []int
+	linkOwnerH []int // horizontal links: (r,c)-(r,c+1), rows×(cols-1)
+	linkOwnerV []int // vertical links: (r,c)-(r+1,c), (rows-1)×cols
+	busyLinks  int
+}
+
+// New returns an empty mesh with the given junction-grid dimensions.
+func New(rows, cols int) *Mesh {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", rows, cols))
+	}
+	m := &Mesh{
+		rows:       rows,
+		cols:       cols,
+		nodeOwner:  make([]int, rows*cols),
+		linkOwnerH: make([]int, rows*(cols-1)),
+		linkOwnerV: make([]int, (rows-1)*cols),
+	}
+	for i := range m.nodeOwner {
+		m.nodeOwner[i] = Free
+	}
+	for i := range m.linkOwnerH {
+		m.linkOwnerH[i] = Free
+	}
+	for i := range m.linkOwnerV {
+		m.linkOwnerV[i] = Free
+	}
+	return m
+}
+
+// Rows returns the junction-grid row count.
+func (m *Mesh) Rows() int { return m.rows }
+
+// Cols returns the junction-grid column count.
+func (m *Mesh) Cols() int { return m.cols }
+
+// InBounds reports whether the junction exists.
+func (m *Mesh) InBounds(n Node) bool {
+	return n.Row >= 0 && n.Row < m.rows && n.Col >= 0 && n.Col < m.cols
+}
+
+func (m *Mesh) nodeIndex(n Node) int { return n.Row*m.cols + n.Col }
+
+// linkOwner returns a pointer to the owner slot of a link, or nil if the
+// link is outside the mesh.
+func (m *Mesh) linkOwner(l Link) *int {
+	if !m.InBounds(l.A) || !m.InBounds(l.B) || !adjacent(l.A, l.B) {
+		return nil
+	}
+	if l.A.Row == l.B.Row { // horizontal
+		return &m.linkOwnerH[l.A.Row*(m.cols-1)+min(l.A.Col, l.B.Col)]
+	}
+	return &m.linkOwnerV[min(l.A.Row, l.B.Row)*m.cols+l.A.Col]
+}
+
+// NodeOwner returns the claim owner of a junction (Free if unclaimed).
+func (m *Mesh) NodeOwner(n Node) int {
+	if !m.InBounds(n) {
+		return Free
+	}
+	return m.nodeOwner[m.nodeIndex(n)]
+}
+
+// LinkOwner returns the claim owner of a link (Free if unclaimed).
+func (m *Mesh) LinkOwner(l Link) int {
+	p := m.linkOwner(l)
+	if p == nil {
+		return Free
+	}
+	return *p
+}
+
+// PathFree reports whether every junction and link along the path is
+// unclaimed and inside the mesh.
+func (m *Mesh) PathFree(p Path) bool {
+	for _, n := range p {
+		if !m.InBounds(n) || m.nodeOwner[m.nodeIndex(n)] != Free {
+			return false
+		}
+	}
+	for _, l := range p.Links() {
+		if o := m.linkOwner(l); o == nil || *o != Free {
+			return false
+		}
+	}
+	return true
+}
+
+// Reserve atomically claims the whole path for the owner. It fails
+// without side effects if any resource is taken (braids claim all-or-
+// nothing: a partial braid is physically meaningless). Owner must be a
+// non-negative id.
+func (m *Mesh) Reserve(p Path, owner int) error {
+	if owner < 0 {
+		return fmt.Errorf("mesh: owner must be non-negative, got %d", owner)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if !m.PathFree(p) {
+		return fmt.Errorf("mesh: path not free")
+	}
+	for _, n := range p {
+		m.nodeOwner[m.nodeIndex(n)] = owner
+	}
+	for _, l := range p.Links() {
+		*m.linkOwner(l) = owner
+	}
+	m.busyLinks += len(p.Links())
+	return nil
+}
+
+// Release frees a path previously claimed by owner. Ownership is
+// verified on every resource; a mismatch means engine corruption and is
+// reported rather than silently absorbed.
+func (m *Mesh) Release(p Path, owner int) error {
+	for _, n := range p {
+		if !m.InBounds(n) || m.nodeOwner[m.nodeIndex(n)] != owner {
+			return fmt.Errorf("mesh: junction %v not owned by %d", n, owner)
+		}
+	}
+	for _, l := range p.Links() {
+		if o := m.linkOwner(l); o == nil || *o != owner {
+			return fmt.Errorf("mesh: link %v not owned by %d", l, owner)
+		}
+	}
+	for _, n := range p {
+		m.nodeOwner[m.nodeIndex(n)] = Free
+	}
+	for _, l := range p.Links() {
+		*m.linkOwner(l) = Free
+	}
+	m.busyLinks -= len(p.Links())
+	return nil
+}
+
+// BusyLinks returns the number of currently claimed links.
+func (m *Mesh) BusyLinks() int { return m.busyLinks }
+
+// TotalLinks returns the link count of the mesh.
+func (m *Mesh) TotalLinks() int { return len(m.linkOwnerH) + len(m.linkOwnerV) }
+
+// Utilization returns the fraction of links currently claimed.
+func (m *Mesh) Utilization() float64 {
+	if m.TotalLinks() == 0 {
+		return 0
+	}
+	return float64(m.busyLinks) / float64(m.TotalLinks())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package mesh
+
+// Routing for braid paths (paper §6.1): dimension-ordered routes are
+// tried first; when the network is congested the engine escalates to an
+// adaptive shortest-path search over currently-free resources.
+
+// XYPath returns the dimension-ordered route from a to b: horizontal
+// first, then vertical. Always valid, ignores reservations.
+func XYPath(a, b Node) Path {
+	p := Path{a}
+	cur := a
+	for cur.Col != b.Col {
+		if b.Col > cur.Col {
+			cur.Col++
+		} else {
+			cur.Col--
+		}
+		p = append(p, cur)
+	}
+	for cur.Row != b.Row {
+		if b.Row > cur.Row {
+			cur.Row++
+		} else {
+			cur.Row--
+		}
+		p = append(p, cur)
+	}
+	return p
+}
+
+// YXPath returns the dimension-ordered route from a to b: vertical
+// first, then horizontal.
+func YXPath(a, b Node) Path {
+	p := Path{a}
+	cur := a
+	for cur.Row != b.Row {
+		if b.Row > cur.Row {
+			cur.Row++
+		} else {
+			cur.Row--
+		}
+		p = append(p, cur)
+	}
+	for cur.Col != b.Col {
+		if b.Col > cur.Col {
+			cur.Col++
+		} else {
+			cur.Col--
+		}
+		p = append(p, cur)
+	}
+	return p
+}
+
+// AdaptiveRoute searches for the shortest path from a to b across
+// currently-free junctions and links (BFS). It returns ok=false when
+// the endpoints are busy or no free corridor exists. Used by the braid
+// engine after dimension-ordered attempts time out.
+func (m *Mesh) AdaptiveRoute(a, b Node) (Path, bool) {
+	if !m.InBounds(a) || !m.InBounds(b) {
+		return nil, false
+	}
+	if m.NodeOwner(a) != Free || m.NodeOwner(b) != Free {
+		return nil, false
+	}
+	if a == b {
+		return Path{a}, true
+	}
+	prev := make([]Node, m.rows*m.cols)
+	visited := make([]bool, m.rows*m.cols)
+	queue := []Node{a}
+	visited[m.nodeIndex(a)] = true
+	dirs := [4]Node{{Row: 0, Col: 1}, {Row: 1, Col: 0}, {Row: 0, Col: -1}, {Row: -1, Col: 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range dirs {
+			next := Node{Row: cur.Row + d.Row, Col: cur.Col + d.Col}
+			if !m.InBounds(next) || visited[m.nodeIndex(next)] {
+				continue
+			}
+			if m.NodeOwner(next) != Free {
+				continue
+			}
+			if *m.linkOwner(NewLink(cur, next)) != Free {
+				continue
+			}
+			visited[m.nodeIndex(next)] = true
+			prev[m.nodeIndex(next)] = cur
+			if next == b {
+				return m.reconstruct(prev, a, b), true
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, false
+}
+
+func (m *Mesh) reconstruct(prev []Node, a, b Node) Path {
+	var rev Path
+	for cur := b; cur != a; cur = prev[m.nodeIndex(cur)] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, a)
+	out := make(Path, len(rev))
+	for i, n := range rev {
+		out[len(rev)-1-i] = n
+	}
+	return out
+}

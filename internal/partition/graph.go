@@ -1,0 +1,132 @@
+// Package partition implements multilevel graph bisection — the
+// in-tree substitute for the METIS library the paper calls for qubit
+// placement (§6.2). The algorithm family is the same one METIS ships:
+// heavy-edge-matching coarsening, a greedy partition of the coarsest
+// graph, and Fiduccia–Mattheyses refinement during uncoarsening.
+//
+// The layout package applies it recursively to the logical-qubit
+// interaction graph to co-locate frequently-interacting qubits on the
+// tiled architecture, minimizing braid length and collision risk.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected weighted graph over vertices 0..N-1. Parallel
+// edge insertions accumulate weight; self-loops are rejected.
+type Graph struct {
+	n   int
+	nbr []map[int]int
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("partition: negative vertex count")
+	}
+	g := &Graph{n: n, nbr: make([]map[int]int, n)}
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.n }
+
+// AddEdge accumulates weight w onto the undirected edge {u,v}.
+func (g *Graph) AddEdge(u, v, w int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("partition: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("partition: self-loop on %d", u)
+	}
+	if w <= 0 {
+		return fmt.Errorf("partition: non-positive edge weight %d", w)
+	}
+	if g.nbr[u] == nil {
+		g.nbr[u] = make(map[int]int)
+	}
+	if g.nbr[v] == nil {
+		g.nbr[v] = make(map[int]int)
+	}
+	g.nbr[u][v] += w
+	g.nbr[v][u] += w
+	return nil
+}
+
+// EdgeWeight returns the accumulated weight of {u,v} (0 if absent).
+func (g *Graph) EdgeWeight(u, v int) int {
+	if u < 0 || u >= g.n || g.nbr[u] == nil {
+		return 0
+	}
+	return g.nbr[u][v]
+}
+
+// Neighbors returns v's neighbors in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	if g.nbr[v] == nil {
+		return nil
+	}
+	out := make([]int, 0, len(g.nbr[v]))
+	for u := range g.nbr[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalEdgeWeight returns the sum of all edge weights.
+func (g *Graph) TotalEdgeWeight() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.nbr[u] {
+			if u < v {
+				total += w
+			}
+		}
+	}
+	return total
+}
+
+// CutWeight returns the total weight of edges crossing the given 0/1
+// side assignment.
+func (g *Graph) CutWeight(side []int) int {
+	cut := 0
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.nbr[u] {
+			if u < v && side[u] != side[v] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+// InducedSubgraph returns the subgraph on the given vertex subset, plus
+// the mapping from new vertex ids to original ids (new id i ↦
+// vertices[i]).
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
+	index := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("partition: vertex %d out of range", v)
+		}
+		if _, dup := index[v]; dup {
+			return nil, nil, fmt.Errorf("partition: duplicate vertex %d", v)
+		}
+		index[v] = i
+	}
+	sub := NewGraph(len(vertices))
+	for i, v := range vertices {
+		for u, w := range g.nbr[v] {
+			if j, ok := index[u]; ok && i < j {
+				if err := sub.AddEdge(i, j, w); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	mapping := append([]int(nil), vertices...)
+	return sub, mapping, nil
+}

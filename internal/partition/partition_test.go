@@ -1,0 +1,277 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, g *Graph, u, v, w int) {
+	t.Helper()
+	if err := g.AddEdge(u, v, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1, 3)
+	mustAdd(t, g, 1, 0, 2) // accumulates
+	mustAdd(t, g, 2, 3, 1)
+	if got := g.EdgeWeight(0, 1); got != 5 {
+		t.Errorf("EdgeWeight(0,1) = %d, want 5", got)
+	}
+	if got := g.EdgeWeight(1, 0); got != 5 {
+		t.Errorf("symmetric weight = %d, want 5", got)
+	}
+	if got := g.EdgeWeight(0, 2); got != 0 {
+		t.Errorf("absent edge weight = %d, want 0", got)
+	}
+	if got := g.TotalEdgeWeight(); got != 6 {
+		t.Errorf("TotalEdgeWeight = %d, want 6", got)
+	}
+	nbrs := g.Neighbors(1)
+	if len(nbrs) != 1 || nbrs[0] != 0 {
+		t.Errorf("Neighbors(1) = %v, want [0]", nbrs)
+	}
+}
+
+func TestGraphRejectsBadEdges(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range should fail")
+	}
+	if err := g.AddEdge(0, 1, 0); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if err := g.AddEdge(0, 1, -2); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 2, 3, 3)
+	mustAdd(t, g, 1, 2, 7)
+	if got := g.CutWeight([]int{0, 0, 1, 1}); got != 7 {
+		t.Errorf("cut = %d, want 7", got)
+	}
+	if got := g.CutWeight([]int{0, 1, 0, 1}); got != 2+3+7 {
+		t.Errorf("cut = %d, want 12 (all three edges cross)", got)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewGraph(5)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 2)
+	mustAdd(t, g, 3, 4, 9)
+	sub, mapping, err := g.InducedSubgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub size = %d, want 3", sub.NumVertices())
+	}
+	// Edge (1,2) survives as (0,1) in new ids; (0,1) and (3,4) are cut off.
+	if got := sub.EdgeWeight(0, 1); got != 2 {
+		t.Errorf("sub edge = %d, want 2", got)
+	}
+	if sub.TotalEdgeWeight() != 2 {
+		t.Errorf("sub total = %d, want 2", sub.TotalEdgeWeight())
+	}
+	if mapping[0] != 1 || mapping[1] != 2 || mapping[2] != 3 {
+		t.Errorf("mapping = %v", mapping)
+	}
+	if _, _, err := g.InducedSubgraph([]int{1, 1}); err == nil {
+		t.Error("duplicate vertex should fail")
+	}
+	if _, _, err := g.InducedSubgraph([]int{9}); err == nil {
+		t.Error("out-of-range vertex should fail")
+	}
+}
+
+// twoCliques builds two k-cliques joined by a single light edge — the
+// canonical case with a known optimal bisection.
+func twoCliques(t *testing.T, k int) *Graph {
+	g := NewGraph(2 * k)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			mustAdd(t, g, a, b, 10)
+			mustAdd(t, g, k+a, k+b, 10)
+		}
+	}
+	mustAdd(t, g, 0, k, 1)
+	return g
+}
+
+func TestBisectTwoCliques(t *testing.T) {
+	g := twoCliques(t, 8)
+	side, cut := Bisect(g, Options{Seed: 1})
+	if cut != 1 {
+		t.Fatalf("cut = %d, want 1 (the bridge)", cut)
+	}
+	// Each clique must land wholly on one side.
+	for v := 1; v < 8; v++ {
+		if side[v] != side[0] {
+			t.Errorf("clique A split: v%d side %d vs %d", v, side[v], side[0])
+		}
+		if side[8+v] != side[8] {
+			t.Errorf("clique B split: v%d", 8+v)
+		}
+	}
+	if side[0] == side[8] {
+		t.Error("cliques should be on opposite sides")
+	}
+}
+
+func TestBisectRing(t *testing.T) {
+	const n = 32
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		mustAdd(t, g, i, (i+1)%n, 1)
+	}
+	side, cut := Bisect(g, Options{Seed: 3})
+	if cut != 2 {
+		t.Errorf("ring cut = %d, want 2 (contiguous arc)", cut)
+	}
+	if !Balanced(side, 0.08) {
+		t.Error("ring bisection unbalanced")
+	}
+}
+
+func TestBisectBalancedOnEdgelessGraph(t *testing.T) {
+	g := NewGraph(10)
+	side, cut := Bisect(g, Options{Seed: 5})
+	if cut != 0 {
+		t.Errorf("edgeless cut = %d, want 0", cut)
+	}
+	if !Balanced(side, 0.08) {
+		counts := [2]int{}
+		for _, s := range side {
+			counts[s]++
+		}
+		t.Errorf("edgeless bisection unbalanced: %v", counts)
+	}
+}
+
+func TestBisectTinyGraphs(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		g := NewGraph(n)
+		if n >= 2 {
+			mustAdd(t, g, 0, 1, 1)
+		}
+		side, _ := Bisect(g, Options{Seed: 7})
+		if len(side) != n {
+			t.Errorf("n=%d: side length %d", n, len(side))
+		}
+	}
+}
+
+func TestBisectDeterministic(t *testing.T) {
+	g := randomGraph(64, 200, 42)
+	sideA, cutA := Bisect(g, Options{Seed: 9})
+	sideB, cutB := Bisect(g, Options{Seed: 9})
+	if cutA != cutB {
+		t.Fatalf("same seed, different cuts: %d vs %d", cutA, cutB)
+	}
+	for v := range sideA {
+		if sideA[v] != sideB[v] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+}
+
+func TestBisectBeatsNaiveSplit(t *testing.T) {
+	// Random geometric-ish graph: bisection should beat the index split
+	// on a shuffled-community graph.
+	g := NewGraph(64)
+	rng := rand.New(rand.NewSource(17))
+	perm := rng.Perm(64) // hidden communities: perm[v] < 32 vs >= 32
+	for a := 0; a < 64; a++ {
+		for b := a + 1; b < 64; b++ {
+			sameCommunity := (perm[a] < 32) == (perm[b] < 32)
+			switch {
+			case sameCommunity && rng.Float64() < 0.4:
+				mustAdd(t, g, a, b, 4)
+			case !sameCommunity && rng.Float64() < 0.04:
+				mustAdd(t, g, a, b, 1)
+			}
+		}
+	}
+	naive := make([]int, 64)
+	for v := 32; v < 64; v++ {
+		naive[v] = 1
+	}
+	naiveCut := g.CutWeight(naive)
+	_, cut := Bisect(g, Options{Seed: 19})
+	if cut >= naiveCut {
+		t.Errorf("bisect cut %d should beat naive index split %d", cut, naiveCut)
+	}
+}
+
+func randomGraph(n, edges int, seed int64) *Graph {
+	g := NewGraph(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < edges; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		_ = g.AddEdge(a, b, 1+rng.Intn(5))
+	}
+	return g
+}
+
+// Property: every bisection is a valid balanced 0/1 assignment and the
+// reported cut matches a direct recount.
+func TestBisectInvariantsQuick(t *testing.T) {
+	f := func(seed int64, nRaw, eRaw uint8) bool {
+		n := 2 + int(nRaw%62)
+		e := int(eRaw)
+		g := randomGraph(n, e, seed)
+		side, cut := Bisect(g, Options{Seed: seed})
+		if len(side) != n {
+			return false
+		}
+		for _, s := range side {
+			if s != 0 && s != 1 {
+				return false
+			}
+		}
+		if cut != g.CutWeight(side) {
+			return false
+		}
+		return Balanced(side, 0.10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSideVertices(t *testing.T) {
+	zero, one := SideVertices([]int{0, 1, 0, 1, 0})
+	if len(zero) != 3 || len(one) != 2 {
+		t.Fatalf("split sizes %d/%d", len(zero), len(one))
+	}
+	if zero[0] != 0 || zero[1] != 2 || zero[2] != 4 {
+		t.Errorf("zero side = %v", zero)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	if !Balanced([]int{0, 1, 0, 1}, 0.0) {
+		t.Error("perfect split should be balanced at zero tolerance")
+	}
+	if Balanced([]int{0, 0, 0, 1}, 0.0) {
+		t.Error("3/1 split should fail zero tolerance")
+	}
+	if !Balanced([]int{0, 0, 0, 1}, 0.3) {
+		t.Error("3/1 split should pass 30% tolerance")
+	}
+}

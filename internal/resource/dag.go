@@ -1,0 +1,204 @@
+// Package resource implements the logical-level analyses of the
+// compilation frontend (paper §5.3): dependency-DAG construction over a
+// flat circuit, ASAP/ALAP leveling, critical-path extraction, and the
+// parallelism estimate that drives backend policy choices and the
+// Table 2 characterization.
+package resource
+
+import (
+	"fmt"
+
+	"surfcomm/internal/circuit"
+)
+
+// DAG is the data-dependency graph of a flat circuit: gate i depends on
+// the previous gate touching each of its qubits. Barriers participate in
+// the graph (serializing their qubit set) but carry zero latency.
+type DAG struct {
+	Circuit *circuit.Circuit
+	Preds   [][]int32 // distinct predecessor gate indices, ascending
+	Succs   [][]int32 // distinct successor gate indices, ascending
+}
+
+// Weight returns the latency contribution of gate i in logical cycles:
+// 0 for barriers, 1 for every real operation. Backends re-cost gates
+// with their own latency models; the frontend uses unit weights, as the
+// paper's parallelism factor does.
+func (d *DAG) Weight(i int) int {
+	if d.Circuit.Gates[i].Op == circuit.Barrier {
+		return 0
+	}
+	return 1
+}
+
+// Build constructs the dependency DAG for c in O(gates × operands).
+func Build(c *circuit.Circuit) (*DAG, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("resource: %w", err)
+	}
+	n := len(c.Gates)
+	d := &DAG{
+		Circuit: c,
+		Preds:   make([][]int32, n),
+		Succs:   make([][]int32, n),
+	}
+	last := make([]int32, c.NumQubits)
+	for i := range last {
+		last[i] = -1
+	}
+	for i, g := range c.Gates {
+		var preds []int32
+		for _, q := range g.Qubits {
+			if p := last[q]; p >= 0 {
+				preds = appendDistinct(preds, p)
+			}
+			last[q] = int32(i)
+		}
+		d.Preds[i] = preds
+		for _, p := range preds {
+			d.Succs[p] = append(d.Succs[p], int32(i))
+		}
+	}
+	return d, nil
+}
+
+// appendDistinct inserts v into the ascending slice s if absent. Gate
+// fan-in is bounded by operand count (≤ a handful), so linear insert is
+// the fast path.
+func appendDistinct(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Len returns the number of gates in the DAG.
+func (d *DAG) Len() int { return len(d.Preds) }
+
+// ASAP returns each gate's earliest start level under unit op weights
+// (as-soon-as-possible schedule) and the total schedule depth, i.e. the
+// critical path length in logical operation cycles.
+func (d *DAG) ASAP() (levels []int, depth int) {
+	n := d.Len()
+	levels = make([]int, n)
+	for i := 0; i < n; i++ { // gates are in program order: topological
+		lv := 0
+		for _, p := range d.Preds[i] {
+			if e := levels[p] + d.Weight(int(p)); e > lv {
+				lv = e
+			}
+		}
+		levels[i] = lv
+		if e := lv + d.Weight(i); e > depth {
+			depth = e
+		}
+	}
+	return levels, depth
+}
+
+// ASAPWeighted generalizes ASAP to arbitrary non-negative per-gate
+// latencies (in any unit): it returns each gate's earliest start time
+// and the makespan. Backends use it to compute the contention-free
+// critical path under their own cost models — the denominator of the
+// paper's schedule-to-critical-path ratio (Fig. 6).
+func (d *DAG) ASAPWeighted(weight func(i int) int64) (starts []int64, makespan int64) {
+	n := d.Len()
+	starts = make([]int64, n)
+	for i := 0; i < n; i++ {
+		var t int64
+		for _, p := range d.Preds[i] {
+			if e := starts[p] + weight(int(p)); e > t {
+				t = e
+			}
+		}
+		starts[i] = t
+		if e := t + weight(i); e > makespan {
+			makespan = e
+		}
+	}
+	return starts, makespan
+}
+
+// ALAP returns each gate's latest start level that still meets the ASAP
+// depth. Slack(i) = ALAP(i) − ASAP(i); zero-slack gates are critical.
+func (d *DAG) ALAP() []int {
+	n := d.Len()
+	_, depth := d.ASAP()
+	levels := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		lv := depth - d.Weight(i)
+		for _, s := range d.Succs[i] {
+			if e := levels[s] - d.Weight(i); e < lv {
+				lv = e
+			}
+		}
+		levels[i] = lv
+	}
+	return levels
+}
+
+// Heights returns, for each gate, the weighted length of the longest
+// dependency chain hanging below it (inclusive of the gate itself).
+// This is the criticality metric the braid priority policies sort by:
+// the longer the chain a braid is blocking, the more urgent it is.
+func (d *DAG) Heights() []int {
+	n := d.Len()
+	h := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		best := 0
+		for _, s := range d.Succs[i] {
+			if h[s] > best {
+				best = h[s]
+			}
+		}
+		h[i] = best + d.Weight(i)
+	}
+	return h
+}
+
+// maxExactDescendants bounds the circuit size for which exact
+// descendant-set counting (bitset transitive closure, O(V²/64) space) is
+// attempted; larger circuits should rank by Heights instead.
+const maxExactDescendants = 8192
+
+// DescendantCounts returns, for each gate, the exact number of gates
+// transitively depending on it — the paper's literal criticality count.
+// It returns ok=false (and ranks unavailable) when the circuit exceeds
+// the exact-computation bound; callers then fall back to Heights, which
+// induces the same urgency ordering on chain-dominated workloads.
+func (d *DAG) DescendantCounts() (counts []int, ok bool) {
+	n := d.Len()
+	if n > maxExactDescendants {
+		return nil, false
+	}
+	words := (n + 63) / 64
+	sets := make([]uint64, n*words)
+	counts = make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		row := sets[i*words : (i+1)*words]
+		for _, s := range d.Succs[i] {
+			row[int(s)/64] |= 1 << (uint(s) % 64)
+			srow := sets[int(s)*words : (int(s)+1)*words]
+			for w := range row {
+				row[w] |= srow[w]
+			}
+		}
+		c := 0
+		for _, w := range row {
+			c += popcount(w)
+		}
+		counts[i] = c
+	}
+	return counts, true
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

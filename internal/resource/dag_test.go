@@ -1,0 +1,235 @@
+package resource
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"surfcomm/internal/circuit"
+)
+
+// chain: h q0; t q0; measz q0 — a pure dependency chain.
+func chainCircuit() *circuit.Circuit {
+	c := circuit.New("chain", 1)
+	c.Append(circuit.H, 0)
+	c.Append(circuit.T, 0)
+	c.Append(circuit.MeasZ, 0)
+	return c
+}
+
+// wide: h on 8 disjoint qubits — fully parallel.
+func wideCircuit() *circuit.Circuit {
+	c := circuit.New("wide", 8)
+	for q := 0; q < 8; q++ {
+		c.Append(circuit.H, q)
+	}
+	return c
+}
+
+func TestBuildChainDependencies(t *testing.T) {
+	d, err := Build(chainCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Preds[0]) != 0 {
+		t.Errorf("gate 0 preds = %v, want none", d.Preds[0])
+	}
+	if len(d.Preds[1]) != 1 || d.Preds[1][0] != 0 {
+		t.Errorf("gate 1 preds = %v, want [0]", d.Preds[1])
+	}
+	if len(d.Preds[2]) != 1 || d.Preds[2][0] != 1 {
+		t.Errorf("gate 2 preds = %v, want [1]", d.Preds[2])
+	}
+	if len(d.Succs[0]) != 1 || d.Succs[0][0] != 1 {
+		t.Errorf("gate 0 succs = %v, want [1]", d.Succs[0])
+	}
+}
+
+func TestBuildTwoQubitSharedPredDeduplicated(t *testing.T) {
+	c := circuit.New("dedup", 2)
+	c.Append(circuit.CNOT, 0, 1) // gate 0 touches both qubits
+	c.Append(circuit.CNOT, 0, 1) // gate 1 depends on gate 0 once, not twice
+	d, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Preds[1]) != 1 {
+		t.Errorf("preds = %v, want single deduplicated entry", d.Preds[1])
+	}
+}
+
+func TestASAPChainAndWide(t *testing.T) {
+	dChain, _ := Build(chainCircuit())
+	_, depth := dChain.ASAP()
+	if depth != 3 {
+		t.Errorf("chain depth = %d, want 3", depth)
+	}
+	dWide, _ := Build(wideCircuit())
+	levels, depth := dWide.ASAP()
+	if depth != 1 {
+		t.Errorf("wide depth = %d, want 1", depth)
+	}
+	for i, lv := range levels {
+		if lv != 0 {
+			t.Errorf("wide gate %d level = %d, want 0", i, lv)
+		}
+	}
+}
+
+func TestBarrierSerializesButAddsNoLatency(t *testing.T) {
+	c := circuit.New("fence", 2)
+	c.Append(circuit.H, 0)
+	c.Append(circuit.Barrier, 0, 1)
+	c.Append(circuit.H, 1) // would be level 0 without the barrier
+	d, _ := Build(c)
+	levels, depth := d.ASAP()
+	if levels[2] != 1 {
+		t.Errorf("post-barrier gate level = %d, want 1 (serialized)", levels[2])
+	}
+	if depth != 2 {
+		t.Errorf("depth = %d, want 2 (barrier weightless)", depth)
+	}
+}
+
+func TestALAPBoundsAndSlack(t *testing.T) {
+	// Diamond: cnot(0,1); then h q0 and t q1 in parallel; then cnot(0,1).
+	c := circuit.New("diamond", 2)
+	c.Append(circuit.CNOT, 0, 1)
+	c.Append(circuit.H, 0)
+	c.Append(circuit.T, 1)
+	c.Append(circuit.CNOT, 0, 1)
+	d, _ := Build(c)
+	asap, depth := d.ASAP()
+	alap := d.ALAP()
+	if depth != 3 {
+		t.Fatalf("depth = %d, want 3", depth)
+	}
+	for i := range asap {
+		if alap[i] < asap[i] {
+			t.Errorf("gate %d ALAP %d < ASAP %d", i, alap[i], asap[i])
+		}
+	}
+	// All four gates are critical in this diamond.
+	for i := range asap {
+		if alap[i] != asap[i] {
+			t.Errorf("gate %d slack = %d, want 0", i, alap[i]-asap[i])
+		}
+	}
+}
+
+func TestALAPPositiveSlack(t *testing.T) {
+	// Two chains of different length; short chain has slack.
+	c := circuit.New("slack", 2)
+	c.Append(circuit.H, 0) // long chain
+	c.Append(circuit.T, 0)
+	c.Append(circuit.S, 0)
+	c.Append(circuit.H, 1) // short chain: slack 2
+	d, _ := Build(c)
+	asap, _ := d.ASAP()
+	alap := d.ALAP()
+	if slack := alap[3] - asap[3]; slack != 2 {
+		t.Errorf("short-chain slack = %d, want 2", slack)
+	}
+}
+
+func TestHeights(t *testing.T) {
+	d, _ := Build(chainCircuit())
+	h := d.Heights()
+	want := []int{3, 2, 1}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("height[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestDescendantCountsExact(t *testing.T) {
+	// Diamond from TestALAP: gate 0 has 3 descendants, middles have 1,
+	// sink has 0.
+	c := circuit.New("diamond", 2)
+	c.Append(circuit.CNOT, 0, 1)
+	c.Append(circuit.H, 0)
+	c.Append(circuit.T, 1)
+	c.Append(circuit.CNOT, 0, 1)
+	d, _ := Build(c)
+	counts, ok := d.DescendantCounts()
+	if !ok {
+		t.Fatal("exact counts should be available for tiny circuit")
+	}
+	want := []int{3, 1, 1, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("descendants[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestDescendantCountsDeclinesWhenHuge(t *testing.T) {
+	c := circuit.New("huge", 1)
+	for i := 0; i < maxExactDescendants+1; i++ {
+		c.Append(circuit.H, 0)
+	}
+	d, _ := Build(c)
+	if _, ok := d.DescendantCounts(); ok {
+		t.Error("should decline exact computation above bound")
+	}
+}
+
+// Property: for random circuits, ASAP depth ≤ ops (unit weights), every
+// edge respects levels, and heights are consistent with ASAP depth.
+func TestDAGInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		c := circuit.New("rand", n)
+		for i := 0; i < 60; i++ {
+			if rng.Intn(2) == 0 {
+				c.Append(circuit.H, rng.Intn(n))
+			} else {
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.Append(circuit.CNOT, a, b)
+			}
+		}
+		d, err := Build(c)
+		if err != nil {
+			return false
+		}
+		asap, depth := d.ASAP()
+		if depth > c.Ops() || depth <= 0 {
+			return false
+		}
+		for i := range d.Preds {
+			for _, p := range d.Preds[i] {
+				if asap[int(p)]+d.Weight(int(p)) > asap[i] {
+					return false
+				}
+			}
+		}
+		alap := d.ALAP()
+		for i := range asap {
+			if alap[i] < asap[i] {
+				return false
+			}
+		}
+		h := d.Heights()
+		maxH := 0
+		for _, x := range h {
+			if x > maxH {
+				maxH = x
+			}
+		}
+		return maxH == depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRejectsInvalidCircuit(t *testing.T) {
+	c := circuit.New("bad", 1)
+	c.Gates = append(c.Gates, circuit.Gate{Op: circuit.CNOT, Qubits: []int{0, 5}})
+	if _, err := Build(c); err == nil {
+		t.Error("invalid circuit should be rejected")
+	}
+}

@@ -1,0 +1,72 @@
+package resource
+
+import (
+	"fmt"
+
+	"surfcomm/internal/circuit"
+)
+
+// Estimate is the frontend's logical-level characterization of one
+// application (the inputs to Table 2 and to backend policy/code-distance
+// choices).
+type Estimate struct {
+	Name          string
+	LogicalQubits int
+	LogicalOps    int     // resource-bearing gates (K, the computation size)
+	TCount        int     // magic-state demand
+	TwoQubitOps   int     // communication demand
+	CriticalPath  int     // weighted DAG depth, logical cycles
+	Parallelism   float64 // LogicalOps / CriticalPath — Table 2's factor
+}
+
+// Estimate runs the frontend analyses over a flat circuit.
+func EstimateCircuit(c *circuit.Circuit) (Estimate, error) {
+	d, err := Build(c)
+	if err != nil {
+		return Estimate{}, err
+	}
+	_, depth := d.ASAP()
+	e := Estimate{
+		Name:          c.Name,
+		LogicalQubits: c.NumQubits,
+		LogicalOps:    c.Ops(),
+		TCount:        c.TCount(),
+		TwoQubitOps:   c.TwoQubitCount(),
+		CriticalPath:  depth,
+	}
+	if depth > 0 {
+		e.Parallelism = float64(e.LogicalOps) / float64(depth)
+	}
+	return e, nil
+}
+
+// String renders the estimate as a one-line report row.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%-18s qubits=%-6d ops=%-9d T=%-8d 2q=%-8d depth=%-8d parallelism=%.1f",
+		e.Name, e.LogicalQubits, e.LogicalOps, e.TCount, e.TwoQubitOps, e.CriticalPath, e.Parallelism)
+}
+
+// LevelWidths returns a histogram of how many resource ops sit at each
+// ASAP level — the instantaneous parallelism profile the Multi-SIMD
+// scheduler consumes.
+func LevelWidths(d *DAG) []int {
+	levels, depth := d.ASAP()
+	widths := make([]int, depth)
+	for i, lv := range levels {
+		if d.Weight(i) > 0 {
+			widths[lv]++
+		}
+	}
+	return widths
+}
+
+// MaxWidth returns the maximum instantaneous parallelism.
+func MaxWidth(d *DAG) int {
+	m := 0
+	for _, w := range LevelWidths(d) {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}

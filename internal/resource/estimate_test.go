@@ -1,0 +1,100 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+
+	"surfcomm/internal/circuit"
+)
+
+func TestEstimateCircuitSerialVsParallel(t *testing.T) {
+	serial := circuit.New("serial", 1)
+	for i := 0; i < 10; i++ {
+		serial.Append(circuit.T, 0)
+	}
+	es, err := EstimateCircuit(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Parallelism != 1.0 {
+		t.Errorf("serial parallelism = %v, want 1.0", es.Parallelism)
+	}
+	if es.LogicalOps != 10 || es.TCount != 10 || es.CriticalPath != 10 {
+		t.Errorf("serial estimate unexpected: %+v", es)
+	}
+
+	par := circuit.New("par", 10)
+	for q := 0; q < 10; q++ {
+		par.Append(circuit.H, q)
+	}
+	ep, err := EstimateCircuit(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Parallelism != 10.0 {
+		t.Errorf("parallel parallelism = %v, want 10.0", ep.Parallelism)
+	}
+	if ep.CriticalPath != 1 {
+		t.Errorf("parallel depth = %d, want 1", ep.CriticalPath)
+	}
+}
+
+func TestEstimateEmptyCircuit(t *testing.T) {
+	e, err := EstimateCircuit(circuit.New("empty", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Parallelism != 0 || e.LogicalOps != 0 || e.CriticalPath != 0 {
+		t.Errorf("empty estimate unexpected: %+v", e)
+	}
+}
+
+func TestEstimateStringContainsFields(t *testing.T) {
+	c := circuit.New("named", 2)
+	c.Append(circuit.CNOT, 0, 1)
+	e, _ := EstimateCircuit(c)
+	s := e.String()
+	for _, want := range []string{"named", "ops=1", "2q=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLevelWidthsProfile(t *testing.T) {
+	// Level 0: h q0, h q1. Level 1: cnot(0,1). Level 2: t q1.
+	c := circuit.New("profile", 2)
+	c.Append(circuit.H, 0)
+	c.Append(circuit.H, 1)
+	c.Append(circuit.CNOT, 0, 1)
+	c.Append(circuit.T, 1)
+	d, _ := Build(c)
+	w := LevelWidths(d)
+	want := []int{2, 1, 1}
+	if len(w) != len(want) {
+		t.Fatalf("widths = %v, want %v", w, want)
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Errorf("width[%d] = %d, want %d", i, w[i], want[i])
+		}
+	}
+	if MaxWidth(d) != 2 {
+		t.Errorf("MaxWidth = %d, want 2", MaxWidth(d))
+	}
+}
+
+func TestLevelWidthsSkipBarriers(t *testing.T) {
+	c := circuit.New("fence", 2)
+	c.Append(circuit.H, 0)
+	c.Append(circuit.Barrier, 0, 1)
+	c.Append(circuit.H, 1)
+	d, _ := Build(c)
+	total := 0
+	for _, w := range LevelWidths(d) {
+		total += w
+	}
+	if total != 2 {
+		t.Errorf("widths should count 2 real ops, got %d", total)
+	}
+}

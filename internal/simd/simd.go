@@ -1,0 +1,351 @@
+// Package simd implements the Multi-SIMD scheduler for planar-code
+// architectures (paper §4.4, after Heckey et al. ASPLOS'15): qubits
+// live in k reconfigurable SIMD regions, each region applies one
+// operation type per logical timestep to up to w qubits (microwave
+// broadcast), and qubits that change region between timesteps teleport
+// through the EPR network. The scheduler performs the mapping-level
+// communication reduction of Fig. 4: qubits are partitioned into home
+// regions by interaction locality, and operations are packed into
+// regions where their operands already reside, minimizing
+// teleportations.
+package simd
+
+import (
+	"fmt"
+	"sort"
+
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/partition"
+	"surfcomm/internal/resource"
+)
+
+// MagicSource is the Move.From value for magic-state deliveries: the
+// state is produced in a magic-state factory region and teleported to
+// the consuming SIMD region.
+const MagicSource = -1
+
+// Config sizes the Multi-SIMD machine.
+type Config struct {
+	// Regions is k, the number of SIMD regions (power of two; the
+	// home-region partition halves recursively). Zero selects 4.
+	Regions int
+	// Width is w, the maximum qubits operated on per region per
+	// timestep. Zero selects 32.
+	Width int
+	// Seed drives the home-region partitioner.
+	Seed int64
+	// NaiveBanks disables locality partitioning (round-robin home
+	// regions) — the baseline the mapping optimization is measured
+	// against.
+	NaiveBanks bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Regions == 0 {
+		c.Regions = 4
+	}
+	if c.Width == 0 {
+		c.Width = 32
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Regions < 1 || c.Regions&(c.Regions-1) != 0 {
+		return fmt.Errorf("simd: regions must be a power of two, got %d", c.Regions)
+	}
+	if c.Width < 1 {
+		return fmt.Errorf("simd: width must be positive, got %d", c.Width)
+	}
+	return nil
+}
+
+// Move is one teleportation: qubit Qubit relocates from region From to
+// region To at the given timestep, consuming one EPR pair. Magic-state
+// deliveries use From = MagicSource and Qubit = -1.
+type Move struct {
+	Timestep int
+	Qubit    int
+	From, To int
+}
+
+// Schedule is the Multi-SIMD execution plan of a circuit.
+type Schedule struct {
+	Config    Config
+	Timesteps int
+	Ops       int
+	// Teleports counts inter-region qubit moves (data communication).
+	Teleports int
+	// MagicMoves counts magic-state deliveries (one per T gate).
+	MagicMoves int
+	// Moves lists every EPR-consuming event in timestep order.
+	Moves []Move
+	// HomeRegion is the initial bank assignment of each qubit.
+	HomeRegion []int
+	// CriticalTimesteps is the DAG depth under unit op latency — the
+	// contention-free lower bound on Timesteps.
+	CriticalTimesteps int
+}
+
+// Parallelism returns ops per timestep achieved by the schedule.
+func (s *Schedule) Parallelism() float64 {
+	if s.Timesteps == 0 {
+		return 0
+	}
+	return float64(s.Ops) / float64(s.Timesteps)
+}
+
+// Run schedules the circuit on the Multi-SIMD machine.
+func Run(c *circuit.Circuit, cfg Config) (*Schedule, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dag, err := resource.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	heights := dag.Heights()
+
+	bank := homeRegions(c, cfg)
+	sched := &Schedule{
+		Config:     cfg,
+		Ops:        c.Ops(),
+		HomeRegion: append([]int(nil), bank...),
+	}
+	_, depth := dag.ASAP()
+	sched.CriticalTimesteps = depth
+
+	remDeps := make([]int, len(c.Gates))
+	for i := range c.Gates {
+		remDeps[i] = len(dag.Preds[i])
+	}
+	var ready []int
+	var admit func(i int)
+	completed := 0
+	admit = func(i int) {
+		if c.Gates[i].Op == circuit.Barrier {
+			completed++
+			for _, s := range dag.Succs[i] {
+				remDeps[s]--
+				if remDeps[s] == 0 {
+					admit(int(s))
+				}
+			}
+			return
+		}
+		ready = append(ready, i)
+	}
+	for i := range c.Gates {
+		if remDeps[i] == 0 {
+			admit(i)
+		}
+	}
+
+	timestep := 0
+	for completed < len(c.Gates) {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("simd: no ready ops with %d gates pending (dependency corruption)",
+				len(c.Gates)-completed)
+		}
+		scheduled := scheduleTimestep(c, cfg, ready, heights, bank, timestep, sched)
+		if len(scheduled) == 0 {
+			return nil, fmt.Errorf("simd: empty timestep with %d ready ops", len(ready))
+		}
+		// Retire scheduled ops and admit their successors.
+		isScheduled := make(map[int]bool, len(scheduled))
+		for _, i := range scheduled {
+			isScheduled[i] = true
+		}
+		next := ready[:0]
+		for _, i := range ready {
+			if !isScheduled[i] {
+				next = append(next, i)
+			}
+		}
+		ready = next
+		for _, i := range scheduled {
+			completed++
+			for _, s := range dag.Succs[i] {
+				remDeps[s]--
+				if remDeps[s] == 0 {
+					admit(int(s))
+				}
+			}
+		}
+		timestep++
+	}
+	sched.Timesteps = timestep
+	return sched, nil
+}
+
+// homeRegions assigns each qubit an initial bank: recursive bisection
+// of the interaction graph (locality), or round-robin when NaiveBanks.
+func homeRegions(c *circuit.Circuit, cfg Config) []int {
+	bank := make([]int, c.NumQubits)
+	if cfg.NaiveBanks || cfg.Regions == 1 {
+		for q := range bank {
+			bank[q] = q % cfg.Regions
+		}
+		return bank
+	}
+	g := partition.NewGraph(c.NumQubits)
+	for _, gt := range c.Gates {
+		if gt.Op.IsTwoQubit() {
+			// Operands validated distinct by circuit validation.
+			_ = g.AddEdge(gt.Qubits[0], gt.Qubits[1], 1)
+		}
+	}
+	var rec func(vertices []int, base, parts int, seed int64)
+	rec = func(vertices []int, base, parts int, seed int64) {
+		if parts == 1 || len(vertices) == 0 {
+			for _, v := range vertices {
+				bank[v] = base
+			}
+			return
+		}
+		sub, mapping, err := g.InducedSubgraph(vertices)
+		if err != nil {
+			// Vertices come from our own recursion; cannot happen.
+			panic(err)
+		}
+		side, _ := partition.Bisect(sub, partition.Options{Seed: seed})
+		zero, one := partition.SideVertices(side)
+		left := make([]int, len(zero))
+		for i, v := range zero {
+			left[i] = mapping[v]
+		}
+		right := make([]int, len(one))
+		for i, v := range one {
+			right[i] = mapping[v]
+		}
+		rec(left, base, parts/2, seed+1)
+		rec(right, base+parts/2, parts/2, seed+2)
+	}
+	all := make([]int, c.NumQubits)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all, 0, cfg.Regions, cfg.Seed)
+	return bank
+}
+
+// scheduleTimestep packs ready ops into the k regions for one timestep
+// and returns the scheduled op indices. It mutates bank (qubit
+// residency) and appends the timestep's moves to sched.
+func scheduleTimestep(c *circuit.Circuit, cfg Config, ready []int, heights []int,
+	bank []int, timestep int, sched *Schedule) []int {
+
+	// Group ready ops by opcode — a SIMD region broadcasts one
+	// operation type per timestep.
+	groups := map[circuit.Opcode][]int{}
+	for _, i := range ready {
+		groups[c.Gates[i].Op] = append(groups[c.Gates[i].Op], i)
+	}
+	type scored struct {
+		op       circuit.Opcode
+		ops      []int
+		priority int // max criticality in the group
+	}
+	var list []scored
+	for op, ops := range groups {
+		sort.Slice(ops, func(a, b int) bool {
+			if heights[ops[a]] != heights[ops[b]] {
+				return heights[ops[a]] > heights[ops[b]]
+			}
+			return ops[a] < ops[b]
+		})
+		list = append(list, scored{op: op, ops: ops, priority: heights[ops[0]]})
+	}
+	sort.Slice(list, func(a, b int) bool {
+		if list[a].priority != list[b].priority {
+			return list[a].priority > list[b].priority
+		}
+		if len(list[a].ops) != len(list[b].ops) {
+			return len(list[a].ops) > len(list[b].ops)
+		}
+		return list[a].op < list[b].op
+	})
+	// Region state for this timestep: a region is either unconfigured
+	// or broadcasts one opcode; several regions may broadcast the same
+	// opcode (each has its own control), which keeps clustered operands
+	// at home.
+	regionOp := make([]circuit.Opcode, cfg.Regions) // Nop = unconfigured
+	regionLoad := make([]int, cfg.Regions)
+	var scheduled []int
+	engaged := map[int]bool{} // qubits already operated on this timestep
+
+	// placeIn tries to commit op i to region r.
+	placeIn := func(i, r int) bool {
+		if regionOp[r] == circuit.Nop {
+			regionOp[r] = c.Gates[i].Op
+		} else if regionOp[r] != c.Gates[i].Op || regionLoad[r] >= cfg.Width {
+			return false
+		}
+		if regionLoad[r] >= cfg.Width {
+			return false
+		}
+		regionLoad[r]++
+		for _, q := range c.Gates[i].Qubits {
+			engaged[q] = true
+			if bank[q] != r {
+				sched.Moves = append(sched.Moves, Move{
+					Timestep: timestep, Qubit: q, From: bank[q], To: r,
+				})
+				sched.Teleports++
+				bank[q] = r
+			}
+		}
+		if c.Gates[i].Op.IsT() {
+			sched.Moves = append(sched.Moves, Move{
+				Timestep: timestep, Qubit: -1, From: MagicSource, To: r,
+			})
+			sched.MagicMoves++
+		}
+		scheduled = append(scheduled, i)
+		return true
+	}
+
+	for _, grp := range list {
+		for _, i := range grp.ops {
+			conflict := false
+			for _, q := range c.Gates[i].Qubits {
+				if engaged[q] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			// Preference order: the operand-majority region, then any
+			// region already broadcasting this opcode with spare width,
+			// then any unconfigured region.
+			counts := make([]int, cfg.Regions)
+			for _, q := range c.Gates[i].Qubits {
+				counts[bank[q]]++
+			}
+			pref, best := 0, -1
+			for r := 0; r < cfg.Regions; r++ {
+				if counts[r] > best {
+					pref, best = r, counts[r]
+				}
+			}
+			if placeIn(i, pref) {
+				continue
+			}
+			placed := false
+			for r := 0; r < cfg.Regions && !placed; r++ {
+				if r != pref && regionOp[r] == c.Gates[i].Op && regionLoad[r] < cfg.Width {
+					placed = placeIn(i, r)
+				}
+			}
+			for r := 0; r < cfg.Regions && !placed; r++ {
+				if regionOp[r] == circuit.Nop {
+					placed = placeIn(i, r)
+				}
+			}
+		}
+	}
+	return scheduled
+}

@@ -1,0 +1,75 @@
+package surface
+
+import "math"
+
+// Factory provisioning (paper §4.3): dedicated regions of the
+// architecture continuously prepare the logical ancillas consumed by
+// the program — magic states for T gates, EPR pairs for teleportation.
+
+// MagicFactoryLogicalQubits is the footprint of one magic-state
+// distillation factory in logical qubits (the paper's 12-encoded-qubit
+// figure from Jones et al.).
+const MagicFactoryLogicalQubits = 12
+
+// EPRFactoryLogicalQubits is the footprint of one EPR-pair generation
+// factory in logical qubits. EPR generation is a single Bell-pair
+// preparation plus purification stage — far cheaper than distillation;
+// we provision a 4-logical-qubit pipeline per factory.
+const EPRFactoryLogicalQubits = 4
+
+// MagicStateLatencyCycles returns the logical cycles one 15-to-1
+// distillation round takes; a factory pipeline emits roughly one state
+// per round.
+func MagicStateLatencyCycles() int { return 10 }
+
+// AncillaDataRatio is the paper's empirical space-time balance: one
+// logical ancilla-factory qubit provisioned per four data qubits
+// ("we have found that a good space-time balance is achieved with a
+// 1:4 ancilla-to-data ratio", §4.3).
+const AncillaDataRatio = 4
+
+// FactoryBudget returns the number of logical qubits reserved for
+// ancilla factories for a program with dataQubits logical data qubits.
+func FactoryBudget(dataQubits int) int {
+	b := (dataQubits + AncillaDataRatio - 1) / AncillaDataRatio
+	if b < MagicFactoryLogicalQubits {
+		// Always provision at least one full magic-state factory; a
+		// program without T gates still needs state injection paths.
+		b = MagicFactoryLogicalQubits
+	}
+	return b
+}
+
+// Provision splits a factory budget into whole factories for the two
+// ancilla species. Planar architectures need both kinds; double-defect
+// architectures set needEPR=false and spend the full budget on magic
+// states (braids replace teleportation, paper §4.5).
+type Provision struct {
+	MagicFactories int
+	EPRFactories   int
+	LogicalQubits  int // total footprint actually consumed
+}
+
+// ProvisionFactories allocates whole factories within the budget for
+// dataQubits of program data.
+func ProvisionFactories(dataQubits int, needEPR bool) Provision {
+	budget := FactoryBudget(dataQubits)
+	p := Provision{}
+	if !needEPR {
+		p.MagicFactories = budget / MagicFactoryLogicalQubits
+		if p.MagicFactories < 1 {
+			p.MagicFactories = 1
+		}
+		p.LogicalQubits = p.MagicFactories * MagicFactoryLogicalQubits
+		return p
+	}
+	// Split the budget: distillation is ~3× the footprint per factory,
+	// and T traffic dominates EPR traffic in magnitude per op, so give
+	// magic states 2/3 of the budget and EPR pipelines 1/3.
+	magicBudget := budget * 2 / 3
+	eprBudget := budget - magicBudget
+	p.MagicFactories = int(math.Max(1, float64(magicBudget/MagicFactoryLogicalQubits)))
+	p.EPRFactories = int(math.Max(1, float64(eprBudget/EPRFactoryLogicalQubits)))
+	p.LogicalQubits = p.MagicFactories*MagicFactoryLogicalQubits + p.EPRFactories*EPRFactoryLogicalQubits
+	return p
+}

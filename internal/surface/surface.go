@@ -1,0 +1,155 @@
+// Package surface models the error-correction layer of the toolchain
+// (paper §2.3, §4.3): the surface-code logical error model, code
+// distance selection from the physical-to-logical reliability gap, the
+// physical footprint of planar and double-defect logical tiles, the
+// syndrome-measurement cycle time on superconducting hardware, and
+// ancilla-factory provisioning.
+//
+// Everything here is closed-form; the communication behavior that
+// distinguishes the two encodings lives in the braid and teleport
+// simulators.
+package surface
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology captures the physical device characteristics the toolflow
+// is parameterized by (paper Fig. 4 "technology characteristics").
+type Technology struct {
+	// PhysicalErrorRate is p_P, the per-operation physical error rate.
+	// The paper sweeps 1e-8 (future optimistic) to 1e-3 (current).
+	PhysicalErrorRate float64
+
+	// Threshold is the surface-code threshold error rate p_th below
+	// which increasing distance suppresses logical errors (~1e-2 for
+	// superconducting circuits).
+	Threshold float64
+
+	// Prefactor is the A in p_L(d) = A·(p_P/p_th)^((d+1)/2).
+	Prefactor float64
+
+	// Gate1Q, Gate2Q, Meas are physical operation latencies in seconds.
+	// The paper's evaluations assume single-qubit operations 10× faster
+	// than two-qubit operations on superconductors.
+	Gate1Q float64
+	Gate2Q float64
+	Meas   float64
+}
+
+// Superconducting returns the paper's baseline superconducting
+// technology at the given physical error rate: 10-100 MHz-class gates
+// with 1q:2q = 1:10.
+func Superconducting(physicalErrorRate float64) Technology {
+	return Technology{
+		PhysicalErrorRate: physicalErrorRate,
+		Threshold:         1e-2,
+		Prefactor:         0.03,
+		Gate1Q:            10e-9,
+		Gate2Q:            100e-9,
+		Meas:              100e-9,
+	}
+}
+
+// Validate checks the technology parameters are physical.
+func (t Technology) Validate() error {
+	switch {
+	case t.PhysicalErrorRate <= 0:
+		return fmt.Errorf("surface: physical error rate must be positive, got %g", t.PhysicalErrorRate)
+	case t.Threshold <= 0:
+		return fmt.Errorf("surface: threshold must be positive, got %g", t.Threshold)
+	case t.Prefactor <= 0:
+		return fmt.Errorf("surface: prefactor must be positive, got %g", t.Prefactor)
+	case t.Gate1Q <= 0 || t.Gate2Q <= 0 || t.Meas <= 0:
+		return fmt.Errorf("surface: gate times must be positive")
+	}
+	return nil
+}
+
+// LogicalErrorPerCycle returns p_L(d): the probability that a
+// distance-d logical qubit suffers a logical error per logical
+// operation cycle, using Fowler's empirical fit
+// p_L = A·(p_P/p_th)^((d+1)/2).
+func (t Technology) LogicalErrorPerCycle(d int) float64 {
+	ratio := t.PhysicalErrorRate / t.Threshold
+	return t.Prefactor * math.Pow(ratio, float64(d+1)/2)
+}
+
+// MaxDistance bounds the distance search; distance-1000 codes are far
+// beyond any plotted design point and indicate an uncorrectable regime.
+const MaxDistance = 999
+
+// RequiredDistance returns the smallest odd code distance d such that a
+// computation of totalOps logical operations meets the target success
+// probability: totalOps · p_L(d) ≤ 1 − successTarget. The paper uses
+// successTarget = 0.5 ("a typical correctness target").
+//
+// It fails when the device is at or above threshold (no distance
+// suppresses errors) or when the demanded gap exceeds MaxDistance.
+func (t Technology) RequiredDistance(totalOps, successTarget float64) (int, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if totalOps < 1 {
+		totalOps = 1
+	}
+	if successTarget <= 0 || successTarget >= 1 {
+		return 0, fmt.Errorf("surface: success target must be in (0,1), got %g", successTarget)
+	}
+	if t.PhysicalErrorRate >= t.Threshold {
+		return 0, fmt.Errorf("surface: physical error rate %g at/above threshold %g — uncorrectable",
+			t.PhysicalErrorRate, t.Threshold)
+	}
+	budget := (1 - successTarget) / totalOps
+	for d := 3; d <= MaxDistance; d += 2 {
+		if t.LogicalErrorPerCycle(d) <= budget {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("surface: no distance ≤ %d achieves per-op error %g at p_P=%g",
+		MaxDistance, budget, t.PhysicalErrorRate)
+}
+
+// SyndromeCycleTime returns the duration of one surface-code error
+// correction cycle: the ancillas interact with their four data
+// neighbors (4 two-qubit gates), are basis-rotated (2 single-qubit
+// gates), measured, and re-initialized (costed as a measurement).
+func (t Technology) SyndromeCycleTime() float64 {
+	return 4*t.Gate2Q + 2*t.Gate1Q + 2*t.Meas
+}
+
+// LogicalCycleTime returns the duration of one logical operation cycle
+// at distance d: d rounds of syndrome measurement (errors must be
+// tracked for d rounds before a logical operation commits).
+func (t Technology) LogicalCycleTime(d int) float64 {
+	return float64(d) * t.SyndromeCycleTime()
+}
+
+// PlanarTileQubits returns the physical qubits of one planar logical
+// tile at distance d: a (2d−1)×(2d−1) lattice of alternating data and
+// syndrome qubits (paper Fig. 1a).
+func PlanarTileQubits(d int) int {
+	side := 2*d - 1
+	return side * side
+}
+
+// DoubleDefectTileQubits returns the physical qubits of one
+// double-defect logical tile at distance d: the defect pair needs a
+// (4d−1)×(2d−1) patch of the monolithic lattice — defect circumference
+// and separation both scale with d (paper Fig. 1b). The planar tile is
+// smaller at every distance, the paper's headline space advantage.
+func DoubleDefectTileQubits(d int) int {
+	return (4*d - 1) * (2*d - 1)
+}
+
+// ChannelWidthQubits returns the physical width of one braid channel
+// between double-defect tiles: a braid needs a d/2-wide corridor of
+// lattice to pass without reducing the code distance.
+func ChannelWidthQubits(d int) int {
+	w := d / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,217 @@
+package surface
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuperconductingDefaults(t *testing.T) {
+	tech := Superconducting(1e-5)
+	if err := tech.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tech.Gate2Q != 10*tech.Gate1Q {
+		t.Errorf("paper assumes 1q ops 10x faster than 2q: %g vs %g", tech.Gate1Q, tech.Gate2Q)
+	}
+}
+
+func TestValidateRejectsBadTech(t *testing.T) {
+	bad := []Technology{
+		{PhysicalErrorRate: 0, Threshold: 1e-2, Prefactor: 0.03, Gate1Q: 1, Gate2Q: 1, Meas: 1},
+		{PhysicalErrorRate: 1e-3, Threshold: 0, Prefactor: 0.03, Gate1Q: 1, Gate2Q: 1, Meas: 1},
+		{PhysicalErrorRate: 1e-3, Threshold: 1e-2, Prefactor: 0, Gate1Q: 1, Gate2Q: 1, Meas: 1},
+		{PhysicalErrorRate: 1e-3, Threshold: 1e-2, Prefactor: 0.03, Gate1Q: 0, Gate2Q: 1, Meas: 1},
+	}
+	for i, tech := range bad {
+		if err := tech.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestLogicalErrorDecreasesWithDistance(t *testing.T) {
+	tech := Superconducting(1e-4)
+	prev := math.Inf(1)
+	for d := 3; d <= 31; d += 2 {
+		pl := tech.LogicalErrorPerCycle(d)
+		if pl >= prev {
+			t.Fatalf("p_L not decreasing at d=%d: %g >= %g", d, pl, prev)
+		}
+		prev = pl
+	}
+}
+
+func TestLogicalErrorGrowsAboveThreshold(t *testing.T) {
+	tech := Superconducting(5e-2) // above threshold
+	if tech.LogicalErrorPerCycle(11) <= tech.LogicalErrorPerCycle(3) {
+		t.Error("above threshold, more distance should hurt")
+	}
+}
+
+func TestRequiredDistanceKnownValues(t *testing.T) {
+	// p_P = 1e-4, ratio = 1e-2: p_L(d) = 0.03 * 1e-(d+1).
+	tech := Superconducting(1e-4)
+	cases := []struct {
+		ops  float64
+		want int
+	}{
+		{1, 3},     // budget 0.5: d=3 gives 3e-6? d=3: 0.03*1e-4=3e-6 <= 0.5 -> 3
+		{1e6, 5},   // budget 5e-7: d=3 gives 3e-6 (no), d=5 gives 3e-8 (yes)
+		{1e10, 9},  // budget 5e-11: d=7 -> 3e-10 no, d=9 -> 3e-12 yes
+		{1e20, 19}, // budget 5e-21: d=19 -> 3e-22 yes, d=17 -> 3e-20 no
+	}
+	for _, c := range cases {
+		d, err := tech.RequiredDistance(c.ops, 0.5)
+		if err != nil {
+			t.Fatalf("ops=%g: %v", c.ops, err)
+		}
+		if d != c.want {
+			t.Errorf("ops=%g: d=%d, want %d", c.ops, d, c.want)
+		}
+	}
+}
+
+func TestRequiredDistanceMonotoneInOps(t *testing.T) {
+	tech := Superconducting(1e-5)
+	prev := 0
+	for _, ops := range []float64{1, 1e3, 1e6, 1e9, 1e12, 1e15, 1e18, 1e21, 1e24} {
+		d, err := tech.RequiredDistance(ops, 0.5)
+		if err != nil {
+			t.Fatalf("ops=%g: %v", ops, err)
+		}
+		if d < prev {
+			t.Errorf("distance decreased at ops=%g: %d < %d", ops, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRequiredDistanceMonotoneInErrorRate(t *testing.T) {
+	// Faultier devices need at least as much distance.
+	prev := MaxDistance + 1
+	for _, p := range []float64{5e-3, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8} {
+		d, err := Superconducting(p).RequiredDistance(1e9, 0.5)
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		if d > prev {
+			t.Errorf("cleaner device needs more distance at p=%g: %d > %d", p, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRequiredDistanceAboveThresholdFails(t *testing.T) {
+	if _, err := Superconducting(2e-2).RequiredDistance(100, 0.5); err == nil {
+		t.Error("above-threshold device should be uncorrectable")
+	}
+}
+
+func TestRequiredDistanceRejectsBadTarget(t *testing.T) {
+	tech := Superconducting(1e-5)
+	for _, target := range []float64{0, 1, -0.3, 1.5} {
+		if _, err := tech.RequiredDistance(100, target); err == nil {
+			t.Errorf("target %g should be rejected", target)
+		}
+	}
+}
+
+func TestRequiredDistanceOddQuick(t *testing.T) {
+	f := func(expRaw uint8, opsExp uint8) bool {
+		p := math.Pow(10, -(3 + float64(expRaw%6))) // 1e-3..1e-8
+		ops := math.Pow(10, float64(opsExp%20))
+		d, err := Superconducting(p).RequiredDistance(ops, 0.5)
+		if err != nil {
+			return false
+		}
+		// Distance is odd, >= 3, and d-2 does not suffice.
+		if d%2 != 1 || d < 3 {
+			return false
+		}
+		tech := Superconducting(p)
+		budget := 0.5 / ops
+		if d > 3 && tech.LogicalErrorPerCycle(d-2) <= budget {
+			return false
+		}
+		return tech.LogicalErrorPerCycle(d) <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTileGeometry(t *testing.T) {
+	if got := PlanarTileQubits(3); got != 25 {
+		t.Errorf("planar d=3 tile = %d, want 25", got)
+	}
+	if got := DoubleDefectTileQubits(3); got != 55 {
+		t.Errorf("double-defect d=3 tile = %d, want 55", got)
+	}
+	for d := 3; d <= 25; d += 2 {
+		if PlanarTileQubits(d) >= DoubleDefectTileQubits(d) {
+			t.Errorf("d=%d: planar tile %d should be smaller than double-defect %d",
+				d, PlanarTileQubits(d), DoubleDefectTileQubits(d))
+		}
+	}
+}
+
+func TestChannelWidth(t *testing.T) {
+	if ChannelWidthQubits(1) != 1 {
+		t.Error("minimum channel width is 1")
+	}
+	if ChannelWidthQubits(8) != 4 {
+		t.Errorf("channel width d=8 = %d, want 4", ChannelWidthQubits(8))
+	}
+}
+
+func TestCycleTimes(t *testing.T) {
+	tech := Superconducting(1e-5)
+	sc := tech.SyndromeCycleTime()
+	want := 4*tech.Gate2Q + 2*tech.Gate1Q + 2*tech.Meas
+	if sc != want {
+		t.Errorf("syndrome cycle = %g, want %g", sc, want)
+	}
+	if tech.LogicalCycleTime(5) != 5*sc {
+		t.Error("logical cycle should be d syndrome rounds")
+	}
+}
+
+func TestFactoryBudgetRatio(t *testing.T) {
+	if got := FactoryBudget(400); got != 100 {
+		t.Errorf("budget(400) = %d, want 100 (1:4 ratio)", got)
+	}
+	if got := FactoryBudget(2); got != MagicFactoryLogicalQubits {
+		t.Errorf("tiny programs still get one magic factory, got %d", got)
+	}
+}
+
+func TestProvisionDoubleDefectSkipsEPR(t *testing.T) {
+	p := ProvisionFactories(400, false)
+	if p.EPRFactories != 0 {
+		t.Errorf("double-defect provisioning should have no EPR factories, got %d", p.EPRFactories)
+	}
+	if p.MagicFactories != 100/MagicFactoryLogicalQubits {
+		t.Errorf("magic factories = %d, want %d", p.MagicFactories, 100/MagicFactoryLogicalQubits)
+	}
+	if p.LogicalQubits != p.MagicFactories*MagicFactoryLogicalQubits {
+		t.Error("footprint accounting inconsistent")
+	}
+}
+
+func TestProvisionPlanarHasBoth(t *testing.T) {
+	p := ProvisionFactories(400, true)
+	if p.MagicFactories < 1 || p.EPRFactories < 1 {
+		t.Errorf("planar provisioning needs both species: %+v", p)
+	}
+	if p.LogicalQubits > FactoryBudget(400)+MagicFactoryLogicalQubits+EPRFactoryLogicalQubits {
+		t.Errorf("footprint %d wildly exceeds budget %d", p.LogicalQubits, FactoryBudget(400))
+	}
+}
+
+func TestProvisionMinimums(t *testing.T) {
+	p := ProvisionFactories(1, true)
+	if p.MagicFactories < 1 || p.EPRFactories < 1 {
+		t.Errorf("minimum provisioning violated: %+v", p)
+	}
+}

@@ -1,0 +1,326 @@
+// Package teleport simulates EPR-pair distribution for the planar
+// Multi-SIMD architecture (paper §4.1, §8.1). Teleportation decouples
+// communication into two steps: EPR halves travel ahead of time through
+// swap channels (prefetchable, latency- and congestion-prone), and the
+// data teleport itself is a constant-latency local interaction at the
+// point of use. The optimizer's job is "just-in-time" distribution: a
+// look-ahead window decides how early each pair is launched — too late
+// starves teleports (stalls), too early floods the network with live
+// EPR qubits (space).
+//
+// The simulator replays a Multi-SIMD schedule's move list: every
+// teleport (and every magic-state delivery) consumes one EPR pair whose
+// halves travel from the EPR factory region to the two endpoint
+// regions, hop by hop, under per-link bandwidth limits.
+package teleport
+
+import (
+	"fmt"
+	"sort"
+
+	"surfcomm/internal/layout"
+	"surfcomm/internal/simd"
+)
+
+// Config sets the physical parameters of the distribution network.
+type Config struct {
+	// Distance is the code distance d: one SIMD timestep is d error
+	// correction cycles, and an EPR half crosses one region boundary in
+	// max(1, d/4) cycles (a swap chain advances one lattice site per
+	// two-qubit gate time; a tile is 2d−1 sites wide, pipelined 8-deep
+	// per EC cycle). Zero selects 9.
+	Distance int
+	// LinkBandwidth is EPR halves per link per cycle. A region-boundary
+	// channel is a multi-lane swap corridor (the teleport buffers of
+	// Fig. 3a); zero selects 4 lanes.
+	LinkBandwidth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Distance == 0 {
+		c.Distance = 9
+	}
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = 4
+	}
+	return c
+}
+
+// StepCycles returns the EC cycles per SIMD timestep.
+func (c Config) StepCycles() int64 { return int64(c.Distance) }
+
+// HopCycles returns the EC cycles per region hop of an EPR half.
+func (c Config) HopCycles() int64 {
+	h := c.Distance / 4
+	if h < 1 {
+		h = 1
+	}
+	return int64(h)
+}
+
+// PrefetchAll is a window value large enough to launch every pair at
+// cycle zero — the "distribute as early as possible" baseline the ~24×
+// qubit-saving claim of §8.1 is measured against.
+const PrefetchAll = int64(1) << 40
+
+// Result reports one distribution run at a fixed window.
+type Result struct {
+	WindowCycles   int64
+	BaseCycles     int64 // timesteps × StepCycles, no stalls
+	StallCycles    int64 // added latency from late EPR arrivals
+	ScheduleCycles int64 // BaseCycles + StallCycles
+	TotalPairs     int
+	PeakLiveEPR    int     // max concurrently live EPR halves (qubit cost)
+	AvgLiveEPR     float64 // time-averaged live EPR halves
+	// LatencyOverhead is StallCycles / BaseCycles.
+	LatencyOverhead float64
+}
+
+// geometry places the k SIMD regions on a grid with the two ancilla
+// factories on an extra row (Fig. 3a): magic-state factory bottom-left,
+// EPR factory bottom-right.
+type geometry struct {
+	coords []layout.Coord // region id -> coordinate
+	magic  layout.Coord
+	epr    layout.Coord
+	rows   int
+	cols   int
+}
+
+func newGeometry(regions int) geometry {
+	rows, cols := layout.GridFor(regions)
+	if cols < 2 {
+		cols = 2
+	}
+	g := geometry{rows: rows + 1, cols: cols}
+	for r := 0; r < regions; r++ {
+		g.coords = append(g.coords, layout.Coord{Row: r / cols, Col: r % cols})
+	}
+	g.magic = layout.Coord{Row: rows, Col: 0}
+	g.epr = layout.Coord{Row: rows, Col: cols - 1}
+	return g
+}
+
+// coordOf maps a move endpoint to a coordinate (MagicSource is the
+// magic-state factory region).
+func (g geometry) coordOf(region int) layout.Coord {
+	if region == simd.MagicSource {
+		return g.magic
+	}
+	return g.coords[region]
+}
+
+// half is one EPR half in flight: it follows the XY staircase from the
+// EPR factory to its destination region.
+type half struct {
+	move     int
+	dest     layout.Coord
+	pos      layout.Coord
+	arrived  bool
+	arriveAt int64
+}
+
+// link identifies a directed channel between adjacent region coords.
+type link struct {
+	from, to layout.Coord
+}
+
+// Distribute replays the schedule's move list with the given look-ahead
+// window (in EC cycles): each pair launches at
+// max(0, useTime − window) and its halves contend for link bandwidth.
+func Distribute(s *simd.Schedule, window int64, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if window < 0 {
+		return Result{}, fmt.Errorf("teleport: negative window %d", window)
+	}
+	if s.Config.Regions < 1 {
+		return Result{}, fmt.Errorf("teleport: schedule has no regions")
+	}
+	geo := newGeometry(s.Config.Regions)
+	res := Result{
+		WindowCycles: window,
+		BaseCycles:   int64(s.Timesteps) * cfg.StepCycles(),
+		TotalPairs:   len(s.Moves),
+	}
+	if len(s.Moves) == 0 {
+		res.ScheduleCycles = res.BaseCycles
+		return res, nil
+	}
+
+	// Launch schedule: each move's two halves enter the network at
+	// max(0, useTime − window), from the EPR factory.
+	type launch struct {
+		time int64
+		h    *half
+	}
+	useTime := make([]int64, len(s.Moves))
+	launches := make([]launch, 0, 2*len(s.Moves))
+	halves := make([]*half, 0, 2*len(s.Moves))
+	for m, mv := range s.Moves {
+		useTime[m] = int64(mv.Timestep) * cfg.StepCycles()
+		at := useTime[m] - window
+		if at < 0 {
+			at = 0
+		}
+		for _, dest := range []layout.Coord{geo.coordOf(mv.From), geo.coordOf(mv.To)} {
+			h := &half{move: m, dest: dest, pos: geo.epr}
+			halves = append(halves, h)
+			launches = append(launches, launch{time: at, h: h})
+		}
+	}
+	sort.SliceStable(launches, func(i, j int) bool { return launches[i].time < launches[j].time })
+
+	// Cycle-driven propagation with per-link bandwidth. Pending holds
+	// halves bucketed by their next movement attempt cycle.
+	pending := map[int64][]*half{}
+	for _, l := range launches {
+		pending[l.time] = append(pending[l.time], l.h)
+	}
+	type linkUse struct {
+		cycle int64
+		used  int
+	}
+	usage := map[link]*linkUse{}
+	active := 0
+	for _, b := range pending {
+		active += len(b)
+	}
+	arrivalByMove := make([]int64, len(s.Moves))
+
+	for cycle := int64(0); active > 0; cycle++ {
+		bucket := pending[cycle]
+		if len(bucket) == 0 {
+			continue
+		}
+		delete(pending, cycle)
+		for _, h := range bucket {
+			if h.pos == h.dest {
+				h.arrived = true
+				h.arriveAt = cycle
+				if cycle > arrivalByMove[h.move] {
+					arrivalByMove[h.move] = cycle
+				}
+				active--
+				continue
+			}
+			next := stepToward(h.pos, h.dest)
+			l := link{from: h.pos, to: next}
+			u := usage[l]
+			if u == nil {
+				u = &linkUse{}
+				usage[l] = u
+			}
+			if u.cycle != cycle {
+				u.cycle = cycle
+				u.used = 0
+			}
+			if u.used >= cfg.LinkBandwidth {
+				// Blocked: retry next cycle.
+				pending[cycle+1] = append(pending[cycle+1], h)
+				continue
+			}
+			u.used++
+			h.pos = next
+			pending[cycle+cfg.HopCycles()] = append(pending[cycle+cfg.HopCycles()], h)
+		}
+	}
+
+	// Timestep commit recurrence: a timestep starts when the previous
+	// one has finished AND all of its EPR pairs have arrived.
+	maxArrival := map[int]int64{}
+	for m, mv := range s.Moves {
+		if arrivalByMove[m] > maxArrival[mv.Timestep] {
+			maxArrival[mv.Timestep] = arrivalByMove[m]
+		}
+	}
+	actualStart := make([]int64, s.Timesteps)
+	prevEnd := int64(0)
+	for t := 0; t < s.Timesteps; t++ {
+		start := prevEnd
+		if a, ok := maxArrival[t]; ok && a > start {
+			start = a
+		}
+		actualStart[t] = start
+		prevEnd = start + cfg.StepCycles()
+	}
+	res.ScheduleCycles = prevEnd
+	res.StallCycles = res.ScheduleCycles - res.BaseCycles
+	if res.BaseCycles > 0 {
+		res.LatencyOverhead = float64(res.StallCycles) / float64(res.BaseCycles)
+	}
+
+	// Live-EPR accounting: each half is live from launch until its
+	// move's timestep commits (the pair is consumed by the teleport).
+	type delta struct {
+		at int64
+		d  int
+	}
+	var deltas []delta
+	for i, l := range launches {
+		consume := actualStart[s.Moves[l.h.move].Timestep] + cfg.StepCycles()
+		deltas = append(deltas, delta{at: l.time, d: 1}, delta{at: consume, d: -1})
+		_ = i
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].at != deltas[j].at {
+			return deltas[i].at < deltas[j].at
+		}
+		return deltas[i].d < deltas[j].d // consume before launch at ties
+	})
+	live, peak := 0, 0
+	var integral int64
+	last := int64(0)
+	for _, d := range deltas {
+		integral += int64(live) * (d.at - last)
+		last = d.at
+		live += d.d
+		if live > peak {
+			peak = live
+		}
+	}
+	res.PeakLiveEPR = peak
+	if res.ScheduleCycles > 0 {
+		res.AvgLiveEPR = float64(integral) / float64(res.ScheduleCycles)
+	}
+	return res, nil
+}
+
+// stepToward advances one hop along the XY staircase (columns first).
+func stepToward(pos, dest layout.Coord) layout.Coord {
+	switch {
+	case pos.Col < dest.Col:
+		pos.Col++
+	case pos.Col > dest.Col:
+		pos.Col--
+	case pos.Row < dest.Row:
+		pos.Row++
+	default:
+		pos.Row--
+	}
+	return pos
+}
+
+// SweepWindows runs Distribute across a set of windows — the §8.1
+// window-size sensitivity study.
+func SweepWindows(s *simd.Schedule, windows []int64, cfg Config) ([]Result, error) {
+	out := make([]Result, 0, len(windows))
+	for _, w := range windows {
+		r, err := Distribute(s, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// JITWindow returns a just-in-time window heuristic for a schedule: the
+// network diameter's traversal time plus one timestep of slack — deep
+// enough to hide distribution latency, shallow enough to cap live
+// pairs.
+func JITWindow(s *simd.Schedule, cfg Config) int64 {
+	cfg = cfg.withDefaults()
+	geo := newGeometry(s.Config.Regions)
+	diameter := int64(geo.rows + geo.cols)
+	return diameter*cfg.HopCycles() + cfg.StepCycles()
+}

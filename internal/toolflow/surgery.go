@@ -1,0 +1,80 @@
+package toolflow
+
+import (
+	"math"
+
+	"surfcomm/internal/surface"
+)
+
+// Lattice surgery (paper §8.2) — the third communication option the
+// paper discusses and declines to evaluate in depth: adjacent planar
+// patches merge and split by toggling boundary syndromes, and distant
+// qubits interact through a chain of merges. The paper's argument is
+// qualitative: "the chain of merges and splits does not have the
+// benefits of braids (fast movement) nor teleportation
+// (prefetchability)". This extension quantifies that claim inside the
+// same cost model.
+//
+// Cost axioms:
+//   - Space: planar tiles (surgery keeps the planar code's low qubit
+//     overhead) plus a half-tile-wide merge corridor per tile row/col —
+//     cheaper than double-defect, slightly above bare planar.
+//   - Time: each communicating op performs a chain of merge+split
+//     steps across the Manhattan distance; every step stabilizes for d
+//     cycles (a merged boundary must be measured d rounds before the
+//     product is trusted). Nothing is prefetchable and latency grows
+//     with distance: cost per comm op = distance · 2d cycles.
+
+// SurgeryPoint extends a DesignPoint with the lattice-surgery column.
+type SurgeryPoint struct {
+	DesignPoint
+	SurgeryQubits  float64
+	SurgerySeconds float64
+	// SurgeryVsPlanar and SurgeryVsDD are space-time products relative
+	// to the respective baselines (> 1 means surgery loses).
+	SurgeryVsPlanar float64
+	SurgeryVsDD     float64
+}
+
+// EvaluateSurgery costs a design point under all three communication
+// schemes.
+func EvaluateSurgery(m AppModel, totalOps, physicalError float64) (SurgeryPoint, error) {
+	dp, err := Evaluate(m, totalOps, physicalError)
+	if err != nil {
+		return SurgeryPoint{}, err
+	}
+	sp := SurgeryPoint{DesignPoint: dp}
+	tech := surface.Superconducting(physicalError)
+	d := dp.Distance
+
+	q := m.QubitsForOps(totalOps)
+	if q < 2 {
+		q = 2
+	}
+	tiles := q + factoryTiles(q)
+
+	// Space: planar tiles plus merge corridors (half a tile width of
+	// extra lattice between adjacent patches).
+	corridor := 1.5
+	sp.SurgeryQubits = tiles * corridor * float64(surface.PlanarTileQubits(d))
+
+	// Time: compute steps as planar; every EPR-consuming move becomes a
+	// merge/split chain across the average distance, 2d cycles per hop,
+	// unhidden and unpipelined beyond the app's parallelism.
+	distTiles := (2.0 / 3.0) * math.Sqrt(tiles)
+	tc := tech.SyndromeCycleTime()
+	surgeryCycles := (totalOps/m.Parallelism)*float64(d) +
+		(totalOps*m.MoveFraction/m.Parallelism)*distTiles*float64(2*d)
+	sp.SurgerySeconds = surgeryCycles * tc
+
+	sp.SurgeryVsPlanar = (sp.SurgeryQubits * sp.SurgerySeconds) / (dp.PlanarQubits * dp.PlanarSeconds)
+	sp.SurgeryVsDD = (sp.SurgeryQubits * sp.SurgerySeconds) / (dp.DDQubits * dp.DDSeconds)
+	return sp, nil
+}
+
+// SurgeryDominated reports whether, at this design point, lattice
+// surgery is beaten by at least one of the two schemes the paper
+// focuses on — the quantified version of the §8.2 dismissal.
+func (sp SurgeryPoint) SurgeryDominated() bool {
+	return sp.SurgeryVsPlanar > 1 || sp.SurgeryVsDD > 1
+}

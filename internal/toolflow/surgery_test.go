@@ -1,0 +1,81 @@
+package toolflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateSurgeryBasics(t *testing.T) {
+	m := serialModel()
+	sp, err := EvaluateSurgery(m, 1e8, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SurgeryQubits <= 0 || sp.SurgerySeconds <= 0 {
+		t.Fatalf("non-positive surgery resources: %+v", sp)
+	}
+	// Surgery keeps planar-code space: cheaper than double-defect,
+	// within a corridor factor of planar.
+	if sp.SurgeryQubits >= sp.DDQubits {
+		t.Errorf("surgery space %.3g should undercut double-defect %.3g",
+			sp.SurgeryQubits, sp.DDQubits)
+	}
+	if sp.SurgeryQubits <= sp.PlanarQubits {
+		t.Errorf("surgery corridors cost something: %.3g vs planar %.3g",
+			sp.SurgeryQubits, sp.PlanarQubits)
+	}
+	// Distance-dependent unprefetchable chains: slower than planar.
+	if sp.SurgerySeconds <= sp.PlanarSeconds {
+		t.Errorf("surgery time %.3g should exceed planar %.3g",
+			sp.SurgerySeconds, sp.PlanarSeconds)
+	}
+}
+
+// TestSurgeryDominatedAcrossDesignSpace quantifies the paper's §8.2
+// dismissal: across the evaluated design space, lattice surgery is
+// dominated by braiding or teleportation (usually both).
+func TestSurgeryDominatedAcrossDesignSpace(t *testing.T) {
+	for _, m := range []AppModel{serialModel(), parallelModel()} {
+		for _, k := range []float64{1e4, 1e8, 1e12, 1e16} {
+			for _, p := range []float64{1e-8, 1e-5, 1e-3} {
+				sp, err := EvaluateSurgery(m, k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sp.SurgeryDominated() {
+					t.Errorf("%s K=%g p=%g: surgery undominated (vsPlanar=%.2f vsDD=%.2f)",
+						m.Name, k, p, sp.SurgeryVsPlanar, sp.SurgeryVsDD)
+				}
+			}
+		}
+	}
+}
+
+func TestSurgerySlowerThanPlanarEverywhere(t *testing.T) {
+	// The merge/split chain is unprefetchable and fully
+	// distance-dependent: surgery never beats planar on time. (The gap
+	// is non-monotone in K because planar's own EPR-retry inflation
+	// grows at very large machines, but it never closes.)
+	m := serialModel()
+	for _, k := range []float64{1e6, 1e10, 1e14, 1e18} {
+		sp, err := EvaluateSurgery(m, k, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := sp.SurgerySeconds / sp.PlanarSeconds
+		if math.IsNaN(ratio) || ratio <= 1 {
+			t.Errorf("surgery should be slower than planar at K=%g, ratio %.2f", k, ratio)
+		}
+	}
+}
+
+func TestEvaluateSurgeryPropagatesErrors(t *testing.T) {
+	bad := serialModel()
+	bad.QubitsForOps = nil
+	if _, err := EvaluateSurgery(bad, 1e6, 1e-5); err == nil {
+		t.Error("invalid model should fail")
+	}
+	if _, err := EvaluateSurgery(serialModel(), 1e6, 5e-2); err == nil {
+		t.Error("uncorrectable device should fail")
+	}
+}

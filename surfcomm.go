@@ -1,0 +1,305 @@
+// Package surfcomm is a toolchain for optimizing and comparing surface
+// code communication in superconducting quantum computers, reproducing
+// Javadi-Abhari et al., "Optimized Surface Code Communication in
+// Superconducting Quantum Computers" (MICRO-50, 2017).
+//
+// The library spans the paper's full stack:
+//
+//   - a logical circuit IR with hierarchical modules and an inliner
+//     (circuit generation for the GSE, SQ, SHA-1, and Ising workloads);
+//   - frontend analyses: dependency DAGs, critical paths, parallelism
+//     estimation (Table 2);
+//   - surface-code math: planar and double-defect tile geometry, code
+//     distance selection, factory provisioning;
+//   - a braid simulator for the tiled double-defect architecture with
+//     the seven priority policies of §6.3 (Figure 6);
+//   - a Multi-SIMD scheduler and EPR-distribution simulator for the
+//     planar architecture with just-in-time prefetch windows (§8.1);
+//   - the end-to-end design-space toolflow: planar vs. double-defect
+//     space-time evaluation, favorability crossovers, and error-rate
+//     boundary sweeps (Figures 7-9).
+//
+// This file re-exports the public API surface; implementations live in
+// the internal packages.
+package surfcomm
+
+import (
+	"io"
+	"math/rand"
+
+	"surfcomm/internal/apps"
+	"surfcomm/internal/braid"
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/decoder"
+	"surfcomm/internal/layout"
+	"surfcomm/internal/resource"
+	"surfcomm/internal/simd"
+	"surfcomm/internal/surface"
+	"surfcomm/internal/teleport"
+	"surfcomm/internal/toolflow"
+)
+
+// --- Circuit IR ---
+
+// Circuit is a flat logical program over numbered qubits.
+type Circuit = circuit.Circuit
+
+// Gate is one logical instruction.
+type Gate = circuit.Gate
+
+// Opcode identifies a logical gate type.
+type Opcode = circuit.Opcode
+
+// Builder constructs circuits with automatic Clifford+T macro expansion.
+type Builder = circuit.Builder
+
+// Program is a hierarchical circuit of callable modules.
+type Program = circuit.Program
+
+// Logical opcodes of the Clifford+T instruction set.
+const (
+	OpPrepZ   = circuit.PrepZ
+	OpPrepX   = circuit.PrepX
+	OpMeasZ   = circuit.MeasZ
+	OpMeasX   = circuit.MeasX
+	OpX       = circuit.X
+	OpY       = circuit.Y
+	OpZ       = circuit.Z
+	OpH       = circuit.H
+	OpS       = circuit.S
+	OpSdg     = circuit.Sdg
+	OpT       = circuit.T
+	OpTdg     = circuit.Tdg
+	OpCNOT    = circuit.CNOT
+	OpCZ      = circuit.CZ
+	OpSwap    = circuit.Swap
+	OpBarrier = circuit.Barrier
+)
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
+
+// NewBuilder returns a Builder over a fresh circuit.
+func NewBuilder(name string, n int) *Builder { return circuit.NewBuilder(name, n) }
+
+// InlineAll selects full inlining when flattening a Program.
+const InlineAll = circuit.InlineAll
+
+// --- Frontend analyses ---
+
+// Estimate is the frontend's logical-level characterization (Table 2).
+type Estimate = resource.Estimate
+
+// EstimateCircuit computes op counts, critical path and parallelism.
+func EstimateCircuit(c *Circuit) (Estimate, error) { return resource.EstimateCircuit(c) }
+
+// --- Applications (paper Table 2 workloads) ---
+
+// Workload pairs a generated application circuit with its suite name.
+type Workload = apps.Workload
+
+// GSEConfig, SQConfig, SHA1Config, IsingConfig size the generators.
+type (
+	GSEConfig   = apps.GSEConfig
+	SQConfig    = apps.SQConfig
+	SHA1Config  = apps.SHA1Config
+	IsingConfig = apps.IsingConfig
+)
+
+// GSE generates the Ground State Estimation workload.
+func GSE(cfg GSEConfig) *Circuit { return apps.GSE(cfg) }
+
+// SQ generates the Square Root (Grover) workload.
+func SQ(cfg SQConfig) *Circuit { return apps.SQ(cfg) }
+
+// SHA1 generates the SHA-1 decryption workload.
+func SHA1(cfg SHA1Config) *Circuit { return apps.SHA1(cfg) }
+
+// Ising generates the Ising-model workload at the chosen inlining level.
+func Ising(cfg IsingConfig, fullyInline bool) *Circuit { return apps.Ising(cfg, fullyInline) }
+
+// Table2Suite returns the four applications at characterization sizes.
+func Table2Suite() []Workload { return apps.Table2Suite() }
+
+// Fig6Suite returns the four applications at braid-simulation scale.
+func Fig6Suite() []Workload { return apps.Fig6Suite() }
+
+// IMVariants returns the semi- and fully-inlined Ising configurations.
+func IMVariants(n, steps int) []Workload { return apps.IMVariants(n, steps) }
+
+// --- Surface code model ---
+
+// Technology captures physical device characteristics.
+type Technology = surface.Technology
+
+// Superconducting returns the paper's baseline superconducting
+// technology at a physical error rate.
+func Superconducting(physicalErrorRate float64) Technology {
+	return surface.Superconducting(physicalErrorRate)
+}
+
+// PlanarTileQubits returns the physical qubits of a planar tile.
+func PlanarTileQubits(d int) int { return surface.PlanarTileQubits(d) }
+
+// DoubleDefectTileQubits returns the physical qubits of a double-defect
+// tile.
+func DoubleDefectTileQubits(d int) int { return surface.DoubleDefectTileQubits(d) }
+
+// --- Double-defect backend (braids) ---
+
+// BraidPolicy selects a braid prioritization heuristic (Policies 0-6).
+type BraidPolicy = braid.Policy
+
+// Braid policies in paper order.
+const (
+	Policy0 = braid.Policy0
+	Policy1 = braid.Policy1
+	Policy2 = braid.Policy2
+	Policy3 = braid.Policy3
+	Policy4 = braid.Policy4
+	Policy5 = braid.Policy5
+	Policy6 = braid.Policy6
+)
+
+// AllBraidPolicies lists the seven policies (the Figure 6 x-axis).
+var AllBraidPolicies = braid.AllPolicies
+
+// BraidConfig tunes a braid simulation.
+type BraidConfig = braid.Config
+
+// BraidResult reports one braid simulation (one Figure 6 bar).
+type BraidResult = braid.Result
+
+// SimulateBraids discovers a static braid schedule for the circuit.
+func SimulateBraids(c *Circuit, p BraidPolicy, cfg BraidConfig) (BraidResult, error) {
+	return braid.Simulate(c, p, cfg)
+}
+
+// --- Planar backend (Multi-SIMD + teleportation) ---
+
+// SIMDConfig sizes the Multi-SIMD machine.
+type SIMDConfig = simd.Config
+
+// SIMDSchedule is a Multi-SIMD execution plan.
+type SIMDSchedule = simd.Schedule
+
+// ScheduleSIMD schedules a circuit on the Multi-SIMD machine.
+func ScheduleSIMD(c *Circuit, cfg SIMDConfig) (*SIMDSchedule, error) { return simd.Run(c, cfg) }
+
+// TeleportConfig sets EPR-network parameters.
+type TeleportConfig = teleport.Config
+
+// TeleportResult reports one EPR-distribution run.
+type TeleportResult = teleport.Result
+
+// PrefetchAll launches every EPR pair at cycle zero (the §8.1 baseline).
+const PrefetchAll = teleport.PrefetchAll
+
+// DistributeEPR replays a schedule's moves at a look-ahead window.
+func DistributeEPR(s *SIMDSchedule, window int64, cfg TeleportConfig) (TeleportResult, error) {
+	return teleport.Distribute(s, window, cfg)
+}
+
+// JITWindow returns the just-in-time window heuristic for a schedule.
+func JITWindow(s *SIMDSchedule, cfg TeleportConfig) int64 { return teleport.JITWindow(s, cfg) }
+
+// SweepEPRWindows runs the §8.1 window-size sensitivity study.
+func SweepEPRWindows(s *SIMDSchedule, windows []int64, cfg TeleportConfig) ([]TeleportResult, error) {
+	return teleport.SweepWindows(s, windows, cfg)
+}
+
+// --- Design-space toolflow (Figures 7-9) ---
+
+// AppModel is a characterized application plus its scaling model.
+type AppModel = toolflow.AppModel
+
+// DesignPoint is one evaluated (app, K, p_P) configuration.
+type DesignPoint = toolflow.DesignPoint
+
+// BoundaryPoint is one (p_P, K*) sample of a Figure 9 line.
+type BoundaryPoint = toolflow.BoundaryPoint
+
+// Characterize measures an application's model at reference scale.
+func Characterize(w Workload, seed int64) (AppModel, error) { return toolflow.Characterize(w, seed) }
+
+// Evaluate costs one design point.
+func Evaluate(m AppModel, totalOps, physicalError float64) (DesignPoint, error) {
+	return toolflow.Evaluate(m, totalOps, physicalError)
+}
+
+// Crossover returns the computation size where double-defect codes
+// overtake planar codes in space-time cost.
+func Crossover(m AppModel, physicalError float64) (kStar float64, ok bool) {
+	return toolflow.Crossover(m, physicalError)
+}
+
+// Curve evaluates a log-spaced K sweep (Figures 7 and 8).
+func Curve(m AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]DesignPoint, error) {
+	return toolflow.Curve(m, physicalError, fromExp, toExp, pointsPerDecade)
+}
+
+// Boundary sweeps error rates, returning the Figure 9 line for an app.
+func Boundary(m AppModel, errorRates []float64) []BoundaryPoint {
+	return toolflow.Boundary(m, errorRates)
+}
+
+// Figure9ErrorRates is the paper's p_P sweep (1e-8 … 1e-3).
+func Figure9ErrorRates() []float64 { return toolflow.Figure9ErrorRates() }
+
+// ReferenceModels characterizes the standard suite for Figures 7-9.
+func ReferenceModels(seed int64) ([]AppModel, error) { return toolflow.ReferenceModels(seed) }
+
+// ModelFor picks a characterized model by name.
+func ModelFor(models []AppModel, name string) (AppModel, error) {
+	return toolflow.ModelFor(models, name)
+}
+
+// SurgeryPoint extends a DesignPoint with the lattice-surgery column
+// (the paper's §8.2 alternative, quantified).
+type SurgeryPoint = toolflow.SurgeryPoint
+
+// EvaluateSurgery costs a design point under all three communication
+// schemes (teleportation, braiding, lattice surgery).
+func EvaluateSurgery(m AppModel, totalOps, physicalError float64) (SurgeryPoint, error) {
+	return toolflow.EvaluateSurgery(m, totalOps, physicalError)
+}
+
+// --- Layout ---
+
+// Placement maps logical qubits to grid tiles.
+type Placement = layout.Placement
+
+// RowMajorPlacement is the naive baseline arrangement.
+func RowMajorPlacement(n int) *Placement { return layout.RowMajor(n) }
+
+// --- Error decoding (§2.3 machinery) ---
+
+// DecoderLattice is a distance-d surface-code lattice for syndrome
+// extraction and matching-based decoding.
+type DecoderLattice = decoder.Lattice
+
+// DecoderResult summarizes a logical-error Monte Carlo run.
+type DecoderResult = decoder.Result
+
+// NewDecoderLattice returns a distance-d lattice (d odd, >= 3).
+func NewDecoderLattice(d int) (*DecoderLattice, error) { return decoder.NewLattice(d) }
+
+// MeasureLogicalErrorRate runs a decoding Monte Carlo: independent
+// physical errors at rate p, matching-decoded, counting logical
+// failures — the empirical grounding of the p_L(d) model.
+func MeasureLogicalErrorRate(d int, p float64, trials int, seed int64) (DecoderResult, error) {
+	l, err := decoder.NewLattice(d)
+	if err != nil {
+		return DecoderResult{}, err
+	}
+	mc := &decoder.MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(seed))}
+	return mc.Run(p, trials)
+}
+
+// --- QASM interchange ---
+
+// WriteQASM serializes a circuit in the flat QASM dialect.
+func WriteQASM(w io.Writer, c *Circuit) error { return circuit.WriteQASM(w, c) }
+
+// ReadQASM parses the flat QASM dialect.
+func ReadQASM(r io.Reader) (*Circuit, error) { return circuit.ReadQASM(r) }

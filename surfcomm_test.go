@@ -1,0 +1,118 @@
+package surfcomm_test
+
+import (
+	"testing"
+
+	"surfcomm"
+)
+
+// TestEndToEndPipeline exercises the full public API the way the paper's
+// toolflow runs: generate an application, analyze it, map it to both
+// architectures, and evaluate the design space.
+func TestEndToEndPipeline(t *testing.T) {
+	w := surfcomm.Workload{
+		Name:    "IM",
+		Circuit: surfcomm.Ising(surfcomm.IsingConfig{N: 32, Steps: 1}, true),
+	}
+
+	est, err := surfcomm.EstimateCircuit(w.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.LogicalOps == 0 || est.Parallelism <= 1 {
+		t.Fatalf("estimate implausible: %+v", est)
+	}
+
+	braidRes, err := surfcomm.SimulateBraids(w.Circuit, surfcomm.Policy6, surfcomm.BraidConfig{Distance: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if braidRes.ScheduleCycles < braidRes.CriticalPathCycles {
+		t.Fatal("braid schedule beats critical path")
+	}
+
+	sched, err := surfcomm.ScheduleSIMD(w.Circuit, surfcomm.SIMDConfig{Regions: 4, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := surfcomm.TeleportConfig{Distance: 5}
+	epr, err := surfcomm.DistributeEPR(sched, surfcomm.JITWindow(sched, cfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epr.ScheduleCycles < epr.BaseCycles {
+		t.Fatal("EPR schedule below base")
+	}
+
+	m, err := surfcomm.Characterize(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := surfcomm.Evaluate(m, 1e6, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.QubitsRatio <= 1 {
+		t.Error("planar tiles should be smaller than double-defect tiles")
+	}
+}
+
+// TestPolicySweepViaFacade checks the Figure 6 headline through the
+// public API: the combined policy beats program order for a parallel
+// workload.
+func TestPolicySweepViaFacade(t *testing.T) {
+	im := surfcomm.Ising(surfcomm.IsingConfig{N: 32, Steps: 1}, true)
+	p0, err := surfcomm.SimulateBraids(im, surfcomm.Policy0, surfcomm.BraidConfig{Distance: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p6, err := surfcomm.SimulateBraids(im, surfcomm.Policy6, surfcomm.BraidConfig{Distance: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p6.Ratio >= p0.Ratio {
+		t.Errorf("Policy 6 (%.2f) should beat Policy 0 (%.2f)", p6.Ratio, p0.Ratio)
+	}
+}
+
+// TestBuilderFacade builds a circuit through the public API.
+func TestBuilderFacade(t *testing.T) {
+	b := surfcomm.NewBuilder("api", 3)
+	b.H(0)
+	b.Toffoli(0, 1, 2)
+	b.MeasZ(2)
+	c := b.Circuit
+	if c.TCount() != 7 {
+		t.Errorf("Toffoli T-count = %d, want 7", c.TCount())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := surfcomm.NewCircuit("direct", 2)
+	q.Append(surfcomm.OpCNOT, 0, 1)
+	if q.TwoQubitCount() != 1 {
+		t.Error("opcode constants should work through the facade")
+	}
+}
+
+// TestEPRWindowTradeoffViaFacade checks the §8.1 claim end to end.
+func TestEPRWindowTradeoffViaFacade(t *testing.T) {
+	sq := surfcomm.SQ(surfcomm.SQConfig{N: 6, Iters: 1})
+	sched, err := surfcomm.ScheduleSIMD(sq, surfcomm.SIMDConfig{Regions: 4, Width: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := surfcomm.TeleportConfig{Distance: 9}
+	results, err := surfcomm.SweepEPRWindows(sched,
+		[]int64{surfcomm.JITWindow(sched, cfg), surfcomm.PrefetchAll}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, flood := results[0], results[1]
+	if flood.PeakLiveEPR <= jit.PeakLiveEPR {
+		t.Errorf("prefetch-all peak %d should exceed JIT peak %d", flood.PeakLiveEPR, jit.PeakLiveEPR)
+	}
+	if jit.LatencyOverhead > 0.25 {
+		t.Errorf("JIT latency overhead %.1f%% too large", 100*jit.LatencyOverhead)
+	}
+}
