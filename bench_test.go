@@ -100,8 +100,10 @@ func BenchmarkFigure6BraidPolicies(b *testing.B) {
 }
 
 // referenceModels caches the characterized suite across figure benches.
+// Characterization cells fan across the sweep worker pool; the result
+// is identical to the serial surfcomm.ReferenceModels(1).
 var referenceModels = sync.OnceValues(func() ([]surfcomm.AppModel, error) {
-	return surfcomm.ReferenceModels(1)
+	return surfcomm.SweepModels(surfcomm.SweepOptions{Seed: 1})
 })
 
 // BenchmarkFigure7Scaling regenerates the Figure 7 series: absolute
@@ -241,6 +243,41 @@ func BenchmarkSection81EPRWindow(b *testing.B) {
 			savings := float64(flood.PeakLiveEPR) / float64(max(1, jitRes.PeakLiveEPR))
 			b.ReportMetric(savings, "epr-savings-x")
 			b.ReportMetric(100*jitRes.LatencyOverhead, "latency-overhead%")
+		})
+	}
+}
+
+// BenchmarkSweepFigure6Grid measures the parallel sweep subsystem on
+// the full Figure 6 (application × policy) grid — the throughput lever
+// for wide scenario sweeps. Serial and pooled runs are benchmarked side
+// by side; their results are verified identical cell-for-cell, so the
+// speedup is pure scheduling.
+func BenchmarkSweepFigure6Grid(b *testing.B) {
+	serial, err := surfcomm.SweepFigure6(surfcomm.SweepOptions{Workers: 1, Seed: 1}, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells, err := surfcomm.SweepFigure6(surfcomm.SweepOptions{Workers: workers, Seed: 1}, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cells) != len(serial) {
+					b.Fatalf("grid size changed: %d vs %d", len(cells), len(serial))
+				}
+				for j := range cells {
+					if cells[j] != serial[j] {
+						b.Fatalf("cell %d diverged from serial run: %+v vs %+v", j, cells[j], serial[j])
+					}
+				}
+			}
+			b.ReportMetric(float64(len(serial)), "cells")
 		})
 	}
 }

@@ -5,7 +5,17 @@
 //	-fig9   crossover boundary across physical error rates (all apps)
 //	-epr    pipelined EPR distribution window sweep (§8.1)
 //
-// With no flags, all four studies run.
+// With no flags, all four studies run. -fig6 selects the Figure 6
+// braid-policy grid (every application under every policy) — like the
+// other flags it narrows the run to the selected studies; it is not in
+// the default set because cmd/braidsim covers it interactively.
+//
+// The grids evaluate on a worker pool (-workers, default GOMAXPROCS);
+// results are gathered in deterministic cell order before printing, so
+// the figures are byte-identical at any worker count — `-workers 1` is
+// the serial reference. `-json FILE` additionally emits every grid cell
+// as a machine-readable record (the BENCH_sweep.json convention) for
+// tracking the reproduction's trajectory across revisions.
 package main
 
 import (
@@ -14,8 +24,7 @@ import (
 	"log"
 	"strings"
 
-	"surfcomm/internal/apps"
-	"surfcomm/internal/simd"
+	"surfcomm/internal/sweep"
 	"surfcomm/internal/teleport"
 	"surfcomm/internal/toolflow"
 )
@@ -23,49 +32,86 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
+	fig6 := flag.Bool("fig6", false, "Figure 6: braid policy grid (opt-in; also see cmd/braidsim)")
 	fig7 := flag.Bool("fig7", false, "Figure 7: absolute scaling")
 	fig8 := flag.Bool("fig8", false, "Figure 8: resource ratios and crossover")
 	fig9 := flag.Bool("fig9", false, "Figure 9: crossover boundaries")
 	epr := flag.Bool("epr", false, "§8.1: EPR window sweep")
 	pp := flag.Float64("pp", 1e-8, "physical error rate for -fig7/-fig8")
 	seed := flag.Int64("seed", 1, "characterization seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonPath := flag.String("json", "", "write per-cell results to this JSON file (e.g. BENCH_sweep.json)")
 	flag.Parse()
-	all := !*fig7 && !*fig8 && !*fig9 && !*epr
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr
+
+	opt := sweep.Options{Workers: *workers, Seed: *seed}
+	var records []sweep.CellResult
 
 	var models []toolflow.AppModel
-	needModels := all || *fig7 || *fig8 || *fig9
-	if needModels {
+	if all || *fig7 || *fig8 || *fig9 {
 		var err error
-		models, err = toolflow.ReferenceModels(*seed)
+		models, err = sweep.Models(opt)
 		if err != nil {
 			log.Fatal(err)
 		}
+		records = append(records, sweep.ModelRecords(*seed, models)...)
 	}
 
+	if *fig6 {
+		if err := runFig6(opt, &records); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
 	if all || *fig7 {
-		if err := runFig7(models, *pp); err != nil {
+		if err := runFig7(opt, models, *pp, &records); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
 	}
 	if all || *fig8 {
-		if err := runFig8(models, *pp); err != nil {
+		if err := runFig8(opt, models, *pp, &records); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
 	}
 	if all || *fig9 {
-		runFig9(models)
+		if err := runFig9(opt, models, &records); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println()
 	}
 	if all || *epr {
-		if err := runEPR(*seed); err != nil {
+		if err := runEPR(opt, &records); err != nil {
 			log.Fatal(err)
 		}
 	}
+
+	if *jsonPath != "" {
+		if err := sweep.WriteRecordsFile(*jsonPath, records); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d cells to %s", len(records), *jsonPath)
+	}
 }
 
-func runFig7(models []toolflow.AppModel, pp float64) error {
+func runFig6(opt sweep.Options, records *[]sweep.CellResult) error {
+	cells, err := sweep.Figure6(opt, 9)
+	if err != nil {
+		return err
+	}
+	*records = append(*records, sweep.Figure6Records(opt.Seed, cells)...)
+	fmt.Println("Figure 6: braid policy grid (schedule/critical-path ratio, utilization)")
+	fmt.Println(strings.Repeat("-", 56))
+	fmt.Printf("%-10s %-10s %10s %10s %12s\n", "App", "Policy", "ratio", "util %", "cycles")
+	for _, c := range cells {
+		fmt.Printf("%-10s Policy %-3d %10.3f %10.2f %12d\n",
+			c.App, c.Policy, c.Ratio, 100*c.Util, c.Cycles)
+	}
+	return nil
+}
+
+func runFig7(opt sweep.Options, models []toolflow.AppModel, pp float64, records *[]sweep.CellResult) error {
 	m, err := toolflow.ModelFor(models, "SQ")
 	if err != nil {
 		return err
@@ -74,10 +120,11 @@ func runFig7(models []toolflow.AppModel, pp float64) error {
 	fmt.Println(strings.Repeat("-", 86))
 	fmt.Printf("%-10s %4s %14s %14s %14s %14s\n",
 		"K (1/p_L)", "d", "planar sec", "dd sec", "planar qubits", "dd qubits")
-	pts, err := toolflow.Curve(m, pp, 0, 24, 1)
+	pts, err := sweep.Curve(opt, m, pp, 0, 24, 1)
 	if err != nil {
 		return err
 	}
+	*records = append(*records, sweep.CurveRecords("figure7", m.Name, pp, opt.Seed, pts)...)
 	for i, dp := range pts {
 		if i%2 != 0 {
 			continue
@@ -89,7 +136,7 @@ func runFig7(models []toolflow.AppModel, pp float64) error {
 	return nil
 }
 
-func runFig8(models []toolflow.AppModel, pp float64) error {
+func runFig8(opt sweep.Options, models []toolflow.AppModel, pp float64, records *[]sweep.CellResult) error {
 	for _, name := range []string{"SQ", "IM_Fully_Inlined"} {
 		m, err := toolflow.ModelFor(models, name)
 		if err != nil {
@@ -98,10 +145,11 @@ func runFig8(models []toolflow.AppModel, pp float64) error {
 		fmt.Printf("Figure 8: double-defect relative to planar, %s (p_P=%.0e)\n", name, pp)
 		fmt.Println(strings.Repeat("-", 64))
 		fmt.Printf("%-10s %4s %10s %10s %12s\n", "K (1/p_L)", "d", "qubits", "time", "qubits*time")
-		pts, err := toolflow.Curve(m, pp, 0, 24, 1)
+		pts, err := sweep.Curve(opt, m, pp, 0, 24, 1)
 		if err != nil {
 			return err
 		}
+		*records = append(*records, sweep.CurveRecords("figure8", name, pp, opt.Seed, pts)...)
 		for i, dp := range pts {
 			if i%2 != 0 {
 				continue
@@ -121,8 +169,12 @@ func runFig8(models []toolflow.AppModel, pp float64) error {
 	return nil
 }
 
-func runFig9(models []toolflow.AppModel) {
+func runFig9(opt sweep.Options, models []toolflow.AppModel, records *[]sweep.CellResult) error {
 	rates := toolflow.Figure9ErrorRates()
+	boundaries, err := sweep.Boundary(opt, models, rates)
+	if err != nil {
+		return err
+	}
 	fmt.Println("Figure 9: crossover boundary K*(p_P) per application")
 	fmt.Println("(design points under the boundary favor planar codes)")
 	fmt.Println(strings.Repeat("-", 30+12*len(rates)))
@@ -131,9 +183,10 @@ func runFig9(models []toolflow.AppModel) {
 		fmt.Printf(" %10.0e", r)
 	}
 	fmt.Println()
-	for _, m := range models {
+	*records = append(*records, sweep.BoundaryRecords(opt.Seed, models, boundaries)...)
+	for mi, m := range models {
 		fmt.Printf("%-18s", m.Name)
-		for _, pt := range toolflow.Boundary(m, rates) {
+		for _, pt := range boundaries[mi] {
 			if pt.OffChart {
 				fmt.Printf(" %10s", ">1e24")
 			} else {
@@ -144,42 +197,25 @@ func runFig9(models []toolflow.AppModel) {
 	}
 	fmt.Println("Paper: boundaries fall as devices get faultier and sit higher for more")
 	fmt.Println("parallel applications.")
+	return nil
 }
 
-func runEPR(seed int64) error {
+func runEPR(opt sweep.Options, records *[]sweep.CellResult) error {
 	fmt.Println("§8.1: pipelined EPR distribution — look-ahead window sweep")
-	cfg := teleport.Config{Distance: 9}
-	for _, w := range apps.Fig6Suite() {
-		regions := 4
-		if w.Circuit.NumQubits > 128 {
-			regions = 16
-		}
-		width := 32
-		if perBank := (w.Circuit.NumQubits + regions - 1) / regions; perBank > width {
-			width = perBank
-		}
-		sched, err := simd.Run(w.Circuit, simd.Config{Regions: regions, Width: width, Seed: seed})
-		if err != nil {
-			return err
-		}
-		jit := teleport.JITWindow(sched, cfg)
-		windows := []int64{0, jit / 4, jit / 2, jit, 2 * jit, 8 * jit, teleport.PrefetchAll}
-		results, err := teleport.SweepWindows(sched, windows, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("\n%s (%d moves, %d timesteps)\n", w.Name, len(sched.Moves), sched.Timesteps)
+	cells, err := sweep.EPRWindows(opt, teleport.Config{Distance: 9})
+	if err != nil {
+		return err
+	}
+	*records = append(*records, sweep.EPRRecords(opt.Seed, cells)...)
+	for _, c := range cells {
+		fmt.Printf("\n%s (%d moves, %d timesteps)\n", c.Name, c.Moves, c.Timesteps)
 		fmt.Printf("%-14s %12s %12s %12s\n", "window", "peak live", "stall cyc", "overhead %")
-		for _, r := range results {
-			label := fmt.Sprintf("%d", r.WindowCycles)
-			if r.WindowCycles == teleport.PrefetchAll {
-				label = "prefetch-all"
-			}
+		for _, r := range c.Rows {
 			fmt.Printf("%-14s %12d %12d %12.1f\n",
-				label, r.PeakLiveEPR, r.StallCycles, 100*r.LatencyOverhead)
+				sweep.EPRWindowLabel(r.WindowCycles), r.PeakLiveEPR, r.StallCycles, 100*r.LatencyOverhead)
 		}
-		flood := results[len(results)-1]
-		jitRes := results[3]
+		flood := c.Rows[len(c.Rows)-1]
+		jitRes := c.Rows[c.JITIndex]
 		if jitRes.PeakLiveEPR > 0 {
 			fmt.Printf("JIT vs prefetch-all: %.1fx fewer live EPR qubits at %.1f%% latency overhead\n",
 				float64(flood.PeakLiveEPR)/float64(jitRes.PeakLiveEPR), 100*jitRes.LatencyOverhead)

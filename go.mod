@@ -1,0 +1,3 @@
+module surfcomm
+
+go 1.24

@@ -1,9 +1,8 @@
 package braid
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"surfcomm/internal/circuit"
 	"surfcomm/internal/layout"
@@ -146,23 +145,53 @@ type completion struct {
 	seq  int64 // insertion order: deterministic pop order at equal times
 }
 
+// completionHeap is a min-heap on (time, seq). It is managed by inline
+// sift methods rather than container/heap so pushes and pops move
+// completion values directly — no interface boxing, no allocation.
 type completionHeap []completion
 
-func (h completionHeap) Len() int { return len(h) }
-func (h completionHeap) Less(i, j int) bool {
+func (h completionHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && s.less(r, j) {
+			j = r
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	return top
 }
 
 type engine struct {
@@ -173,9 +202,10 @@ type engine struct {
 	dag    *resource.DAG
 	ops    []op
 
-	ready     []*event // sorted by policy priority
-	maxHeight int      // max height among ready (Policy 6 length rule)
-	atMax     int      // ready events at maxHeight
+	ready      readyQueue // ready events in policy priority order
+	needResort bool       // comparator changed; reorder at next flush
+	maxHeight  int        // max height among ready (Policy 6 length rule)
+	atMax      int        // ready events at maxHeight
 
 	heap      completionHeap
 	seq       int64
@@ -185,6 +215,14 @@ type engine struct {
 	tileBusy      []bool
 	factoryBusy   []bool
 	factoryFreeAt []int64
+
+	// Reusable hot-path scratch: braid path buffers cycle through a
+	// free list (claimed at route time, returned at release), and the
+	// per-round worklist and factory candidate slices keep their
+	// capacity across rounds.
+	pathPool     []mesh.Path
+	worklist     []int
+	factoryCands []factoryCand
 
 	busyIntegral   int64
 	lastT          int64
@@ -313,6 +351,11 @@ func (e *engine) buildOps(c *circuit.Circuit) error {
 	e.tileBusy = make([]bool, e.arch.TileRows*e.arch.TileCols)
 	e.factoryBusy = make([]bool, len(e.arch.FactoryTiles))
 	e.factoryFreeAt = make([]int64, len(e.arch.FactoryTiles))
+	// Pre-size the completion heap and ready queue for the in-flight
+	// population so the steady state never regrows them.
+	e.heap = make(completionHeap, 0, 16+len(c.Gates)/4)
+	e.ready.events = make([]event, 0, 16+len(c.Gates)/8)
+	e.ready.spare = make([]event, 0, 16+len(c.Gates)/8)
 	if !e.cfg.LocalTOps && len(e.arch.FactoryTiles) == 0 {
 		return fmt.Errorf("braid: magic traffic enabled but no factories provisioned")
 	}
@@ -343,13 +386,13 @@ func (e *engine) tileIndex(c layout.Coord) int { return c.Row*e.arch.TileCols + 
 func (e *engine) run() error {
 	heights := e.dag.Heights()
 	// Seed the ready set with dependency-free ops.
-	var worklist []int
+	worklist := e.worklist[:0]
 	for i := range e.ops {
 		if e.ops[i].remDeps == 0 {
 			worklist = append(worklist, i)
 		}
 	}
-	e.admit(worklist, heights)
+	e.worklist = e.admit(worklist, heights)
 
 	for e.doneCount < len(e.ops) {
 		placed := e.trySchedule(false, heights)
@@ -359,15 +402,15 @@ func (e *engine) run() error {
 			}
 			if e.trySchedule(true, heights) == 0 {
 				detail := "empty ready set"
-				if len(e.ready) > 0 {
-					h := e.ready[0]
+				if len(e.ready.events) > 0 {
+					h := &e.ready.events[0]
 					o := &e.ops[h.opIndex]
 					detail = fmt.Sprintf("head op %d kind=%d phase=%d opPhase=%d qubits=%v factory=%d tileBusy=%v factBusy=%v factFree=%v",
 						h.opIndex, o.kind, h.phase, o.phase, o.qubits, o.factory,
 						e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[0]])], e.factoryBusy, e.factoryFreeAt)
 				}
 				return fmt.Errorf("braid: no progress at t=%d with %d ops pending, %d ready, idle network (%s)",
-					e.now, len(e.ops)-e.doneCount, len(e.ready), detail)
+					e.now, len(e.ops)-e.doneCount, e.ready.Len(), detail)
 			}
 			continue
 		}
@@ -378,8 +421,9 @@ func (e *engine) run() error {
 }
 
 // admit inserts newly dependency-free ops: barriers complete instantly
-// (cascading), real ops become ready events.
-func (e *engine) admit(worklist []int, heights []int) {
+// (cascading), real ops become ready events. It returns the drained
+// worklist so its capacity is reused next round.
+func (e *engine) admit(worklist []int, heights []int) []int {
 	for len(worklist) > 0 {
 		i := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
@@ -393,13 +437,14 @@ func (e *engine) admit(worklist []int, heights []int) {
 			}
 			continue
 		}
-		e.insertEvent(&event{
+		e.insertEvent(event{
 			opIndex:    i,
 			height:     heights[i],
 			length:     e.opLength(i),
 			readySince: e.now,
 		})
 	}
+	return worklist[:0]
 }
 
 // opLength estimates the braid length of an op (junction Manhattan
@@ -423,28 +468,27 @@ func (e *engine) opLength(i int) int {
 	return 0
 }
 
-// insertEvent places ev into the sorted ready slice (binary search on
-// the policy order), maintaining the Policy-6 max-height bookkeeping.
-func (e *engine) insertEvent(ev *event) {
+// insertEvent stages ev for the ready queue, maintaining the Policy-6
+// max-height bookkeeping. A rising maxHeight changes the comparator, so
+// the queue is flagged for a reorder at its next flush; the event
+// itself merges in the same flush.
+func (e *engine) insertEvent(ev event) {
 	if ev.height > e.maxHeight {
 		e.maxHeight = ev.height
 		e.atMax = 0
-		e.resort()
+		e.needResort = true
 	}
 	if ev.height == e.maxHeight {
 		e.atMax++
 	}
-	idx := sort.Search(len(e.ready), func(i int) bool {
-		return e.less(ev, e.ready[i])
-	})
-	e.ready = append(e.ready, nil)
-	copy(e.ready[idx+1:], e.ready[idx:])
-	e.ready[idx] = ev
+	e.ready.push(ev)
 }
 
 // less is the scheduling order: program order for Policy 0, the
-// priority heuristics otherwise.
-func (e *engine) less(a, b *event) bool {
+// priority heuristics otherwise. Events are passed by value: the
+// comparator runs inside sort loops where address-of-parameter would
+// heap-allocate both operands per comparison.
+func (e *engine) less(a, b event) bool {
 	if !e.policy.Interleave() {
 		if a.opIndex != b.opIndex {
 			return a.opIndex < b.opIndex
@@ -454,12 +498,16 @@ func (e *engine) less(a, b *event) bool {
 	return e.policy.eventPriority(a, b, e.maxHeight)
 }
 
-func (e *engine) resort() {
-	sort.SliceStable(e.ready, func(i, j int) bool { return e.less(e.ready[i], e.ready[j]) })
+// flushReady brings the ready queue into policy order, applying any
+// pending comparator change exactly once.
+func (e *engine) flushReady() {
+	e.ready.flush(e.needResort, e.less)
+	e.needResort = false
 }
 
 func (e *engine) trySchedule(full bool, heights []int) int {
-	if len(e.ready) == 0 {
+	e.flushReady()
+	if len(e.ready.events) == 0 {
 		return 0
 	}
 	if !e.policy.Interleave() {
@@ -467,16 +515,18 @@ func (e *engine) trySchedule(full bool, heights []int) int {
 	}
 	placed, failures := 0, 0
 	resorted := false
-	out := e.ready[:0]
+	events := e.ready.events
+	out := events[:0]
 	stop := -1
-	for idx, ev := range e.ready {
+	for idx := range events {
+		ev := events[idx]
 		if stop >= 0 {
 			out = append(out, ev)
 			continue
 		}
-		if e.place(ev) {
+		if e.place(&ev) {
 			placed++
-			e.atMaxRetireDeferred(ev, &resorted)
+			e.atMaxRetireDeferred(&ev, &resorted)
 			continue
 		}
 		if age := e.now - ev.readySince; e.cfg.DropTimeout > 0 && age > e.cfg.DropTimeout {
@@ -491,10 +541,10 @@ func (e *engine) trySchedule(full bool, heights []int) int {
 			stop = idx
 		}
 	}
-	e.ready = out
+	e.ready.events = out
 	if resorted {
 		e.refreshMax()
-		e.resort()
+		e.needResort = true
 	}
 	return placed
 }
@@ -508,13 +558,15 @@ func (e *engine) trySchedule(full bool, heights []int) int {
 func (e *engine) tryScheduleInOrder() int {
 	placed := 0
 	blockedOpen := false
-	out := e.ready[:0]
-	for _, ev := range e.ready {
+	events := e.ready.events
+	out := events[:0]
+	for idx := range events {
+		ev := events[idx]
 		if !ev.closing && blockedOpen {
 			out = append(out, ev)
 			continue
 		}
-		if e.place(ev) {
+		if e.place(&ev) {
 			placed++
 			continue
 		}
@@ -523,7 +575,7 @@ func (e *engine) tryScheduleInOrder() int {
 			blockedOpen = true
 		}
 	}
-	e.ready = out
+	e.ready.events = out
 	return placed
 }
 
@@ -542,7 +594,8 @@ func (e *engine) atMaxRetireDeferred(ev *event, resorted *bool) {
 func (e *engine) refreshMax() {
 	e.maxHeight = 0
 	e.atMax = 0
-	for _, r := range e.ready {
+	for i := range e.ready.events {
+		r := &e.ready.events[i]
 		if r.height > e.maxHeight {
 			e.maxHeight = r.height
 			e.atMax = 1
@@ -603,6 +656,9 @@ func (e *engine) placeBraidOpen(ev *event, o *op) bool {
 	return true
 }
 
+// factoryCand is a candidate factory port for a magic-state braid.
+type factoryCand struct{ f, dist int }
+
 func (e *engine) placeMagicOpen(ev *event, o *op) bool {
 	td := e.tileIndex(e.arch.QubitTile[o.qubits[0]])
 	if e.tileBusy[td] {
@@ -610,20 +666,20 @@ func (e *engine) placeMagicOpen(ev *event, o *op) bool {
 	}
 	dst := e.arch.QubitJunction(o.qubits[0])
 	// Nearest available factory first; deterministic tie-break on index.
-	type cand struct{ f, dist int }
-	var cands []cand
+	cands := e.factoryCands[:0]
 	for f := range e.arch.FactoryTiles {
 		if e.factoryBusy[f] || e.factoryFreeAt[f] > e.now {
 			continue
 		}
-		cands = append(cands, cand{f, mesh.Manhattan(e.arch.FactoryJunction(f), dst)})
+		cands = append(cands, factoryCand{f, mesh.Manhattan(e.arch.FactoryJunction(f), dst)})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
+	slices.SortFunc(cands, func(a, b factoryCand) int {
+		if a.dist != b.dist {
+			return a.dist - b.dist
 		}
-		return cands[i].f < cands[j].f
+		return a.f - b.f
 	})
+	e.factoryCands = cands
 	for _, c := range cands {
 		path, ok := e.route(ev, e.arch.FactoryJunction(c.f), dst)
 		if !ok {
@@ -662,23 +718,46 @@ func (e *engine) placeClose(ev *event, o *op, src, dst mesh.Node) bool {
 }
 
 // route escalates from dimension-ordered to adaptive search once the
-// event has been blocked past the adaptivity timeout (paper §6.1).
+// event has been blocked past the adaptivity timeout (paper §6.1). The
+// candidate path is built in a pooled buffer: a successful route keeps
+// it until the braid phase releases, a failed attempt returns it — so
+// routing allocates nothing once the pool has warmed up.
 func (e *engine) route(ev *event, src, dst mesh.Node) (mesh.Path, bool) {
-	p := mesh.XYPath(src, dst)
+	p := mesh.XYPathInto(e.getPath(), src, dst)
 	if e.net.PathFree(p) {
 		return p, true
 	}
 	if e.now-ev.readySince >= e.cfg.AdaptTimeout {
-		p = mesh.YXPath(src, dst)
+		p = mesh.YXPathInto(p, src, dst)
 		if e.net.PathFree(p) {
 			return p, true
 		}
-		if ap, ok := e.net.AdaptiveRoute(src, dst); ok {
+		var ok bool
+		if p, ok = e.net.AdaptiveRouteInto(p, src, dst); ok {
 			e.adaptiveRoutes++
-			return ap, true
+			return p, true
 		}
 	}
+	e.putPath(p)
 	return nil, false
+}
+
+// getPath takes a path buffer from the free list (empty, capacity
+// retained) or mints a fresh one.
+func (e *engine) getPath() mesh.Path {
+	if n := len(e.pathPool); n > 0 {
+		p := e.pathPool[n-1]
+		e.pathPool = e.pathPool[:n-1]
+		return p[:0]
+	}
+	return make(mesh.Path, 0, 16)
+}
+
+// putPath returns a path buffer to the free list.
+func (e *engine) putPath(p mesh.Path) {
+	if cap(p) > 0 {
+		e.pathPool = append(e.pathPool, p[:0])
+	}
 }
 
 func (e *engine) reserve(p mesh.Path, owner int) {
@@ -697,7 +776,7 @@ func (e *engine) release(p mesh.Path, owner int) {
 func (e *engine) push(c completion) {
 	c.seq = e.seq
 	e.seq++
-	heap.Push(&e.heap, c)
+	e.heap.push(c)
 }
 
 // advance pops every completion at the next timestamp and processes it.
@@ -705,9 +784,9 @@ func (e *engine) advance(heights []int) {
 	t := e.heap[0].time
 	e.flushUtil(t)
 	e.now = t
-	var worklist []int
+	worklist := e.worklist[:0]
 	for len(e.heap) > 0 && e.heap[0].time == t {
-		c := heap.Pop(&e.heap).(completion)
+		c := e.heap.pop()
 		switch c.kind {
 		case compWake:
 			// Scheduler wake-up only.
@@ -718,9 +797,10 @@ func (e *engine) advance(heights []int) {
 		case compOpenDone:
 			o := &e.ops[c.op]
 			e.release(o.path, c.op)
+			e.putPath(o.path)
 			o.path = nil
 			o.phase = 2
-			e.insertEvent(&event{
+			e.insertEvent(event{
 				opIndex:    c.op,
 				phase:      1,
 				closing:    true,
@@ -731,6 +811,7 @@ func (e *engine) advance(heights []int) {
 		case compCloseDone:
 			o := &e.ops[c.op]
 			e.release(o.path, c.op)
+			e.putPath(o.path)
 			o.path = nil
 			o.phase = 4
 			e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[0]])] = false
@@ -744,7 +825,7 @@ func (e *engine) advance(heights []int) {
 			worklist = e.completeOp(c.op, worklist)
 		}
 	}
-	e.admit(worklist, heights)
+	e.worklist = e.admit(worklist, heights)
 }
 
 // completeOp marks an op done and returns newly dependency-free

@@ -58,8 +58,9 @@ func (p Policy) byType() bool { return p == Policy5 || p == Policy6 }
 // eventPriority orders two ready events under the policy; it reports
 // whether a should be attempted before b. maxHeight is the largest
 // criticality among currently ready events (Policy 6 treats the top
-// criticality class specially).
-func (p Policy) eventPriority(a, b *event, maxHeight int) bool {
+// criticality class specially). Events come by value so sort loops
+// never force their operands onto the heap.
+func (p Policy) eventPriority(a, b event, maxHeight int) bool {
 	if p.byType() && a.closing != b.closing {
 		return a.closing
 	}

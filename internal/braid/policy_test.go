@@ -31,8 +31,8 @@ func TestPolicyString(t *testing.T) {
 }
 
 func TestPolicy5TypeOrdering(t *testing.T) {
-	closing := &event{opIndex: 5, closing: true, phase: 1}
-	opening := &event{opIndex: 1, closing: false}
+	closing := event{opIndex: 5, closing: true, phase: 1}
+	opening := event{opIndex: 1, closing: false}
 	if !Policy5.eventPriority(closing, opening, 0) {
 		t.Error("Policy 5: closing braids outrank opening braids")
 	}
@@ -46,8 +46,8 @@ func TestPolicy5TypeOrdering(t *testing.T) {
 }
 
 func TestPolicy3CriticalityOrdering(t *testing.T) {
-	hi := &event{opIndex: 9, height: 40}
-	lo := &event{opIndex: 1, height: 3}
+	hi := event{opIndex: 9, height: 40}
+	lo := event{opIndex: 1, height: 3}
 	if !Policy3.eventPriority(hi, lo, 40) {
 		t.Error("Policy 3: higher criticality first")
 	}
@@ -58,8 +58,8 @@ func TestPolicy3CriticalityOrdering(t *testing.T) {
 }
 
 func TestPolicy4LengthOrdering(t *testing.T) {
-	long := &event{opIndex: 9, length: 12}
-	short := &event{opIndex: 1, length: 2}
+	long := event{opIndex: 9, length: 12}
+	short := event{opIndex: 1, length: 2}
 	if !Policy4.eventPriority(long, short, 0) {
 		t.Error("Policy 4: longest braid first")
 	}
@@ -68,20 +68,20 @@ func TestPolicy4LengthOrdering(t *testing.T) {
 func TestPolicy6CombinedOrdering(t *testing.T) {
 	maxH := 50
 	// Closing beats everything.
-	closing := &event{opIndex: 9, closing: true, height: 1}
-	criticalOpen := &event{opIndex: 1, height: maxH}
+	closing := event{opIndex: 9, closing: true, height: 1}
+	criticalOpen := event{opIndex: 1, height: maxH}
 	if !Policy6.eventPriority(closing, criticalOpen, maxH) {
 		t.Error("Policy 6: closing first")
 	}
 	// Among top-criticality events, shortest first.
-	shortTop := &event{opIndex: 9, height: maxH, length: 2}
-	longTop := &event{opIndex: 1, height: maxH, length: 9}
+	shortTop := event{opIndex: 9, height: maxH, length: 2}
+	longTop := event{opIndex: 1, height: maxH, length: 9}
 	if !Policy6.eventPriority(shortTop, longTop, maxH) {
 		t.Error("Policy 6: shortest-first within the top criticality class")
 	}
 	// Below the top class, longest first.
-	shortLow := &event{opIndex: 1, height: 10, length: 2}
-	longLow := &event{opIndex: 9, height: 10, length: 9}
+	shortLow := event{opIndex: 1, height: 10, length: 2}
+	longLow := event{opIndex: 9, height: 10, length: 9}
 	if !Policy6.eventPriority(longLow, shortLow, maxH) {
 		t.Error("Policy 6: longest-first below the top criticality class")
 	}
@@ -92,16 +92,16 @@ func TestPolicy6CombinedOrdering(t *testing.T) {
 }
 
 func TestReinjectionDemotes(t *testing.T) {
-	fresh := &event{opIndex: 9, generation: 0}
-	dropped := &event{opIndex: 1, generation: 2}
+	fresh := event{opIndex: 9, generation: 0}
+	dropped := event{opIndex: 1, generation: 2}
 	if !Policy1.eventPriority(fresh, dropped, 0) {
 		t.Error("re-injected events yield to fresh ones")
 	}
 }
 
 func TestEventPriorityDeterministicTieBreak(t *testing.T) {
-	a := &event{opIndex: 3, phase: 0}
-	b := &event{opIndex: 3, phase: 1}
+	a := event{opIndex: 3, phase: 0}
+	b := event{opIndex: 3, phase: 1}
 	for _, p := range AllPolicies[1:] {
 		if !p.eventPriority(a, b, 0) || p.eventPriority(b, a, 0) {
 			t.Errorf("%v: phase tiebreak broken", p)

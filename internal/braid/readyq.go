@@ -1,0 +1,66 @@
+package braid
+
+import "slices"
+
+// readyQueue keeps the ready event set in policy order. It replaces the
+// old sorted slice — which paid an O(n) memmove on every insertion and
+// a full sort.SliceStable whenever the Policy-6 comparator changed —
+// with batched merging: insertions stage into a pending buffer that is
+// sorted and merged into the ordered slice in one pass at the next
+// flush, and the whole queue is re-sorted only when the comparator
+// itself moves (maxHeight changes).
+//
+// The policy order is total on live events: at most one event per op is
+// ready at a time, and every comparator falls through to the unique
+// (opIndex, phase) tie-break. Batched merging therefore reproduces
+// exactly the order that sequential sorted insertion produced, and no
+// stable sort is needed.
+type readyQueue struct {
+	events  []event // in policy order between flushes
+	pending []event // staged since the last flush
+	spare   []event // merge scratch, swapped with events to avoid allocs
+}
+
+// Len counts all live events, staged or merged.
+func (q *readyQueue) Len() int { return len(q.events) + len(q.pending) }
+
+// push stages an event for insertion at the next flush.
+func (q *readyQueue) push(ev event) { q.pending = append(q.pending, ev) }
+
+// flush brings events back into policy order: re-sorts the merged slice
+// when the comparator changed (resort), then merges the staged events
+// in a single pass. The comparator takes events by value — taking their
+// addresses would force every comparison's operands to escape to the
+// heap, which is exactly the per-round allocation churn this queue
+// exists to remove.
+func (q *readyQueue) flush(resort bool, less func(a, b event) bool) {
+	cmp := func(a, b event) int {
+		if less(a, b) {
+			return -1
+		}
+		return 1
+	}
+	if resort && len(q.events) > 1 {
+		slices.SortFunc(q.events, cmp)
+	}
+	if len(q.pending) == 0 {
+		return
+	}
+	slices.SortFunc(q.pending, cmp)
+	merged := q.spare[:0]
+	i, j := 0, 0
+	for i < len(q.events) && j < len(q.pending) {
+		if less(q.pending[j], q.events[i]) {
+			merged = append(merged, q.pending[j])
+			j++
+		} else {
+			merged = append(merged, q.events[i])
+			i++
+		}
+	}
+	merged = append(merged, q.events[i:]...)
+	merged = append(merged, q.pending[j:]...)
+	q.spare = q.events[:0]
+	q.events = merged
+	q.pending = q.pending[:0]
+}

@@ -96,12 +96,26 @@ func (p Path) Links() []Link {
 const Free = -1
 
 // Mesh is the reservation state of a rows×cols junction grid.
+//
+// A Mesh also owns reusable route-search scratch (visit stamps, BFS
+// predecessor and queue buffers) so AdaptiveRoute and path validation
+// are allocation-free in steady state. The scratch makes a Mesh safe
+// for one goroutine at a time; concurrent simulations each use their
+// own Mesh.
 type Mesh struct {
 	rows, cols int
 	nodeOwner  []int
 	linkOwnerH []int // horizontal links: (r,c)-(r,c+1), rows×(cols-1)
 	linkOwnerV []int // vertical links: (r,c)-(r+1,c), (rows-1)×cols
 	busyLinks  int
+
+	// Route/validation scratch, grown once on first use. visitedAt is
+	// stamp-based so clearing between searches is O(1): a node is
+	// visited iff visitedAt[i] == stamp.
+	stamp     int64
+	visitedAt []int64
+	bfsPrev   []int32 // predecessor node index during BFS
+	bfsQueue  []int32
 }
 
 // New returns an empty mesh with the given junction-grid dimensions.
@@ -171,19 +185,53 @@ func (m *Mesh) LinkOwner(l Link) int {
 }
 
 // PathFree reports whether every junction and link along the path is
-// unclaimed and inside the mesh.
+// unclaimed and inside the mesh. Links are walked in place — no
+// intermediate slice — so the check never allocates.
 func (m *Mesh) PathFree(p Path) bool {
-	for _, n := range p {
+	for i, n := range p {
 		if !m.InBounds(n) || m.nodeOwner[m.nodeIndex(n)] != Free {
 			return false
 		}
-	}
-	for _, l := range p.Links() {
-		if o := m.linkOwner(l); o == nil || *o != Free {
-			return false
+		if i > 0 {
+			if o := m.linkOwner(NewLink(p[i-1], n)); o == nil || *o != Free {
+				return false
+			}
 		}
 	}
 	return true
+}
+
+// checkPath is the allocation-free Reserve precondition: contiguity,
+// self-avoidance (stamp-marked, not map-based), bounds, and freeness in
+// a single pass.
+func (m *Mesh) checkPath(p Path) error {
+	if len(p) == 0 {
+		return fmt.Errorf("mesh: empty path")
+	}
+	m.growScratch()
+	m.stamp++
+	for i, n := range p {
+		if !m.InBounds(n) {
+			return fmt.Errorf("mesh: path not free")
+		}
+		ni := m.nodeIndex(n)
+		if m.visitedAt[ni] == m.stamp {
+			return fmt.Errorf("mesh: path revisits junction %v", n)
+		}
+		m.visitedAt[ni] = m.stamp
+		if m.nodeOwner[ni] != Free {
+			return fmt.Errorf("mesh: path not free")
+		}
+		if i > 0 {
+			if !adjacent(p[i-1], n) {
+				return fmt.Errorf("mesh: path jump %v -> %v", p[i-1], n)
+			}
+			if *m.linkOwner(NewLink(p[i-1], n)) != Free {
+				return fmt.Errorf("mesh: path not free")
+			}
+		}
+	}
+	return nil
 }
 
 // Reserve atomically claims the whole path for the owner. It fails
@@ -194,19 +242,16 @@ func (m *Mesh) Reserve(p Path, owner int) error {
 	if owner < 0 {
 		return fmt.Errorf("mesh: owner must be non-negative, got %d", owner)
 	}
-	if err := p.Validate(); err != nil {
+	if err := m.checkPath(p); err != nil {
 		return err
 	}
-	if !m.PathFree(p) {
-		return fmt.Errorf("mesh: path not free")
-	}
-	for _, n := range p {
+	for i, n := range p {
 		m.nodeOwner[m.nodeIndex(n)] = owner
+		if i > 0 {
+			*m.linkOwner(NewLink(p[i-1], n)) = owner
+		}
 	}
-	for _, l := range p.Links() {
-		*m.linkOwner(l) = owner
-	}
-	m.busyLinks += len(p.Links())
+	m.busyLinks += len(p) - 1
 	return nil
 }
 
@@ -214,23 +259,26 @@ func (m *Mesh) Reserve(p Path, owner int) error {
 // verified on every resource; a mismatch means engine corruption and is
 // reported rather than silently absorbed.
 func (m *Mesh) Release(p Path, owner int) error {
-	for _, n := range p {
+	if len(p) == 0 {
+		return fmt.Errorf("mesh: empty path")
+	}
+	for i, n := range p {
 		if !m.InBounds(n) || m.nodeOwner[m.nodeIndex(n)] != owner {
 			return fmt.Errorf("mesh: junction %v not owned by %d", n, owner)
 		}
-	}
-	for _, l := range p.Links() {
-		if o := m.linkOwner(l); o == nil || *o != owner {
-			return fmt.Errorf("mesh: link %v not owned by %d", l, owner)
+		if i > 0 {
+			if o := m.linkOwner(NewLink(p[i-1], n)); o == nil || *o != owner {
+				return fmt.Errorf("mesh: link %v not owned by %d", NewLink(p[i-1], n), owner)
+			}
 		}
 	}
-	for _, n := range p {
+	for i, n := range p {
 		m.nodeOwner[m.nodeIndex(n)] = Free
+		if i > 0 {
+			*m.linkOwner(NewLink(p[i-1], n)) = Free
+		}
 	}
-	for _, l := range p.Links() {
-		*m.linkOwner(l) = Free
-	}
-	m.busyLinks -= len(p.Links())
+	m.busyLinks -= len(p) - 1
 	return nil
 }
 
@@ -248,9 +296,11 @@ func (m *Mesh) Utilization() float64 {
 	return float64(m.busyLinks) / float64(m.TotalLinks())
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// growScratch sizes the route-search scratch to the mesh (once).
+func (m *Mesh) growScratch() {
+	if n := m.rows * m.cols; len(m.visitedAt) < n {
+		m.visitedAt = make([]int64, n)
+		m.bfsPrev = make([]int32, n)
+		m.bfsQueue = make([]int32, 0, n)
 	}
-	return b
 }

@@ -3,11 +3,21 @@ package mesh
 // Routing for braid paths (paper §6.1): dimension-ordered routes are
 // tried first; when the network is congested the engine escalates to an
 // adaptive shortest-path search over currently-free resources.
+//
+// Every routine has an Into form that writes the route into a
+// caller-supplied buffer (reusing its capacity) so the braid engine's
+// placement loop — which routes on every attempt, including the many
+// failed ones — allocates nothing in steady state. The plain forms
+// remain as convenience wrappers.
 
 // XYPath returns the dimension-ordered route from a to b: horizontal
 // first, then vertical. Always valid, ignores reservations.
-func XYPath(a, b Node) Path {
-	p := Path{a}
+func XYPath(a, b Node) Path { return XYPathInto(nil, a, b) }
+
+// XYPathInto writes the horizontal-then-vertical route into dst[:0],
+// growing it only when capacity is insufficient.
+func XYPathInto(dst Path, a, b Node) Path {
+	p := append(dst[:0], a)
 	cur := a
 	for cur.Col != b.Col {
 		if b.Col > cur.Col {
@@ -30,8 +40,12 @@ func XYPath(a, b Node) Path {
 
 // YXPath returns the dimension-ordered route from a to b: vertical
 // first, then horizontal.
-func YXPath(a, b Node) Path {
-	p := Path{a}
+func YXPath(a, b Node) Path { return YXPathInto(nil, a, b) }
+
+// YXPathInto writes the vertical-then-horizontal route into dst[:0],
+// growing it only when capacity is insufficient.
+func YXPathInto(dst Path, a, b Node) Path {
+	p := append(dst[:0], a)
 	cur := a
 	for cur.Row != b.Row {
 		if b.Row > cur.Row {
@@ -57,54 +71,72 @@ func YXPath(a, b Node) Path {
 // the endpoints are busy or no free corridor exists. Used by the braid
 // engine after dimension-ordered attempts time out.
 func (m *Mesh) AdaptiveRoute(a, b Node) (Path, bool) {
+	return m.AdaptiveRouteInto(nil, a, b)
+}
+
+// AdaptiveRouteInto is AdaptiveRoute writing the found path into
+// dst[:0]. The search itself runs on the mesh's reusable stamp-based
+// scratch, so repeated calls allocate nothing once the scratch and dst
+// have grown to size. On failure the returned path is dst[:0] (capacity
+// preserved for reuse).
+func (m *Mesh) AdaptiveRouteInto(dst Path, a, b Node) (Path, bool) {
+	dst = dst[:0]
 	if !m.InBounds(a) || !m.InBounds(b) {
-		return nil, false
+		return dst, false
 	}
 	if m.NodeOwner(a) != Free || m.NodeOwner(b) != Free {
-		return nil, false
+		return dst, false
 	}
 	if a == b {
-		return Path{a}, true
+		return append(dst, a), true
 	}
-	prev := make([]Node, m.rows*m.cols)
-	visited := make([]bool, m.rows*m.cols)
-	queue := []Node{a}
-	visited[m.nodeIndex(a)] = true
+	m.growScratch()
+	m.stamp++
+	queue := m.bfsQueue[:0]
+	queue = append(queue, int32(m.nodeIndex(a)))
+	m.visitedAt[m.nodeIndex(a)] = m.stamp
 	dirs := [4]Node{{Row: 0, Col: 1}, {Row: 1, Col: 0}, {Row: 0, Col: -1}, {Row: -1, Col: 0}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		ci := int(queue[head])
+		cur := Node{Row: ci / m.cols, Col: ci % m.cols}
 		for _, d := range dirs {
 			next := Node{Row: cur.Row + d.Row, Col: cur.Col + d.Col}
-			if !m.InBounds(next) || visited[m.nodeIndex(next)] {
+			if !m.InBounds(next) {
 				continue
 			}
-			if m.NodeOwner(next) != Free {
+			ni := m.nodeIndex(next)
+			if m.visitedAt[ni] == m.stamp {
+				continue
+			}
+			if m.nodeOwner[ni] != Free {
 				continue
 			}
 			if *m.linkOwner(NewLink(cur, next)) != Free {
 				continue
 			}
-			visited[m.nodeIndex(next)] = true
-			prev[m.nodeIndex(next)] = cur
+			m.visitedAt[ni] = m.stamp
+			m.bfsPrev[ni] = int32(ci)
 			if next == b {
-				return m.reconstruct(prev, a, b), true
+				m.bfsQueue = queue[:0]
+				return m.reconstructInto(dst, a, b), true
 			}
-			queue = append(queue, next)
+			queue = append(queue, int32(ni))
 		}
 	}
-	return nil, false
+	m.bfsQueue = queue[:0]
+	return dst, false
 }
 
-func (m *Mesh) reconstruct(prev []Node, a, b Node) Path {
-	var rev Path
-	for cur := b; cur != a; cur = prev[m.nodeIndex(cur)] {
-		rev = append(rev, cur)
+// reconstructInto walks the BFS predecessor chain b→a into dst, then
+// reverses it in place.
+func (m *Mesh) reconstructInto(dst Path, a, b Node) Path {
+	ai := m.nodeIndex(a)
+	for ci := m.nodeIndex(b); ci != ai; ci = int(m.bfsPrev[ci]) {
+		dst = append(dst, Node{Row: ci / m.cols, Col: ci % m.cols})
 	}
-	rev = append(rev, a)
-	out := make(Path, len(rev))
-	for i, n := range rev {
-		out[len(rev)-1-i] = n
+	dst = append(dst, a)
+	for i, j := 0, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"fmt"
+
+	"surfcomm/internal/apps"
+	"surfcomm/internal/braid"
+	"surfcomm/internal/simd"
+	"surfcomm/internal/teleport"
+	"surfcomm/internal/toolflow"
+)
+
+// The domain grids: each study of the paper's evaluation expressed as
+// independent cells over the Map runner. Every grid is a pure function
+// of (inputs, seed), so runs at any worker count agree cell-for-cell
+// with a serial run.
+
+// Characterize measures app models for the given workloads in parallel
+// — one cell per workload, each running the full frontend + Multi-SIMD
+// + braid characterization. The seed is shared across cells (it is part
+// of the model identity): the result equals a serial loop over
+// toolflow.Characterize.
+func Characterize(opt Options, workloads []apps.Workload) ([]toolflow.AppModel, error) {
+	return Map(opt, workloads, func(_ int, w apps.Workload) (toolflow.AppModel, error) {
+		return toolflow.Characterize(w, opt.Seed)
+	})
+}
+
+// Models characterizes the reference suite (the models behind Figures
+// 7–9) across the worker pool. Equivalent to
+// toolflow.ReferenceModels(opt.Seed), cell-parallel.
+func Models(opt Options) ([]toolflow.AppModel, error) {
+	return Characterize(opt, toolflow.ReferenceWorkloads())
+}
+
+// Curve evaluates a log-spaced K sweep for one model — the Figure 7/8
+// series — one cell per design point. Equivalent to toolflow.Curve.
+func Curve(opt Options, m toolflow.AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]toolflow.DesignPoint, error) {
+	exps := make([]int, 0, (toExp-fromExp)*pointsPerDecade+1)
+	for i := fromExp * pointsPerDecade; i <= toExp*pointsPerDecade; i++ {
+		exps = append(exps, i)
+	}
+	return Map(opt, exps, func(_ int, i int) (toolflow.DesignPoint, error) {
+		return toolflow.CurvePoint(m, physicalError, i, pointsPerDecade)
+	})
+}
+
+// Boundary computes the Figure 9 crossover boundaries for every model
+// over the full error-rate axis — the (application × p_P) grid, one
+// crossover search per cell. Row i holds models[i]'s boundary in rate
+// order, exactly as toolflow.Boundary returns it.
+func Boundary(opt Options, models []toolflow.AppModel, rates []float64) ([][]toolflow.BoundaryPoint, error) {
+	type cell struct {
+		model int
+		rate  int
+	}
+	cells := make([]cell, 0, len(models)*len(rates))
+	for mi := range models {
+		for ri := range rates {
+			cells = append(cells, cell{mi, ri})
+		}
+	}
+	pts, err := Map(opt, cells, func(_ int, c cell) (toolflow.BoundaryPoint, error) {
+		return toolflow.BoundaryAt(models[c.model], rates[c.rate]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]toolflow.BoundaryPoint, len(models))
+	for mi := range models {
+		out[mi] = pts[mi*len(rates) : (mi+1)*len(rates)]
+	}
+	return out, nil
+}
+
+// EPRCell is one application's §8.1 window-sweep study.
+type EPRCell struct {
+	Name      string
+	Moves     int
+	Timesteps int
+	JIT       int64
+	// JITIndex is the position of the JIT-window row in Rows, so
+	// consumers never hard-code the window ordering.
+	JITIndex int
+	Rows     []teleport.Result
+}
+
+// EPRWindows runs the §8.1 pipelined-EPR window study for every Fig. 6
+// workload in parallel — one cell per application, each scheduling the
+// circuit on the Multi-SIMD machine and sweeping look-ahead windows
+// around the JIT heuristic.
+func EPRWindows(opt Options, cfg teleport.Config) ([]EPRCell, error) {
+	return Map(opt, apps.Fig6Suite(), func(_ int, w apps.Workload) (EPRCell, error) {
+		regions := 4
+		if w.Circuit.NumQubits > 128 {
+			regions = 16
+		}
+		width := 32
+		if perBank := (w.Circuit.NumQubits + regions - 1) / regions; perBank > width {
+			width = perBank
+		}
+		sched, err := simd.Run(w.Circuit, simd.Config{Regions: regions, Width: width, Seed: opt.Seed})
+		if err != nil {
+			return EPRCell{}, err
+		}
+		jit := teleport.JITWindow(sched, cfg)
+		const jitIndex = 3
+		windows := []int64{0, jit / 4, jit / 2, jit, 2 * jit, 8 * jit, teleport.PrefetchAll}
+		rows, err := teleport.SweepWindows(sched, windows, cfg)
+		if err != nil {
+			return EPRCell{}, err
+		}
+		return EPRCell{
+			Name:      w.Name,
+			Moves:     len(sched.Moves),
+			Timesteps: sched.Timesteps,
+			JIT:       jit,
+			JITIndex:  jitIndex,
+			Rows:      rows,
+		}, nil
+	})
+}
+
+// Figure6Cell is one (application, policy) braid simulation of the
+// Figure 6 grid.
+type Figure6Cell struct {
+	App    string
+	Policy int
+	Ratio  float64
+	Util   float64
+	Cycles int64
+}
+
+// Figure6 runs the full Figure 6 policy sweep — every application under
+// every braid policy — across the worker pool. Each cell is an
+// independent braid simulation with its own mesh, so the grid scales to
+// the core count.
+func Figure6(opt Options, distance int) ([]Figure6Cell, error) {
+	type cell struct {
+		w apps.Workload
+		p braid.Policy
+	}
+	var cells []cell
+	for _, w := range apps.Fig6Suite() {
+		for _, p := range braid.AllPolicies {
+			cells = append(cells, cell{w, p})
+		}
+	}
+	return Map(opt, cells, func(_ int, c cell) (Figure6Cell, error) {
+		r, err := braid.Simulate(c.w.Circuit, c.p, braid.Config{Distance: distance, Seed: opt.Seed})
+		if err != nil {
+			return Figure6Cell{}, fmt.Errorf("sweep: %s under %v: %w", c.w.Name, c.p, err)
+		}
+		return Figure6Cell{
+			App:    c.w.Name,
+			Policy: int(c.p),
+			Ratio:  r.Ratio,
+			Util:   r.AvgUtilization,
+			Cycles: r.ScheduleCycles,
+		}, nil
+	})
+}

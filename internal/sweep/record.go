@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"surfcomm/internal/teleport"
+	"surfcomm/internal/toolflow"
+)
+
+// CellResult is one machine-readable grid cell: which study it belongs
+// to, which cell of the grid it is, and its scalar metrics. A sweep run
+// serialized as a list of CellResults (see WriteRecords) is the
+// BENCH_*.json artifact used to track the perf and accuracy trajectory
+// of the reproduction across revisions.
+type CellResult struct {
+	Study   string             `json:"study"`
+	Cell    string             `json:"cell"`
+	Seed    int64              `json:"seed"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// WriteRecords serializes cells as indented JSON. Encoding is stable:
+// cell order is preserved and metric keys marshal sorted, so two runs
+// that computed the same values produce identical bytes — the property
+// the parallel-equals-serial check and cross-revision diffs rely on.
+func WriteRecords(w io.Writer, cells []CellResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cells)
+}
+
+// WriteRecordsFile writes cells to path (the BENCH_*.json convention).
+func WriteRecordsFile(path string, cells []CellResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := WriteRecords(f, cells); err != nil {
+		f.Close()
+		return fmt.Errorf("sweep: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ModelRecords converts characterized app models to cell results.
+func ModelRecords(seed int64, models []toolflow.AppModel) []CellResult {
+	out := make([]CellResult, 0, len(models))
+	for _, m := range models {
+		out = append(out, CellResult{
+			Study: "characterization",
+			Cell:  m.Name,
+			Seed:  seed,
+			Metrics: map[string]float64{
+				"parallelism":       m.Parallelism,
+				"sched_parallelism": m.SchedParallelism,
+				"move_fraction":     m.MoveFraction,
+				"congestion_dd":     m.CongestionDD,
+			},
+		})
+	}
+	return out
+}
+
+// CurveRecords converts Figure 7/8 design points to cell results.
+func CurveRecords(study, app string, physicalError float64, seed int64, pts []toolflow.DesignPoint) []CellResult {
+	out := make([]CellResult, 0, len(pts))
+	for _, dp := range pts {
+		out = append(out, CellResult{
+			Study: study,
+			Cell:  fmt.Sprintf("%s/K=%.1e/pp=%.0e", app, dp.TotalOps, physicalError),
+			Seed:  seed,
+			Metrics: map[string]float64{
+				"distance":         float64(dp.Distance),
+				"planar_seconds":   dp.PlanarSeconds,
+				"dd_seconds":       dp.DDSeconds,
+				"planar_qubits":    dp.PlanarQubits,
+				"dd_qubits":        dp.DDQubits,
+				"space_time_ratio": dp.SpaceTimeRatio,
+			},
+		})
+	}
+	return out
+}
+
+// BoundaryRecords converts a Figure 9 boundary grid (one row per
+// model, as Boundary returns it) to cell results. Off-chart points —
+// planar favored across the whole K range — carry the -1 sentinel.
+func BoundaryRecords(seed int64, models []toolflow.AppModel, boundaries [][]toolflow.BoundaryPoint) []CellResult {
+	var out []CellResult
+	for mi, m := range models {
+		for _, pt := range boundaries[mi] {
+			k := pt.CrossoverOps
+			if pt.OffChart {
+				k = -1
+			}
+			out = append(out, CellResult{
+				Study:   "figure9",
+				Cell:    fmt.Sprintf("%s/pp=%.1e", m.Name, pt.PhysicalError),
+				Seed:    seed,
+				Metrics: map[string]float64{"crossover_k": k},
+			})
+		}
+	}
+	return out
+}
+
+// EPRWindowLabel names a window row the way the §8.1 tables print it.
+func EPRWindowLabel(windowCycles int64) string {
+	if windowCycles == teleport.PrefetchAll {
+		return "prefetch-all"
+	}
+	return fmt.Sprintf("%d", windowCycles)
+}
+
+// EPRRecords converts the §8.1 window study to cell results.
+func EPRRecords(seed int64, cells []EPRCell) []CellResult {
+	var out []CellResult
+	for _, c := range cells {
+		for _, r := range c.Rows {
+			out = append(out, CellResult{
+				Study: "epr",
+				Cell:  fmt.Sprintf("%s/window=%s", c.Name, EPRWindowLabel(r.WindowCycles)),
+				Seed:  seed,
+				Metrics: map[string]float64{
+					"peak_live_epr":    float64(r.PeakLiveEPR),
+					"stall_cycles":     float64(r.StallCycles),
+					"latency_overhead": r.LatencyOverhead,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// Figure6Records converts a Figure 6 policy grid to cell results.
+func Figure6Records(seed int64, cells []Figure6Cell) []CellResult {
+	out := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, CellResult{
+			Study: "figure6",
+			Cell:  fmt.Sprintf("%s/policy%d", c.App, c.Policy),
+			Seed:  seed,
+			Metrics: map[string]float64{
+				"ratio":  c.Ratio,
+				"util":   c.Util,
+				"cycles": float64(c.Cycles),
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package sweep is the parallel evaluation-grid runner behind the
+// paper's design-space studies (Figures 7–9, §8.1). The evaluation is a
+// wide grid — applications × braid policies × code distances × physical
+// error rates — whose cells are independent simulations, so the package
+// fans them across a bounded worker pool while keeping every result in
+// submission order: a parallel run is bit-identical to a serial one.
+//
+// Determinism rules:
+//
+//   - Cell functions receive their index and must derive any randomness
+//     from explicit seeds; the grids share Options.Seed (it is part of
+//     the result's identity, matching the serial toolflow paths) and
+//     every emitted cell records the seed it ran under.
+//   - Results land in a slice slot owned by the cell, never appended
+//     from racing goroutines.
+//   - Errors are reported by the lowest-indexed failing cell, so the
+//     error surface is deterministic too.
+//
+// The domain grids in grid.go cover app-model characterization and the
+// figure sweeps; record.go serializes per-cell results as stable JSON
+// so benchmark trajectories (BENCH_*.json) can be tracked across
+// revisions.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Seed is the base seed; cells derive theirs deterministically.
+	Seed int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn over every item on a pool of workers, returning the
+// outputs in item order. It is the primitive under all grids: cell i's
+// output lands in slot i, and on failure the error of the
+// lowest-indexed failing cell is returned (alongside the partial
+// results), so parallel and serial runs fail identically.
+func Map[I, O any](opt Options, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	out := make([]O, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(items))
+	workers := opt.workers()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			out[i], errs[i] = fn(i, items[i])
+		}
+		return out, firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i], errs[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

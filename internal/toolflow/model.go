@@ -255,12 +255,20 @@ func Crossover(m AppModel, physicalError float64) (kStar float64, ok bool) {
 	return 0, false
 }
 
+// CurvePoint evaluates one grid index of a log-spaced K sweep:
+// K = 10^(i/pointsPerDecade). It is the single cell definition shared
+// by the serial Curve and the parallel sweep grid, so the two can
+// never drift.
+func CurvePoint(m AppModel, physicalError float64, gridIndex, pointsPerDecade int) (DesignPoint, error) {
+	k := math.Pow(10, float64(gridIndex)/float64(pointsPerDecade))
+	return Evaluate(m, k, physicalError)
+}
+
 // Curve evaluates a log-spaced K sweep (Figures 7 and 8 series).
 func Curve(m AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]DesignPoint, error) {
 	var out []DesignPoint
 	for i := fromExp * pointsPerDecade; i <= toExp*pointsPerDecade; i++ {
-		k := math.Pow(10, float64(i)/float64(pointsPerDecade))
-		dp, err := Evaluate(m, k, physicalError)
+		dp, err := CurvePoint(m, physicalError, i, pointsPerDecade)
 		if err != nil {
 			return nil, err
 		}
@@ -276,13 +284,19 @@ type BoundaryPoint struct {
 	OffChart      bool // planar favored across the full K range
 }
 
+// BoundaryAt computes one (application, p_P) boundary sample — the
+// cell shared by the serial Boundary and the parallel sweep grid.
+func BoundaryAt(m AppModel, physicalError float64) BoundaryPoint {
+	k, ok := Crossover(m, physicalError)
+	return BoundaryPoint{PhysicalError: physicalError, CrossoverOps: k, OffChart: !ok}
+}
+
 // Boundary sweeps physical error rates (Figure 9's x axis, 1e-8…1e-3)
 // and returns the crossover boundary for the application.
 func Boundary(m AppModel, errorRates []float64) []BoundaryPoint {
 	out := make([]BoundaryPoint, 0, len(errorRates))
 	for _, p := range errorRates {
-		k, ok := Crossover(m, p)
-		out = append(out, BoundaryPoint{PhysicalError: p, CrossoverOps: k, OffChart: !ok})
+		out = append(out, BoundaryAt(m, p))
 	}
 	return out
 }
@@ -297,16 +311,22 @@ func Figure9ErrorRates() []float64 {
 	return out
 }
 
-// ReferenceModels characterizes the standard suite (plus both IM
-// inlining variants) at simulation scale — the models behind Figures
-// 7–9.
-func ReferenceModels(seed int64) ([]AppModel, error) {
+// ReferenceWorkloads is the standard suite (plus both IM inlining
+// variants) at simulation scale — the single definition shared by the
+// serial and parallel characterization paths.
+func ReferenceWorkloads() []apps.Workload {
 	workloads := []apps.Workload{
 		{Name: "GSE", Circuit: apps.GSE(apps.GSEConfig{M: 10, Steps: 2})},
 		{Name: "SQ", Circuit: apps.SQ(apps.SQConfig{N: 8, Iters: 2})},
 		{Name: "SHA-1", Circuit: apps.SHA1(apps.SHA1Config{Rounds: 1, WordWidth: 16})},
 	}
-	workloads = append(workloads, apps.IMVariants(96, 2)...)
+	return append(workloads, apps.IMVariants(96, 2)...)
+}
+
+// ReferenceModels characterizes the reference suite — the models behind
+// Figures 7–9.
+func ReferenceModels(seed int64) ([]AppModel, error) {
+	workloads := ReferenceWorkloads()
 	out := make([]AppModel, 0, len(workloads))
 	for _, w := range workloads {
 		m, err := Characterize(w, seed)

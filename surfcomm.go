@@ -35,6 +35,7 @@ import (
 	"surfcomm/internal/resource"
 	"surfcomm/internal/simd"
 	"surfcomm/internal/surface"
+	"surfcomm/internal/sweep"
 	"surfcomm/internal/teleport"
 	"surfcomm/internal/toolflow"
 )
@@ -262,6 +263,57 @@ type SurgeryPoint = toolflow.SurgeryPoint
 // schemes (teleportation, braiding, lattice surgery).
 func EvaluateSurgery(m AppModel, totalOps, physicalError float64) (SurgeryPoint, error) {
 	return toolflow.EvaluateSurgery(m, totalOps, physicalError)
+}
+
+// --- Parallel sweep (evaluation-grid worker pool) ---
+
+// SweepOptions tunes a parallel grid run (worker count, base seed).
+type SweepOptions = sweep.Options
+
+// SweepCellResult is one machine-readable grid cell (BENCH_*.json).
+type SweepCellResult = sweep.CellResult
+
+// SweepFigure6Cell is one (application, policy) braid simulation.
+type SweepFigure6Cell = sweep.Figure6Cell
+
+// SweepEPRCell is one application's §8.1 window study.
+type SweepEPRCell = sweep.EPRCell
+
+// SweepModels characterizes the reference suite across a worker pool;
+// results are deterministic and identical to ReferenceModels at any
+// worker count.
+func SweepModels(opt SweepOptions) ([]AppModel, error) { return sweep.Models(opt) }
+
+// SweepCharacterize characterizes arbitrary workloads across the pool.
+func SweepCharacterize(opt SweepOptions, ws []Workload) ([]AppModel, error) {
+	return sweep.Characterize(opt, ws)
+}
+
+// SweepCurve evaluates a Figure 7/8 K-sweep cell-parallel.
+func SweepCurve(opt SweepOptions, m AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]DesignPoint, error) {
+	return sweep.Curve(opt, m, physicalError, fromExp, toExp, pointsPerDecade)
+}
+
+// SweepBoundary computes every model's Figure 9 boundary on the
+// (application × error-rate) grid.
+func SweepBoundary(opt SweepOptions, models []AppModel, rates []float64) ([][]BoundaryPoint, error) {
+	return sweep.Boundary(opt, models, rates)
+}
+
+// SweepFigure6 runs the full Figure 6 (application × policy) grid.
+func SweepFigure6(opt SweepOptions, distance int) ([]SweepFigure6Cell, error) {
+	return sweep.Figure6(opt, distance)
+}
+
+// SweepEPRStudy runs the §8.1 window study per application on the
+// worker pool (one cell per workload).
+func SweepEPRStudy(opt SweepOptions, cfg TeleportConfig) ([]SweepEPRCell, error) {
+	return sweep.EPRWindows(opt, cfg)
+}
+
+// WriteSweepRecords serializes grid cells as stable JSON (BENCH_*.json).
+func WriteSweepRecords(w io.Writer, cells []SweepCellResult) error {
+	return sweep.WriteRecords(w, cells)
 }
 
 // --- Layout ---
