@@ -3,21 +3,21 @@
 // communication-method comparison (Table 1, measured from both backend
 // simulators) and the application summary with parallelism factors
 // (Table 2).
+//
+// The measurements run through a shared surfcomm.Toolchain (-seed,
+// -workers); `-json FILE` emits every table row as a machine-readable
+// record, and an interrupt (Ctrl-C) cancels mid-run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
-	"surfcomm/internal/apps"
-	"surfcomm/internal/braid"
-	"surfcomm/internal/circuit"
-	"surfcomm/internal/layout"
-	"surfcomm/internal/resource"
-	"surfcomm/internal/simd"
-	"surfcomm/internal/surface"
-	"surfcomm/internal/teleport"
+	"surfcomm"
 )
 
 func main() {
@@ -25,11 +25,26 @@ func main() {
 	log.SetPrefix("scflow: ")
 	table1 := flag.Bool("table1", false, "print only the Table 1 communication comparison")
 	table2 := flag.Bool("table2", false, "print only the Table 2 application summary")
+	seed := flag.Int64("seed", 1, "layout/partition seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonPath := flag.String("json", "", "write table rows to this JSON file")
 	flag.Parse()
 	both := !*table1 && !*table2
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	tc, err := surfcomm.NewToolchain(
+		surfcomm.WithSeed(*seed),
+		surfcomm.WithWorkers(*workers),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var records []surfcomm.SweepCellResult
 	if *table1 || both {
-		if err := printTable1(); err != nil {
+		if err := printTable1(ctx, tc, &records); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -37,9 +52,16 @@ func main() {
 		fmt.Println()
 	}
 	if *table2 || both {
-		if err := printTable2(); err != nil {
+		if err := printTable2(ctx, tc, &records); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *jsonPath != "" {
+		if err := surfcomm.WriteSweepRecordsFile(*jsonPath, records); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d rows to %s", len(records), *jsonPath)
 	}
 }
 
@@ -48,18 +70,22 @@ func main() {
 // claim whole routes and bigger tiles (high space, not prefetchable);
 // teleportation transit grows with distance (high time) but vanishes
 // under EPR prefetch.
-func printTable1() error {
+func printTable1(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm.SweepCellResult) error {
 	const d = 9
 
 	braidCycles := func(cols, a, b int) (int64, error) {
-		c := circuit.New("pair", cols)
-		c.Append(circuit.CNOT, a, b)
-		place := layout.RowMajor(cols)
-		r, err := braid.Simulate(c, braid.Policy1, braid.Config{Distance: d, Placement: place})
+		c := surfcomm.NewCircuit("pair", cols)
+		c.Append(surfcomm.OpCNOT, a, b)
+		place := surfcomm.RowMajorPlacement(cols)
+		plan, err := tc.Compile(ctx, surfcomm.BraidBackend{}, c, func(t *surfcomm.Target) {
+			t.Distance = d
+			t.Policy = surfcomm.Policy1
+			t.Placement = place
+		})
 		if err != nil {
 			return 0, err
 		}
-		return r.ScheduleCycles, nil
+		return plan.Cycles, nil
 	}
 	nearBraid, err := braidCycles(8, 0, 1)
 	if err != nil {
@@ -73,16 +99,19 @@ func printTable1() error {
 	// The EPR factory sits at the bottom-right of the region grid; a
 	// "near" pair adjoins it, a "far" pair sits at the opposite corner.
 	teleportStall := func(from, to int, window int64) (int64, error) {
-		sched := &simd.Schedule{
-			Config:    simd.Config{Regions: 16, Width: 8},
+		sched := &surfcomm.SIMDSchedule{
+			Config:    surfcomm.SIMDConfig{Regions: 16, Width: 8},
 			Timesteps: 8,
-			Moves:     []simd.Move{{Timestep: 5, Qubit: 0, From: from, To: to}},
+			Moves:     []surfcomm.SIMDMove{{Timestep: 5, Qubit: 0, From: from, To: to}},
 		}
-		r, err := teleport.Distribute(sched, window, teleport.Config{Distance: d})
+		r, err := surfcomm.DistributeEPR(sched, window, surfcomm.TeleportConfig{Distance: d})
 		if err != nil {
 			return 0, err
 		}
 		return r.StallCycles, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	nearTele, err := teleportStall(14, 15, 0)
 	if err != nil {
@@ -92,7 +121,7 @@ func printTable1() error {
 	if err != nil {
 		return err
 	}
-	hiddenTele, err := teleportStall(0, 1, teleport.PrefetchAll)
+	hiddenTele, err := teleportStall(0, 1, surfcomm.PrefetchAll)
 	if err != nil {
 		return err
 	}
@@ -101,27 +130,56 @@ func printTable1() error {
 	fmt.Println("----------------------------------------------------------------------")
 	fmt.Printf("%-14s %-22s %-28s %s\n", "Method", "Space (qubits/tile)", "Time (EC cycles)", "Prefetchable?")
 	fmt.Printf("%-14s %-22d transit near=%-3d far=%-6d yes (JIT stall=%d)\n",
-		"Teleportation", surface.PlanarTileQubits(d), nearTele, farTele, hiddenTele)
+		"Teleportation", surfcomm.PlanarTileQubits(d), nearTele, farTele, hiddenTele)
 	fmt.Printf("%-14s %-22d braid   near=%-3d far=%-6d no (claims whole route)\n",
-		"Braiding", surface.DoubleDefectTileQubits(d), nearBraid, farBraid)
+		"Braiding", surfcomm.DoubleDefectTileQubits(d), nearBraid, farBraid)
 	fmt.Println()
 	fmt.Println("Planar/teleport: low space, distance-dependent latency, prefetchable.")
 	fmt.Println("Double-defect/braid: high space, distance-independent latency, not prefetchable.")
+
+	*records = append(*records,
+		surfcomm.SweepCellResult{Study: "table1", Cell: "teleportation", Seed: tc.Seed(),
+			Metrics: map[string]float64{
+				"tile_qubits": float64(surfcomm.PlanarTileQubits(d)),
+				"near_cycles": float64(nearTele),
+				"far_cycles":  float64(farTele),
+				"jit_stall":   float64(hiddenTele),
+			}},
+		surfcomm.SweepCellResult{Study: "table1", Cell: "braiding", Seed: tc.Seed(),
+			Metrics: map[string]float64{
+				"tile_qubits": float64(surfcomm.DoubleDefectTileQubits(d)),
+				"near_cycles": float64(nearBraid),
+				"far_cycles":  float64(farBraid),
+			}},
+	)
 	return nil
 }
 
-func printTable2() error {
+func printTable2(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm.SweepCellResult) error {
+	workloads := surfcomm.Table2Suite()
+	estimates, err := tc.Estimate(ctx, workloads)
+	if err != nil {
+		return err
+	}
 	fmt.Println("Table 2: benchmark applications (measured)")
 	fmt.Println("------------------------------------------------------------------------------------------")
 	fmt.Printf("%-8s %-10s %-10s %-10s %-10s %-12s %s\n",
 		"App", "Qubits", "Ops", "T-count", "2q ops", "Depth", "Parallelism")
-	for _, w := range apps.Table2Suite() {
-		e, err := resource.EstimateCircuit(w.Circuit)
-		if err != nil {
-			return err
-		}
+	for i, w := range workloads {
+		e := estimates[i]
 		fmt.Printf("%-8s %-10d %-10d %-10d %-10d %-12d %.1f\n",
 			w.Name, e.LogicalQubits, e.LogicalOps, e.TCount, e.TwoQubitOps, e.CriticalPath, e.Parallelism)
+		*records = append(*records, surfcomm.SweepCellResult{
+			Study: "table2", Cell: w.Name, Seed: tc.Seed(),
+			Metrics: map[string]float64{
+				"qubits":      float64(e.LogicalQubits),
+				"ops":         float64(e.LogicalOps),
+				"t_count":     float64(e.TCount),
+				"two_q_ops":   float64(e.TwoQubitOps),
+				"depth":       float64(e.CriticalPath),
+				"parallelism": e.Parallelism,
+			},
+		})
 	}
 	fmt.Println()
 	fmt.Println("Paper's parallelism factors: GSE 1.2, SQ 1.5, SHA-1 29, IM 66.")

@@ -10,23 +10,27 @@
 // other flags it narrows the run to the selected studies; it is not in
 // the default set because cmd/braidsim covers it interactively.
 //
-// The grids evaluate on a worker pool (-workers, default GOMAXPROCS);
-// results are gathered in deterministic cell order before printing, so
-// the figures are byte-identical at any worker count — `-workers 1` is
-// the serial reference. `-json FILE` additionally emits every grid cell
-// as a machine-readable record (the BENCH_sweep.json convention) for
-// tracking the reproduction's trajectory across revisions.
+// The studies run on a shared surfcomm.Toolchain: the grids evaluate on
+// its worker pool (-workers, default GOMAXPROCS) and results are
+// gathered in deterministic cell order before printing, so the figures
+// are byte-identical at any worker count — `-workers 1` is the serial
+// reference. `-json FILE` additionally emits every grid cell as a
+// machine-readable record (the BENCH_sweep.json convention) for
+// tracking the reproduction's trajectory across revisions. `-progress`
+// streams per-cell completions to stderr, and an interrupt (Ctrl-C)
+// cancels the run mid-grid.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 
-	"surfcomm/internal/sweep"
-	"surfcomm/internal/teleport"
-	"surfcomm/internal/toolflow"
+	"surfcomm"
 )
 
 func main() {
@@ -41,66 +45,83 @@ func main() {
 	seed := flag.Int64("seed", 1, "characterization seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write per-cell results to this JSON file (e.g. BENCH_sweep.json)")
+	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
 	flag.Parse()
 	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr
 
-	opt := sweep.Options{Workers: *workers, Seed: *seed}
-	var records []sweep.CellResult
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	var models []toolflow.AppModel
+	opts := []surfcomm.ToolchainOption{
+		surfcomm.WithSeed(*seed),
+		surfcomm.WithWorkers(*workers),
+		surfcomm.WithTechnology(surfcomm.Superconducting(*pp)),
+	}
+	if *progress {
+		opts = append(opts, surfcomm.WithProgress(func(ev surfcomm.Event) {
+			log.Printf("%s %s (%d/%d)", ev.Stage, ev.Cell, ev.Index+1, ev.Total)
+		}))
+	}
+	tc, err := surfcomm.NewToolchain(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var records []surfcomm.SweepCellResult
+
+	var models []surfcomm.AppModel
 	if all || *fig7 || *fig8 || *fig9 {
-		var err error
-		models, err = sweep.Models(opt)
+		models, err = tc.Models(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		records = append(records, sweep.ModelRecords(*seed, models)...)
+		records = append(records, surfcomm.SweepModelRecords(*seed, models)...)
 	}
 
 	if *fig6 {
-		if err := runFig6(opt, &records); err != nil {
+		if err := runFig6(ctx, tc, &records); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
 	}
 	if all || *fig7 {
-		if err := runFig7(opt, models, *pp, &records); err != nil {
+		if err := runFig7(ctx, tc, models, *pp, &records); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
 	}
 	if all || *fig8 {
-		if err := runFig8(opt, models, *pp, &records); err != nil {
+		if err := runFig8(ctx, tc, models, *pp, &records); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
 	}
 	if all || *fig9 {
-		if err := runFig9(opt, models, &records); err != nil {
+		if err := runFig9(ctx, tc, models, &records); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
 	}
 	if all || *epr {
-		if err := runEPR(opt, &records); err != nil {
+		if err := runEPR(ctx, tc, &records); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	if *jsonPath != "" {
-		if err := sweep.WriteRecordsFile(*jsonPath, records); err != nil {
+		if err := surfcomm.WriteSweepRecordsFile(*jsonPath, records); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %d cells to %s", len(records), *jsonPath)
 	}
 }
 
-func runFig6(opt sweep.Options, records *[]sweep.CellResult) error {
-	cells, err := sweep.Figure6(opt, 9)
+func runFig6(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm.SweepCellResult) error {
+	cells, err := tc.Figure6(ctx, surfcomm.SweepFigure6Options{Distance: 9})
 	if err != nil {
 		return err
 	}
-	*records = append(*records, sweep.Figure6Records(opt.Seed, cells)...)
+	*records = append(*records, surfcomm.SweepFigure6Records(tc.Seed(), cells)...)
 	fmt.Println("Figure 6: braid policy grid (schedule/critical-path ratio, utilization)")
 	fmt.Println(strings.Repeat("-", 56))
 	fmt.Printf("%-10s %-10s %10s %10s %12s\n", "App", "Policy", "ratio", "util %", "cycles")
@@ -111,8 +132,8 @@ func runFig6(opt sweep.Options, records *[]sweep.CellResult) error {
 	return nil
 }
 
-func runFig7(opt sweep.Options, models []toolflow.AppModel, pp float64, records *[]sweep.CellResult) error {
-	m, err := toolflow.ModelFor(models, "SQ")
+func runFig7(ctx context.Context, tc *surfcomm.Toolchain, models []surfcomm.AppModel, pp float64, records *[]surfcomm.SweepCellResult) error {
+	m, err := surfcomm.ModelFor(models, "SQ")
 	if err != nil {
 		return err
 	}
@@ -120,11 +141,11 @@ func runFig7(opt sweep.Options, models []toolflow.AppModel, pp float64, records 
 	fmt.Println(strings.Repeat("-", 86))
 	fmt.Printf("%-10s %4s %14s %14s %14s %14s\n",
 		"K (1/p_L)", "d", "planar sec", "dd sec", "planar qubits", "dd qubits")
-	pts, err := sweep.Curve(opt, m, pp, 0, 24, 1)
+	pts, err := tc.Curve(ctx, m, 0, 24, 1)
 	if err != nil {
 		return err
 	}
-	*records = append(*records, sweep.CurveRecords("figure7", m.Name, pp, opt.Seed, pts)...)
+	*records = append(*records, surfcomm.SweepCurveRecords("figure7", m.Name, pp, tc.Seed(), pts)...)
 	for i, dp := range pts {
 		if i%2 != 0 {
 			continue
@@ -136,20 +157,20 @@ func runFig7(opt sweep.Options, models []toolflow.AppModel, pp float64, records 
 	return nil
 }
 
-func runFig8(opt sweep.Options, models []toolflow.AppModel, pp float64, records *[]sweep.CellResult) error {
+func runFig8(ctx context.Context, tc *surfcomm.Toolchain, models []surfcomm.AppModel, pp float64, records *[]surfcomm.SweepCellResult) error {
 	for _, name := range []string{"SQ", "IM_Fully_Inlined"} {
-		m, err := toolflow.ModelFor(models, name)
+		m, err := surfcomm.ModelFor(models, name)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("Figure 8: double-defect relative to planar, %s (p_P=%.0e)\n", name, pp)
 		fmt.Println(strings.Repeat("-", 64))
 		fmt.Printf("%-10s %4s %10s %10s %12s\n", "K (1/p_L)", "d", "qubits", "time", "qubits*time")
-		pts, err := sweep.Curve(opt, m, pp, 0, 24, 1)
+		pts, err := tc.Curve(ctx, m, 0, 24, 1)
 		if err != nil {
 			return err
 		}
-		*records = append(*records, sweep.CurveRecords("figure8", name, pp, opt.Seed, pts)...)
+		*records = append(*records, surfcomm.SweepCurveRecords("figure8", name, pp, tc.Seed(), pts)...)
 		for i, dp := range pts {
 			if i%2 != 0 {
 				continue
@@ -157,7 +178,7 @@ func runFig8(opt sweep.Options, models []toolflow.AppModel, pp float64, records 
 			fmt.Printf("%-10.1e %4d %10.2f %10.3f %12.3f\n",
 				dp.TotalOps, dp.Distance, dp.QubitsRatio, dp.TimeRatio, dp.SpaceTimeRatio)
 		}
-		if k, ok := toolflow.Crossover(m, pp); ok {
+		if k, ok := tc.Crossover(m); ok {
 			fmt.Printf("crossover: double-defect favored beyond K ~= %.1e\n", k)
 		} else {
 			fmt.Println("crossover: planar favored across the full 1e0..1e24 range")
@@ -169,9 +190,9 @@ func runFig8(opt sweep.Options, models []toolflow.AppModel, pp float64, records 
 	return nil
 }
 
-func runFig9(opt sweep.Options, models []toolflow.AppModel, records *[]sweep.CellResult) error {
-	rates := toolflow.Figure9ErrorRates()
-	boundaries, err := sweep.Boundary(opt, models, rates)
+func runFig9(ctx context.Context, tc *surfcomm.Toolchain, models []surfcomm.AppModel, records *[]surfcomm.SweepCellResult) error {
+	rates := surfcomm.Figure9ErrorRates()
+	boundaries, err := tc.Boundary(ctx, models, rates)
 	if err != nil {
 		return err
 	}
@@ -183,7 +204,7 @@ func runFig9(opt sweep.Options, models []toolflow.AppModel, records *[]sweep.Cel
 		fmt.Printf(" %10.0e", r)
 	}
 	fmt.Println()
-	*records = append(*records, sweep.BoundaryRecords(opt.Seed, models, boundaries)...)
+	*records = append(*records, surfcomm.SweepBoundaryRecords(tc.Seed(), models, boundaries)...)
 	for mi, m := range models {
 		fmt.Printf("%-18s", m.Name)
 		for _, pt := range boundaries[mi] {
@@ -200,19 +221,19 @@ func runFig9(opt sweep.Options, models []toolflow.AppModel, records *[]sweep.Cel
 	return nil
 }
 
-func runEPR(opt sweep.Options, records *[]sweep.CellResult) error {
+func runEPR(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm.SweepCellResult) error {
 	fmt.Println("§8.1: pipelined EPR distribution — look-ahead window sweep")
-	cells, err := sweep.EPRWindows(opt, teleport.Config{Distance: 9})
+	cells, err := tc.EPRStudy(ctx)
 	if err != nil {
 		return err
 	}
-	*records = append(*records, sweep.EPRRecords(opt.Seed, cells)...)
+	*records = append(*records, surfcomm.SweepEPRRecords(tc.Seed(), cells)...)
 	for _, c := range cells {
 		fmt.Printf("\n%s (%d moves, %d timesteps)\n", c.Name, c.Moves, c.Timesteps)
 		fmt.Printf("%-14s %12s %12s %12s\n", "window", "peak live", "stall cyc", "overhead %")
 		for _, r := range c.Rows {
 			fmt.Printf("%-14s %12d %12d %12.1f\n",
-				sweep.EPRWindowLabel(r.WindowCycles), r.PeakLiveEPR, r.StallCycles, 100*r.LatencyOverhead)
+				surfcomm.SweepEPRWindowLabel(r.WindowCycles), r.PeakLiveEPR, r.StallCycles, 100*r.LatencyOverhead)
 		}
 		flood := c.Rows[len(c.Rows)-1]
 		jitRes := c.Rows[c.JITIndex]

@@ -1,0 +1,25 @@
+package surfcomm
+
+import "surfcomm/internal/scerr"
+
+// Sentinel errors of the compilation pipeline. Every stage — backend
+// compiles, characterization, design-space sweeps — wraps these with
+// %w, so callers classify failures with errors.Is regardless of which
+// internal layer produced them:
+//
+//	plan, err := tc.Compile(ctx, backend, circ)
+//	switch {
+//	case errors.Is(err, surfcomm.ErrCanceled):   // ctx canceled mid-compile
+//	case errors.Is(err, surfcomm.ErrBadConfig):  // invalid option/target
+//	case errors.Is(err, surfcomm.ErrUnknownModel): // unregistered app model
+//	}
+var (
+	// ErrCanceled reports a stage aborted by its context; it also
+	// matches the underlying context.Canceled/DeadlineExceeded cause.
+	ErrCanceled = scerr.ErrCanceled
+	// ErrBadConfig reports an invalid configuration, option, or target.
+	ErrBadConfig = scerr.ErrBadConfig
+	// ErrUnknownModel reports a lookup of an application model or
+	// scaling law that is not registered.
+	ErrUnknownModel = scerr.ErrUnknownModel
+)

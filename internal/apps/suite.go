@@ -1,10 +1,10 @@
 package apps
 
 import (
-	"fmt"
 	"math"
 
 	"surfcomm/internal/circuit"
+	"surfcomm/internal/scerr"
 )
 
 // Workload pairs a generated circuit with its suite name.
@@ -97,7 +97,7 @@ func ScalingFor(name string) (Scaling, error) {
 			return n
 		}}, nil
 	}
-	return Scaling{}, fmt.Errorf("apps: no scaling model for %q", name)
+	return Scaling{}, scerr.UnknownModel("apps: no scaling model for %q", name)
 }
 
 // sqBitsForOps inverts SQOpsAt: the (fractional) register width n whose

@@ -1,6 +1,7 @@
 package braid
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -9,6 +10,8 @@ import (
 	"surfcomm/internal/mesh"
 	"surfcomm/internal/partition"
 	"surfcomm/internal/resource"
+	"surfcomm/internal/scerr"
+	"surfcomm/internal/surface"
 )
 
 // Config tunes a braid simulation. Zero values select defaults.
@@ -43,6 +46,15 @@ type Config struct {
 	// a full scan is forced whenever the network is idle). Zero
 	// selects 48.
 	MaxAttemptsPerRound int
+	// Surgery switches the engine to lattice-surgery timing (paper
+	// §8.2): a communicating op becomes a chain of patch merges and
+	// splits along its route, each hop stabilizing for d cycles, so
+	// phase latency grows with route length instead of being the
+	// distance-independent 1-cycle claim of a braid. Contention rules
+	// are identical — a merge chain claims its whole route — which is
+	// exactly the paper's point: surgery has neither braiding's fast
+	// movement nor teleportation's prefetchability.
+	Surgery bool
 	// Placement overrides the policy-selected qubit arrangement.
 	Placement *layout.Placement
 	// RecordSchedule captures the discovered static schedule in
@@ -202,6 +214,13 @@ type engine struct {
 	dag    *resource.DAG
 	ops    []op
 
+	// Cooperative cancellation: ctx's done channel is latched once at
+	// engine construction; the run loop polls it with a non-blocking
+	// select per scheduling round — no allocation, and nil (background
+	// context) skips the check entirely.
+	ctx  context.Context
+	done <-chan struct{}
+
 	ready      readyQueue // ready events in policy priority order
 	needResort bool       // comparator changed; reorder at next flush
 	maxHeight  int        // max height among ready (Policy 6 length rule)
@@ -257,9 +276,17 @@ func InteractionGraph(c *circuit.Circuit) *partition.Graph {
 // Simulate discovers a static braid schedule for the circuit under the
 // given policy and configuration, returning Figure 6 metrics.
 func Simulate(c *circuit.Circuit, p Policy, cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), c, p, cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the
+// scheduling loop polls ctx once per round and aborts with an error
+// matching scerr.ErrCanceled. The poll is a non-blocking select against
+// a pre-latched channel, so the hot path stays allocation-free.
+func SimulateContext(ctx context.Context, c *circuit.Circuit, p Policy, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if p < Policy0 || p > Policy6 {
-		return Result{}, fmt.Errorf("braid: unknown policy %d", int(p))
+		return Result{}, scerr.BadConfig("braid: unknown policy %d", int(p))
 	}
 	dag, err := resource.Build(c)
 	if err != nil {
@@ -287,6 +314,8 @@ func Simulate(c *circuit.Circuit, p Policy, cfg Config) (Result, error) {
 		net:    arch.NewMesh(),
 		dag:    dag,
 		record: cfg.RecordSchedule,
+		ctx:    ctx,
+		done:   ctx.Done(),
 	}
 	if err := e.buildOps(c); err != nil {
 		return Result{}, err
@@ -312,6 +341,12 @@ func Simulate(c *circuit.Circuit, p Policy, cfg Config) (Result, error) {
 	}
 	if e.now > 0 && e.net.TotalLinks() > 0 {
 		res.AvgUtilization = float64(e.busyIntegral) / float64(e.now*int64(e.net.TotalLinks()))
+	}
+	if cfg.Surgery {
+		// Surgery keeps the planar code's cheap patches (plus a merge
+		// corridor between adjacent tiles) instead of double-defect
+		// tiles and braid channels.
+		res.PhysicalQubits = arch.TotalTiles() * surface.PlanarTileQubits(cfg.Distance) * 3 / 2
 	}
 	if cfg.RecordSchedule {
 		res.Schedule = e.schedule
@@ -371,15 +406,31 @@ func (e *engine) latencyWeight(i int) int64 {
 		return 0
 	case opLocal:
 		return o.latency
-	default: // braid or magic: open phase + close phase
-		return 2 * e.phaseLatency()
+	default: // braid/magic/merge-chain: open phase + close phase
+		return 2 * e.phaseLatencyHops(e.opLength(i))
 	}
 }
 
-// phaseLatency is one braid phase: the 1-cycle claim (the braid extends
-// its full length in a single cycle regardless of distance) plus d
-// stabilization cycles (paper Fig. 5).
-func (e *engine) phaseLatency() int64 { return int64(e.cfg.Distance) + 1 }
+// phaseLatencyHops is one communication phase for a route of the given
+// hop count. Braids: the 1-cycle claim (the braid extends its full
+// length in a single cycle regardless of distance) plus d stabilization
+// cycles (paper Fig. 5) — length-independent. Lattice surgery: one
+// d-cycle merge (or split) per hop plus the toggle cycle — latency
+// grows with route length.
+func (e *engine) phaseLatencyHops(hops int) int64 {
+	if e.cfg.Surgery {
+		if hops < 1 {
+			hops = 1
+		}
+		return int64(hops)*int64(e.cfg.Distance) + 1
+	}
+	return int64(e.cfg.Distance) + 1
+}
+
+// phaseLatency is the phase latency of a routed path.
+func (e *engine) phaseLatency(p mesh.Path) int64 {
+	return e.phaseLatencyHops(len(p) - 1)
+}
 
 func (e *engine) tileIndex(c layout.Coord) int { return c.Row*e.arch.TileCols + c.Col }
 
@@ -395,6 +446,13 @@ func (e *engine) run() error {
 	e.worklist = e.admit(worklist, heights)
 
 	for e.doneCount < len(e.ops) {
+		if e.done != nil {
+			select {
+			case <-e.done:
+				return scerr.Canceled(e.ctx)
+			default:
+			}
+		}
 		placed := e.trySchedule(false, heights)
 		if len(e.heap) == 0 {
 			if placed > 0 {
@@ -648,9 +706,10 @@ func (e *engine) placeBraidOpen(ev *event, o *op) bool {
 	e.tileBusy[tb] = true
 	o.path = path
 	o.phase = 1
-	e.push(completion{time: e.now + e.phaseLatency(), op: ev.opIndex, kind: compOpenDone})
+	lat := e.phaseLatency(path)
+	e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compOpenDone})
 	e.recordEntry(ScheduleEntry{
-		Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + e.phaseLatency(),
+		Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + lat,
 		Path: append(mesh.Path(nil), path...), Factory: -1,
 	})
 	return true
@@ -691,9 +750,10 @@ func (e *engine) placeMagicOpen(ev *event, o *op) bool {
 		o.factory = c.f
 		o.path = path
 		o.phase = 1
-		e.push(completion{time: e.now + e.phaseLatency(), op: ev.opIndex, kind: compOpenDone})
+		lat := e.phaseLatency(path)
+		e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compOpenDone})
 		e.recordEntry(ScheduleEntry{
-			Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + e.phaseLatency(),
+			Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + lat,
 			Path: append(mesh.Path(nil), path...), Factory: c.f,
 		})
 		return true
@@ -709,9 +769,10 @@ func (e *engine) placeClose(ev *event, o *op, src, dst mesh.Node) bool {
 	e.reserve(path, ev.opIndex)
 	o.path = path
 	o.phase = 3
-	e.push(completion{time: e.now + e.phaseLatency(), op: ev.opIndex, kind: compCloseDone})
+	lat := e.phaseLatency(path)
+	e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compCloseDone})
 	e.recordEntry(ScheduleEntry{
-		Op: ev.opIndex, Kind: EntryClose, Start: e.now, End: e.now + e.phaseLatency(),
+		Op: ev.opIndex, Kind: EntryClose, Start: e.now, End: e.now + lat,
 		Path: append(mesh.Path(nil), path...), Factory: o.factory,
 	})
 	return true

@@ -1,0 +1,39 @@
+// Package scerr holds the sentinel errors shared by the toolchain
+// facade and the internal compilation stages. Internals wrap these with
+// %w so callers can classify failures with errors.Is regardless of
+// which stage produced them; the surfcomm package re-exports them as
+// ErrCanceled, ErrBadConfig and ErrUnknownModel.
+package scerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCanceled reports a compilation stage aborted by its context.
+	ErrCanceled = errors.New("surfcomm: canceled")
+	// ErrBadConfig reports an invalid configuration, option, or target.
+	ErrBadConfig = errors.New("surfcomm: bad config")
+	// ErrUnknownModel reports a lookup of an application model or
+	// scaling law that is not registered.
+	ErrUnknownModel = errors.New("surfcomm: unknown model")
+)
+
+// Canceled wraps the context's cause so the result matches both
+// ErrCanceled and the underlying context error (context.Canceled or
+// context.DeadlineExceeded).
+func Canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// BadConfig builds a configuration error that matches ErrBadConfig.
+func BadConfig(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadConfig, fmt.Sprintf(format, args...))
+}
+
+// UnknownModel builds a lookup error that matches ErrUnknownModel.
+func UnknownModel(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnknownModel, fmt.Sprintf(format, args...))
+}

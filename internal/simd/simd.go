@@ -11,12 +11,14 @@
 package simd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"surfcomm/internal/circuit"
 	"surfcomm/internal/partition"
 	"surfcomm/internal/resource"
+	"surfcomm/internal/scerr"
 )
 
 // MagicSource is the Move.From value for magic-state deliveries: the
@@ -52,12 +54,29 @@ func (c Config) withDefaults() Config {
 
 func (c Config) validate() error {
 	if c.Regions < 1 || c.Regions&(c.Regions-1) != 0 {
-		return fmt.Errorf("simd: regions must be a power of two, got %d", c.Regions)
+		return scerr.BadConfig("simd: regions must be a power of two, got %d", c.Regions)
 	}
 	if c.Width < 1 {
-		return fmt.Errorf("simd: width must be positive, got %d", c.Width)
+		return scerr.BadConfig("simd: width must be positive, got %d", c.Width)
 	}
 	return nil
+}
+
+// ConfigFor sizes the Multi-SIMD machine for a circuit: the Fig. 3a
+// four-region checkerboard, widened to the full 16-region machine for
+// large applications, with region width grown so every bank fits its
+// share of the qubits. This is the single sizing rule shared by the
+// EPR-study grid and the planar backend, so the two can never drift.
+func ConfigFor(numQubits int, seed int64) Config {
+	regions := 4
+	if numQubits > 128 {
+		regions = 16
+	}
+	width := 32
+	if perBank := (numQubits + regions - 1) / regions; perBank > width {
+		width = perBank
+	}
+	return Config{Regions: regions, Width: width, Seed: seed}
 }
 
 // Move is one teleportation: qubit Qubit relocates from region From to
@@ -97,6 +116,12 @@ func (s *Schedule) Parallelism() float64 {
 
 // Run schedules the circuit on the Multi-SIMD machine.
 func Run(c *circuit.Circuit, cfg Config) (*Schedule, error) {
+	return RunContext(context.Background(), c, cfg)
+}
+
+// RunContext is Run with cooperative cancellation, polled once per
+// timestep; an aborted run returns an error matching scerr.ErrCanceled.
+func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (*Schedule, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -143,7 +168,15 @@ func Run(c *circuit.Circuit, cfg Config) (*Schedule, error) {
 	}
 
 	timestep := 0
+	done := ctx.Done()
 	for completed < len(c.Gates) {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, scerr.Canceled(ctx)
+			default:
+			}
+		}
 		if len(ready) == 0 {
 			return nil, fmt.Errorf("simd: no ready ops with %d gates pending (dependency corruption)",
 				len(c.Gates)-completed)

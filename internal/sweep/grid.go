@@ -2,6 +2,9 @@ package sweep
 
 import (
 	"fmt"
+	"strings"
+
+	"context"
 
 	"surfcomm/internal/apps"
 	"surfcomm/internal/braid"
@@ -20,27 +23,27 @@ import (
 // + braid characterization. The seed is shared across cells (it is part
 // of the model identity): the result equals a serial loop over
 // toolflow.Characterize.
-func Characterize(opt Options, workloads []apps.Workload) ([]toolflow.AppModel, error) {
-	return Map(opt, workloads, func(_ int, w apps.Workload) (toolflow.AppModel, error) {
-		return toolflow.Characterize(w, opt.Seed)
+func Characterize(ctx context.Context, opt Options, workloads []apps.Workload) ([]toolflow.AppModel, error) {
+	return Map(ctx, opt, workloads, func(_ int, w apps.Workload) (toolflow.AppModel, error) {
+		return toolflow.CharacterizeContext(ctx, w, opt.Seed)
 	})
 }
 
 // Models characterizes the reference suite (the models behind Figures
 // 7–9) across the worker pool. Equivalent to
 // toolflow.ReferenceModels(opt.Seed), cell-parallel.
-func Models(opt Options) ([]toolflow.AppModel, error) {
-	return Characterize(opt, toolflow.ReferenceWorkloads())
+func Models(ctx context.Context, opt Options) ([]toolflow.AppModel, error) {
+	return Characterize(ctx, opt, toolflow.ReferenceWorkloads())
 }
 
 // Curve evaluates a log-spaced K sweep for one model — the Figure 7/8
 // series — one cell per design point. Equivalent to toolflow.Curve.
-func Curve(opt Options, m toolflow.AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]toolflow.DesignPoint, error) {
+func Curve(ctx context.Context, opt Options, m toolflow.AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]toolflow.DesignPoint, error) {
 	exps := make([]int, 0, (toExp-fromExp)*pointsPerDecade+1)
 	for i := fromExp * pointsPerDecade; i <= toExp*pointsPerDecade; i++ {
 		exps = append(exps, i)
 	}
-	return Map(opt, exps, func(_ int, i int) (toolflow.DesignPoint, error) {
+	return Map(ctx, opt, exps, func(_ int, i int) (toolflow.DesignPoint, error) {
 		return toolflow.CurvePoint(m, physicalError, i, pointsPerDecade)
 	})
 }
@@ -49,7 +52,7 @@ func Curve(opt Options, m toolflow.AppModel, physicalError float64, fromExp, toE
 // over the full error-rate axis — the (application × p_P) grid, one
 // crossover search per cell. Row i holds models[i]'s boundary in rate
 // order, exactly as toolflow.Boundary returns it.
-func Boundary(opt Options, models []toolflow.AppModel, rates []float64) ([][]toolflow.BoundaryPoint, error) {
+func Boundary(ctx context.Context, opt Options, models []toolflow.AppModel, rates []float64) ([][]toolflow.BoundaryPoint, error) {
 	type cell struct {
 		model int
 		rate  int
@@ -60,7 +63,7 @@ func Boundary(opt Options, models []toolflow.AppModel, rates []float64) ([][]too
 			cells = append(cells, cell{mi, ri})
 		}
 	}
-	pts, err := Map(opt, cells, func(_ int, c cell) (toolflow.BoundaryPoint, error) {
+	pts, err := Map(ctx, opt, cells, func(_ int, c cell) (toolflow.BoundaryPoint, error) {
 		return toolflow.BoundaryAt(models[c.model], rates[c.rate]), nil
 	})
 	if err != nil {
@@ -89,24 +92,16 @@ type EPRCell struct {
 // workload in parallel — one cell per application, each scheduling the
 // circuit on the Multi-SIMD machine and sweeping look-ahead windows
 // around the JIT heuristic.
-func EPRWindows(opt Options, cfg teleport.Config) ([]EPRCell, error) {
-	return Map(opt, apps.Fig6Suite(), func(_ int, w apps.Workload) (EPRCell, error) {
-		regions := 4
-		if w.Circuit.NumQubits > 128 {
-			regions = 16
-		}
-		width := 32
-		if perBank := (w.Circuit.NumQubits + regions - 1) / regions; perBank > width {
-			width = perBank
-		}
-		sched, err := simd.Run(w.Circuit, simd.Config{Regions: regions, Width: width, Seed: opt.Seed})
+func EPRWindows(ctx context.Context, opt Options, cfg teleport.Config) ([]EPRCell, error) {
+	return Map(ctx, opt, apps.Fig6Suite(), func(_ int, w apps.Workload) (EPRCell, error) {
+		sched, err := simd.RunContext(ctx, w.Circuit, simd.ConfigFor(w.Circuit.NumQubits, opt.Seed))
 		if err != nil {
 			return EPRCell{}, err
 		}
 		jit := teleport.JITWindow(sched, cfg)
 		const jitIndex = 3
 		windows := []int64{0, jit / 4, jit / 2, jit, 2 * jit, 8 * jit, teleport.PrefetchAll}
-		rows, err := teleport.SweepWindows(sched, windows, cfg)
+		rows, err := teleport.SweepWindowsContext(ctx, sched, windows, cfg)
 		if err != nil {
 			return EPRCell{}, err
 		}
@@ -129,34 +124,76 @@ type Figure6Cell struct {
 	Ratio  float64
 	Util   float64
 	Cycles int64
+	// Braids/Adaptive/Reinjections expose the engine's placement
+	// counters (the cmd/braidsim columns).
+	Braids       int64
+	Adaptive     int64
+	Reinjections int64
+	// Result carries the full simulation result so callers can
+	// replay-validate cells. It is populated only when
+	// Figure6Options.RecordSchedule is set, keeping default cells
+	// directly comparable across runs (the parallel==serial checks).
+	Result *braid.Result
 }
 
-// Figure6 runs the full Figure 6 policy sweep — every application under
+// Figure6Options selects the Figure 6 grid variant.
+type Figure6Options struct {
+	// Distance is the code distance; zero selects 9.
+	Distance int
+	// LocalTOps is the magic-state ablation (states pre-delivered).
+	LocalTOps bool
+	// RecordSchedule captures each cell's static schedule for replay
+	// validation.
+	RecordSchedule bool
+	// App restricts the grid to one application (case-insensitive
+	// name); empty runs the full suite.
+	App string
+}
+
+// Figure6 runs the Figure 6 policy sweep — every application under
 // every braid policy — across the worker pool. Each cell is an
 // independent braid simulation with its own mesh, so the grid scales to
 // the core count.
-func Figure6(opt Options, distance int) ([]Figure6Cell, error) {
+func Figure6(ctx context.Context, opt Options, fopt Figure6Options) ([]Figure6Cell, error) {
+	if fopt.Distance == 0 {
+		fopt.Distance = 9
+	}
 	type cell struct {
 		w apps.Workload
 		p braid.Policy
 	}
 	var cells []cell
 	for _, w := range apps.Fig6Suite() {
+		if fopt.App != "" && !strings.EqualFold(fopt.App, w.Name) {
+			continue
+		}
 		for _, p := range braid.AllPolicies {
 			cells = append(cells, cell{w, p})
 		}
 	}
-	return Map(opt, cells, func(_ int, c cell) (Figure6Cell, error) {
-		r, err := braid.Simulate(c.w.Circuit, c.p, braid.Config{Distance: distance, Seed: opt.Seed})
+	return Map(ctx, opt, cells, func(_ int, c cell) (Figure6Cell, error) {
+		r, err := braid.SimulateContext(ctx, c.w.Circuit, c.p, braid.Config{
+			Distance:       fopt.Distance,
+			Seed:           opt.Seed,
+			LocalTOps:      fopt.LocalTOps,
+			RecordSchedule: fopt.RecordSchedule,
+		})
 		if err != nil {
 			return Figure6Cell{}, fmt.Errorf("sweep: %s under %v: %w", c.w.Name, c.p, err)
 		}
-		return Figure6Cell{
-			App:    c.w.Name,
-			Policy: int(c.p),
-			Ratio:  r.Ratio,
-			Util:   r.AvgUtilization,
-			Cycles: r.ScheduleCycles,
-		}, nil
+		out := Figure6Cell{
+			App:          c.w.Name,
+			Policy:       int(c.p),
+			Ratio:        r.Ratio,
+			Util:         r.AvgUtilization,
+			Cycles:       r.ScheduleCycles,
+			Braids:       r.BraidsPlaced,
+			Adaptive:     r.AdaptiveRoutes,
+			Reinjections: r.Reinjections,
+		}
+		if fopt.RecordSchedule {
+			out.Result = &r
+		}
+		return out, nil
 	})
 }

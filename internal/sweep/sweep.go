@@ -16,6 +16,11 @@
 //   - Errors are reported by the lowest-indexed failing cell, so the
 //     error surface is deterministic too.
 //
+// Every grid takes a context: workers stop claiming cells once it is
+// canceled (an abort surfaces as an error matching scerr.ErrCanceled
+// and wastes at most one in-flight cell per worker), and Options can
+// carry a progress callback so callers stream partial grid results.
+//
 // The domain grids in grid.go cover app-model characterization and the
 // figure sweeps; record.go serializes per-cell results as stable JSON
 // so benchmark trajectories (BENCH_*.json) can be tracked across
@@ -23,9 +28,12 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"surfcomm/internal/scerr"
 )
 
 // Options tunes a sweep run.
@@ -34,6 +42,10 @@ type Options struct {
 	Workers int
 	// Seed is the base seed; cells derive theirs deterministically.
 	Seed int64
+	// Progress, when non-nil, is invoked once per completed cell with
+	// the cell's index and the grid size. Calls are serialized (never
+	// concurrent) but may arrive out of index order on a pooled run.
+	Progress func(index, total int)
 }
 
 func (o Options) workers() int {
@@ -47,40 +59,81 @@ func (o Options) workers() int {
 // outputs in item order. It is the primitive under all grids: cell i's
 // output lands in slot i, and on failure the error of the
 // lowest-indexed failing cell is returned (alongside the partial
-// results), so parallel and serial runs fail identically.
-func Map[I, O any](opt Options, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+// results), so parallel and serial runs fail identically. Workers check
+// the context before claiming each cell, so a cancellation aborts the
+// grid within a bounded number of in-flight cells and the pool's
+// goroutines always drain before Map returns.
+func Map[I, O any](ctx context.Context, opt Options, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
 	out := make([]O, len(items))
 	if len(items) == 0 {
 		return out, nil
 	}
 	errs := make([]error, len(items))
+	var progressMu sync.Mutex
+	report := func(i int) {
+		if opt.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		opt.Progress(i, len(items))
+		progressMu.Unlock()
+	}
+	done := ctx.Done()
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	workers := opt.workers()
 	if workers > len(items) {
 		workers = len(items)
 	}
+	var aborted atomic.Bool
 	if workers <= 1 {
 		for i := range items {
-			out[i], errs[i] = fn(i, items[i])
-		}
-		return out, firstError(errs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) {
-					return
-				}
-				out[i], errs[i] = fn(i, items[i])
+			if canceled() {
+				aborted.Store(true)
+				break
 			}
-		}()
+			out[i], errs[i] = fn(i, items[i])
+			report(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					if canceled() {
+						aborted.Store(true)
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(items) {
+						return
+					}
+					out[i], errs[i] = fn(i, items[i])
+					report(i)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return out, firstError(errs)
+	if err := firstError(errs); err != nil {
+		return out, err
+	}
+	if aborted.Load() {
+		return out, scerr.Canceled(ctx)
+	}
+	return out, nil
 }
 
 func firstError(errs []error) error {

@@ -2,12 +2,16 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"surfcomm/internal/apps"
+	"surfcomm/internal/scerr"
 	"surfcomm/internal/teleport"
 	"surfcomm/internal/toolflow"
 )
@@ -18,7 +22,7 @@ func TestMapPreservesOrder(t *testing.T) {
 		items[i] = i
 	}
 	for _, workers := range []int{1, 3, 16, 0} {
-		out, err := Map(Options{Workers: workers}, items, func(i, item int) (int, error) {
+		out, err := Map(context.Background(), Options{Workers: workers}, items, func(i, item int) (int, error) {
 			return item * item, nil
 		})
 		if err != nil {
@@ -33,7 +37,7 @@ func TestMapPreservesOrder(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	out, err := Map(Options{}, nil, func(i, item int) (int, error) { return 0, nil })
+	out, err := Map(context.Background(), Options{}, nil, func(i, item int) (int, error) { return 0, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty map: out=%v err=%v", out, err)
 	}
@@ -44,7 +48,7 @@ func TestMapEmpty(t *testing.T) {
 func TestMapFirstErrorDeterministic(t *testing.T) {
 	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	for _, workers := range []int{1, 4, 8} {
-		_, err := Map(Options{Workers: workers}, items, func(i, item int) (int, error) {
+		_, err := Map(context.Background(), Options{Workers: workers}, items, func(i, item int) (int, error) {
 			if item%2 == 1 {
 				return 0, fmt.Errorf("cell %d failed", item)
 			}
@@ -57,7 +61,7 @@ func TestMapFirstErrorDeterministic(t *testing.T) {
 }
 
 func TestMapPartialResultsOnError(t *testing.T) {
-	out, err := Map(Options{Workers: 2}, []int{1, 2, 3}, func(i, item int) (int, error) {
+	out, err := Map(context.Background(), Options{Workers: 2}, []int{1, 2, 3}, func(i, item int) (int, error) {
 		if item == 2 {
 			return 0, errors.New("boom")
 		}
@@ -87,11 +91,11 @@ func syntheticModel(name string, congestion float64) toolflow.AppModel {
 // substitute anywhere.
 func TestCurveParallelEqualsSerial(t *testing.T) {
 	m := syntheticModel("synthetic", 1.8)
-	serial, err := Curve(Options{Workers: 1}, m, 1e-6, 0, 12, 3)
+	serial, err := Curve(context.Background(), Options{Workers: 1}, m, 1e-6, 0, 12, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := Curve(Options{Workers: 8}, m, 1e-6, 0, 12, 3)
+	wide, err := Curve(context.Background(), Options{Workers: 8}, m, 1e-6, 0, 12, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +125,11 @@ func TestBoundaryParallelEqualsSerial(t *testing.T) {
 		syntheticModel("parallel-app", 3.2),
 	}
 	rates := toolflow.Figure9ErrorRates()
-	serial, err := Boundary(Options{Workers: 1}, models, rates)
+	serial, err := Boundary(context.Background(), Options{Workers: 1}, models, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := Boundary(Options{Workers: 8}, models, rates)
+	wide, err := Boundary(context.Background(), Options{Workers: 8}, models, rates)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +153,7 @@ func TestCharacterizeParallelEqualsSerial(t *testing.T) {
 		{Name: "GSE", Circuit: apps.GSE(apps.GSEConfig{M: 4, Steps: 1})},
 		{Name: "IM", Circuit: apps.Ising(apps.IsingConfig{N: 10, Steps: 1}, true)},
 	}
-	wide, err := Characterize(Options{Workers: 4, Seed: 3}, workloads)
+	wide, err := Characterize(context.Background(), Options{Workers: 4, Seed: 3}, workloads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,11 +176,11 @@ func TestCharacterizeParallelEqualsSerial(t *testing.T) {
 // full simulation, so any shared mutable state across cells would show
 // up here as serial/parallel divergence.
 func TestFigure6ParallelEqualsSerial(t *testing.T) {
-	serial, err := Figure6(Options{Workers: 1, Seed: 1}, 5)
+	serial, err := Figure6(context.Background(), Options{Workers: 1, Seed: 1}, Figure6Options{Distance: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := Figure6(Options{Workers: 8, Seed: 1}, 5)
+	wide, err := Figure6(context.Background(), Options{Workers: 8, Seed: 1}, Figure6Options{Distance: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +196,11 @@ func TestFigure6ParallelEqualsSerial(t *testing.T) {
 
 func TestEPRWindowsParallelEqualsSerial(t *testing.T) {
 	cfg := teleport.Config{Distance: 9}
-	serial, err := EPRWindows(Options{Workers: 1, Seed: 1}, cfg)
+	serial, err := EPRWindows(context.Background(), Options{Workers: 1, Seed: 1}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := EPRWindows(Options{Workers: 8, Seed: 1}, cfg)
+	wide, err := EPRWindows(context.Background(), Options{Workers: 8, Seed: 1}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,5 +242,53 @@ func TestWriteRecordsStable(t *testing.T) {
 	}
 	if !bytes.Contains(a.Bytes(), []byte(`"cycles": 9000`)) {
 		t.Errorf("unexpected encoding:\n%s", a.String())
+	}
+}
+
+// A canceled context must stop the pool before uncomputed cells run,
+// surface an error matching scerr.ErrCanceled, and still serialize any
+// progress callbacks that did fire.
+func TestMapCancellation(t *testing.T) {
+	items := make([]int, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	completed := 0
+	opt := Options{Workers: 2, Progress: func(i, total int) {
+		completed++ // serialized by the runner
+		if total != len(items) {
+			t.Errorf("progress total = %d, want %d", total, len(items))
+		}
+		cancel()
+	}}
+	ran := atomic.Int64{}
+	_, err := Map(ctx, opt, items, func(i, item int) (int, error) {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return item, nil
+	})
+	if !errors.Is(err, scerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if n := ran.Load(); n == 0 || n > 4 {
+		t.Errorf("%d cells ran after cancellation, want 1..4", n)
+	}
+	if completed == 0 {
+		t.Error("no progress events delivered")
+	}
+}
+
+// A pre-canceled context runs nothing at all.
+func TestMapPrecanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int64{}
+	_, err := Map(ctx, Options{Workers: 4}, make([]int, 16), func(i, item int) (int, error) {
+		ran.Add(1)
+		return item, nil
+	})
+	if !errors.Is(err, scerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d cells ran under a pre-canceled context", ran.Load())
 	}
 }

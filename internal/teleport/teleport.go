@@ -15,10 +15,11 @@
 package teleport
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"surfcomm/internal/layout"
+	"surfcomm/internal/scerr"
 	"surfcomm/internal/simd"
 )
 
@@ -129,12 +130,19 @@ type link struct {
 // window (in EC cycles): each pair launches at
 // max(0, useTime − window) and its halves contend for link bandwidth.
 func Distribute(s *simd.Schedule, window int64, cfg Config) (Result, error) {
+	return DistributeContext(context.Background(), s, window, cfg)
+}
+
+// DistributeContext is Distribute with cooperative cancellation,
+// polled every few thousand propagation cycles; an aborted run returns
+// an error matching scerr.ErrCanceled.
+func DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if window < 0 {
-		return Result{}, fmt.Errorf("teleport: negative window %d", window)
+		return Result{}, scerr.BadConfig("teleport: negative window %d", window)
 	}
 	if s.Config.Regions < 1 {
-		return Result{}, fmt.Errorf("teleport: schedule has no regions")
+		return Result{}, scerr.BadConfig("teleport: schedule has no regions")
 	}
 	geo := newGeometry(s.Config.Regions)
 	res := Result{
@@ -187,7 +195,15 @@ func Distribute(s *simd.Schedule, window int64, cfg Config) (Result, error) {
 	}
 	arrivalByMove := make([]int64, len(s.Moves))
 
+	done := ctx.Done()
 	for cycle := int64(0); active > 0; cycle++ {
+		if done != nil && cycle&4095 == 0 {
+			select {
+			case <-done:
+				return Result{}, scerr.Canceled(ctx)
+			default:
+			}
+		}
 		bucket := pending[cycle]
 		if len(bucket) == 0 {
 			continue
@@ -303,9 +319,14 @@ func stepToward(pos, dest layout.Coord) layout.Coord {
 // SweepWindows runs Distribute across a set of windows — the §8.1
 // window-size sensitivity study.
 func SweepWindows(s *simd.Schedule, windows []int64, cfg Config) ([]Result, error) {
+	return SweepWindowsContext(context.Background(), s, windows, cfg)
+}
+
+// SweepWindowsContext is SweepWindows with cooperative cancellation.
+func SweepWindowsContext(ctx context.Context, s *simd.Schedule, windows []int64, cfg Config) ([]Result, error) {
 	out := make([]Result, 0, len(windows))
 	for _, w := range windows {
-		r, err := Distribute(s, w, cfg)
+		r, err := DistributeContext(ctx, s, w, cfg)
 		if err != nil {
 			return nil, err
 		}

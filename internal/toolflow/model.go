@@ -29,12 +29,14 @@
 package toolflow
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"surfcomm/internal/apps"
 	"surfcomm/internal/braid"
 	"surfcomm/internal/resource"
+	"surfcomm/internal/scerr"
 	"surfcomm/internal/simd"
 	"surfcomm/internal/surface"
 )
@@ -66,6 +68,12 @@ const referenceDistance = 9
 // Characterize measures an application's model from its reference
 // circuit: frontend estimate, Multi-SIMD schedule, and braid simulation.
 func Characterize(w apps.Workload, seed int64) (AppModel, error) {
+	return CharacterizeContext(context.Background(), w, seed)
+}
+
+// CharacterizeContext is Characterize with cooperative cancellation
+// threaded through both backend simulations.
+func CharacterizeContext(ctx context.Context, w apps.Workload, seed int64) (AppModel, error) {
 	est, err := resource.EstimateCircuit(w.Circuit)
 	if err != nil {
 		return AppModel{}, fmt.Errorf("toolflow: %s: %w", w.Name, err)
@@ -76,11 +84,11 @@ func Characterize(w apps.Workload, seed int64) (AppModel, error) {
 	if perBank := (w.Circuit.NumQubits + 3) / 4; perBank > width {
 		width = perBank
 	}
-	sched, err := simd.Run(w.Circuit, simd.Config{Regions: 4, Width: width, Seed: seed})
+	sched, err := simd.RunContext(ctx, w.Circuit, simd.Config{Regions: 4, Width: width, Seed: seed})
 	if err != nil {
 		return AppModel{}, fmt.Errorf("toolflow: %s: %w", w.Name, err)
 	}
-	braidRes, err := braid.Simulate(w.Circuit, braid.Policy6, braid.Config{Distance: referenceDistance, Seed: seed})
+	braidRes, err := braid.SimulateContext(ctx, w.Circuit, braid.Policy6, braid.Config{Distance: referenceDistance, Seed: seed})
 	if err != nil {
 		return AppModel{}, fmt.Errorf("toolflow: %s: %w", w.Name, err)
 	}
@@ -105,15 +113,15 @@ func Characterize(w apps.Workload, seed int64) (AppModel, error) {
 func (m AppModel) Validate() error {
 	switch {
 	case m.Name == "":
-		return fmt.Errorf("toolflow: model needs a name")
+		return scerr.BadConfig("toolflow: model needs a name")
 	case m.Parallelism <= 0 || m.SchedParallelism <= 0:
-		return fmt.Errorf("toolflow: %s: non-positive parallelism", m.Name)
+		return scerr.BadConfig("toolflow: %s: non-positive parallelism", m.Name)
 	case m.CongestionDD < 1:
-		return fmt.Errorf("toolflow: %s: congestion factor %.2f below 1", m.Name, m.CongestionDD)
+		return scerr.BadConfig("toolflow: %s: congestion factor %.2f below 1", m.Name, m.CongestionDD)
 	case m.MoveFraction < 0:
-		return fmt.Errorf("toolflow: %s: negative move fraction", m.Name)
+		return scerr.BadConfig("toolflow: %s: negative move fraction", m.Name)
 	case m.QubitsForOps == nil:
-		return fmt.Errorf("toolflow: %s: missing scaling model", m.Name)
+		return scerr.BadConfig("toolflow: %s: missing scaling model", m.Name)
 	}
 	return nil
 }
@@ -159,7 +167,7 @@ func Evaluate(m AppModel, totalOps, physicalError float64) (DesignPoint, error) 
 		return DesignPoint{}, err
 	}
 	if totalOps < 1 {
-		return DesignPoint{}, fmt.Errorf("toolflow: totalOps %g < 1", totalOps)
+		return DesignPoint{}, scerr.BadConfig("toolflow: totalOps %g < 1", totalOps)
 	}
 	tech := surface.Superconducting(physicalError)
 	d, err := tech.RequiredDistance(totalOps, 0.5)
@@ -266,8 +274,21 @@ func CurvePoint(m AppModel, physicalError float64, gridIndex, pointsPerDecade in
 
 // Curve evaluates a log-spaced K sweep (Figures 7 and 8 series).
 func Curve(m AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]DesignPoint, error) {
+	return CurveContext(context.Background(), m, physicalError, fromExp, toExp, pointsPerDecade)
+}
+
+// CurveContext is Curve with cooperative cancellation, polled per point.
+func CurveContext(ctx context.Context, m AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]DesignPoint, error) {
+	done := ctx.Done()
 	var out []DesignPoint
 	for i := fromExp * pointsPerDecade; i <= toExp*pointsPerDecade; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, scerr.Canceled(ctx)
+			default:
+			}
+		}
 		dp, err := CurvePoint(m, physicalError, i, pointsPerDecade)
 		if err != nil {
 			return nil, err
@@ -326,10 +347,16 @@ func ReferenceWorkloads() []apps.Workload {
 // ReferenceModels characterizes the reference suite — the models behind
 // Figures 7–9.
 func ReferenceModels(seed int64) ([]AppModel, error) {
+	return ReferenceModelsContext(context.Background(), seed)
+}
+
+// ReferenceModelsContext is ReferenceModels with cooperative
+// cancellation threaded through every characterization.
+func ReferenceModelsContext(ctx context.Context, seed int64) ([]AppModel, error) {
 	workloads := ReferenceWorkloads()
 	out := make([]AppModel, 0, len(workloads))
 	for _, w := range workloads {
-		m, err := Characterize(w, seed)
+		m, err := CharacterizeContext(ctx, w, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -338,12 +365,13 @@ func ReferenceModels(seed int64) ([]AppModel, error) {
 	return out, nil
 }
 
-// ModelFor picks a model by name from a characterized set.
+// ModelFor picks a model by name from a characterized set. A missing
+// name reports an error matching scerr.ErrUnknownModel.
 func ModelFor(models []AppModel, name string) (AppModel, error) {
 	for _, m := range models {
 		if m.Name == name {
 			return m, nil
 		}
 	}
-	return AppModel{}, fmt.Errorf("toolflow: no model named %q", name)
+	return AppModel{}, scerr.UnknownModel("toolflow: no model named %q", name)
 }

@@ -24,6 +24,7 @@
 package surfcomm
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -172,8 +173,27 @@ type BraidConfig = braid.Config
 type BraidResult = braid.Result
 
 // SimulateBraids discovers a static braid schedule for the circuit.
+//
+// Deprecated: compile through a BraidBackend via Toolchain.Compile,
+// which adds cancellation and progress events. This shim remains for
+// callers that predate the Toolchain API.
 func SimulateBraids(c *Circuit, p BraidPolicy, cfg BraidConfig) (BraidResult, error) {
 	return braid.Simulate(c, p, cfg)
+}
+
+// BraidArch is the tiled double-defect floorplan a recorded schedule
+// was discovered on.
+type BraidArch = braid.Arch
+
+// BraidScheduleEntry is one committed placement of a static braid
+// schedule.
+type BraidScheduleEntry = braid.ScheduleEntry
+
+// ReplayBraidSchedule independently validates a recorded static
+// schedule: every op scheduled, dependencies respected, no overlapping
+// resource claims.
+func ReplayBraidSchedule(c *Circuit, a *BraidArch, entries []BraidScheduleEntry) error {
+	return braid.Replay(c, a, entries)
 }
 
 // --- Planar backend (Multi-SIMD + teleportation) ---
@@ -184,7 +204,13 @@ type SIMDConfig = simd.Config
 // SIMDSchedule is a Multi-SIMD execution plan.
 type SIMDSchedule = simd.Schedule
 
+// SIMDMove is one teleportation in a Multi-SIMD schedule's move list.
+type SIMDMove = simd.Move
+
 // ScheduleSIMD schedules a circuit on the Multi-SIMD machine.
+//
+// Deprecated: compile through a PlanarBackend via Toolchain.Compile,
+// which fuses scheduling with EPR distribution and adds cancellation.
 func ScheduleSIMD(c *Circuit, cfg SIMDConfig) (*SIMDSchedule, error) { return simd.Run(c, cfg) }
 
 // TeleportConfig sets EPR-network parameters.
@@ -197,6 +223,8 @@ type TeleportResult = teleport.Result
 const PrefetchAll = teleport.PrefetchAll
 
 // DistributeEPR replays a schedule's moves at a look-ahead window.
+//
+// Deprecated: compile through a PlanarBackend via Toolchain.Compile.
 func DistributeEPR(s *SIMDSchedule, window int64, cfg TeleportConfig) (TeleportResult, error) {
 	return teleport.Distribute(s, window, cfg)
 }
@@ -221,6 +249,9 @@ type DesignPoint = toolflow.DesignPoint
 type BoundaryPoint = toolflow.BoundaryPoint
 
 // Characterize measures an application's model at reference scale.
+//
+// Deprecated: use Toolchain.Characterize, which parallelizes across
+// workloads and supports cancellation.
 func Characterize(w Workload, seed int64) (AppModel, error) { return toolflow.Characterize(w, seed) }
 
 // Evaluate costs one design point.
@@ -279,41 +310,98 @@ type SweepFigure6Cell = sweep.Figure6Cell
 // SweepEPRCell is one application's §8.1 window study.
 type SweepEPRCell = sweep.EPRCell
 
+// SweepFigure6Options selects the Figure 6 grid variant (distance,
+// magic-state ablation, schedule recording, app filter).
+type SweepFigure6Options = sweep.Figure6Options
+
 // SweepModels characterizes the reference suite across a worker pool;
 // results are deterministic and identical to ReferenceModels at any
 // worker count.
-func SweepModels(opt SweepOptions) ([]AppModel, error) { return sweep.Models(opt) }
+//
+// Deprecated: use Toolchain.Models, which adds cancellation and
+// progress streaming.
+func SweepModels(opt SweepOptions) ([]AppModel, error) {
+	return sweep.Models(context.Background(), opt)
+}
 
 // SweepCharacterize characterizes arbitrary workloads across the pool.
+//
+// Deprecated: use Toolchain.Characterize.
 func SweepCharacterize(opt SweepOptions, ws []Workload) ([]AppModel, error) {
-	return sweep.Characterize(opt, ws)
+	return sweep.Characterize(context.Background(), opt, ws)
 }
 
 // SweepCurve evaluates a Figure 7/8 K-sweep cell-parallel.
+//
+// Deprecated: use Toolchain.Curve.
 func SweepCurve(opt SweepOptions, m AppModel, physicalError float64, fromExp, toExp, pointsPerDecade int) ([]DesignPoint, error) {
-	return sweep.Curve(opt, m, physicalError, fromExp, toExp, pointsPerDecade)
+	return sweep.Curve(context.Background(), opt, m, physicalError, fromExp, toExp, pointsPerDecade)
 }
 
 // SweepBoundary computes every model's Figure 9 boundary on the
 // (application × error-rate) grid.
+//
+// Deprecated: use Toolchain.Boundary.
 func SweepBoundary(opt SweepOptions, models []AppModel, rates []float64) ([][]BoundaryPoint, error) {
-	return sweep.Boundary(opt, models, rates)
+	return sweep.Boundary(context.Background(), opt, models, rates)
 }
 
 // SweepFigure6 runs the full Figure 6 (application × policy) grid.
+//
+// Deprecated: use Toolchain.Figure6.
 func SweepFigure6(opt SweepOptions, distance int) ([]SweepFigure6Cell, error) {
-	return sweep.Figure6(opt, distance)
+	return sweep.Figure6(context.Background(), opt, sweep.Figure6Options{Distance: distance})
 }
 
 // SweepEPRStudy runs the §8.1 window study per application on the
 // worker pool (one cell per workload).
+//
+// Deprecated: use Toolchain.EPRStudy.
 func SweepEPRStudy(opt SweepOptions, cfg TeleportConfig) ([]SweepEPRCell, error) {
-	return sweep.EPRWindows(opt, cfg)
+	return sweep.EPRWindows(context.Background(), opt, cfg)
 }
 
 // WriteSweepRecords serializes grid cells as stable JSON (BENCH_*.json).
 func WriteSweepRecords(w io.Writer, cells []SweepCellResult) error {
 	return sweep.WriteRecords(w, cells)
+}
+
+// WriteSweepRecordsFile writes cells to path (the BENCH_*.json
+// convention).
+func WriteSweepRecordsFile(path string, cells []SweepCellResult) error {
+	return sweep.WriteRecordsFile(path, cells)
+}
+
+// SweepModelRecords converts characterized app models to cell results.
+func SweepModelRecords(seed int64, models []AppModel) []SweepCellResult {
+	return sweep.ModelRecords(seed, models)
+}
+
+// SweepCurveRecords converts Figure 7/8 design points to cell results.
+func SweepCurveRecords(study, app string, physicalError float64, seed int64, pts []DesignPoint) []SweepCellResult {
+	return sweep.CurveRecords(study, app, physicalError, seed, pts)
+}
+
+// SweepBoundaryRecords converts a Figure 9 boundary grid to cell
+// results.
+func SweepBoundaryRecords(seed int64, models []AppModel, boundaries [][]BoundaryPoint) []SweepCellResult {
+	return sweep.BoundaryRecords(seed, models, boundaries)
+}
+
+// SweepEPRRecords converts the §8.1 window study to cell results.
+func SweepEPRRecords(seed int64, cells []SweepEPRCell) []SweepCellResult {
+	return sweep.EPRRecords(seed, cells)
+}
+
+// SweepFigure6Records converts a Figure 6 policy grid to cell results.
+func SweepFigure6Records(seed int64, cells []SweepFigure6Cell) []SweepCellResult {
+	return sweep.Figure6Records(seed, cells)
+}
+
+// SweepEPRWindowLabel names a window row the way the §8.1 tables print
+// it.
+func SweepEPRWindowLabel(windowCycles int64) string {
+	return sweep.EPRWindowLabel(windowCycles)
 }
 
 // --- Layout ---

@@ -1,0 +1,351 @@
+package surfcomm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"surfcomm/internal/resource"
+	"surfcomm/internal/scerr"
+	"surfcomm/internal/sweep"
+	"surfcomm/internal/teleport"
+	"surfcomm/internal/toolflow"
+)
+
+// Event is one structured progress notification from a Toolchain run:
+// which stage produced it, which grid cell completed, and how far the
+// grid has progressed. Events let callers stream partial results of
+// wide studies instead of waiting for the full grid.
+type Event struct {
+	// Stage names the pipeline stage: "characterize", "compile",
+	// "cost", "figure6", "curve", "boundary", or "epr".
+	Stage string
+	// Backend is the compiling backend's name (compile events only).
+	Backend string
+	// Cell labels the completed grid cell, when the stage has one.
+	Cell string
+	// Index is the completed cell's 0-based index; Total is the grid
+	// size. On pooled runs events may arrive out of index order.
+	Index int
+	Total int
+}
+
+// ToolchainOption configures a Toolchain; invalid options surface from
+// NewToolchain as errors matching ErrBadConfig.
+type ToolchainOption func(*Toolchain) error
+
+// WithPolicy selects the braid prioritization policy (default Policy6,
+// the paper's combined heuristic).
+func WithPolicy(p BraidPolicy) ToolchainOption {
+	return func(tc *Toolchain) error {
+		if p < Policy0 || p > Policy6 {
+			return scerr.BadConfig("toolchain: unknown policy %d", int(p))
+		}
+		tc.policy = p
+		return nil
+	}
+}
+
+// WithDistance selects the surface code distance (default 9).
+func WithDistance(d int) ToolchainOption {
+	return func(tc *Toolchain) error {
+		if d < 1 {
+			return scerr.BadConfig("toolchain: distance %d < 1", d)
+		}
+		tc.distance = d
+		return nil
+	}
+}
+
+// WithTechnology selects the device technology (default the baseline
+// superconducting technology at p_P = 1e-8).
+func WithTechnology(t Technology) ToolchainOption {
+	return func(tc *Toolchain) error {
+		if err := t.Validate(); err != nil {
+			return scerr.BadConfig("toolchain: %v", err)
+		}
+		tc.tech = t
+		return nil
+	}
+}
+
+// WithWorkers bounds the evaluation-grid worker pool; 0 (the default)
+// selects GOMAXPROCS, 1 forces serial runs.
+func WithWorkers(n int) ToolchainOption {
+	return func(tc *Toolchain) error {
+		if n < 0 {
+			return scerr.BadConfig("toolchain: negative worker count %d", n)
+		}
+		tc.workers = n
+		return nil
+	}
+}
+
+// WithSeed sets the base seed for layout, partitioning, and
+// characterization (default 1). The seed is part of every result's
+// identity: equal seeds reproduce byte-identical schedules and records.
+func WithSeed(s int64) ToolchainOption {
+	return func(tc *Toolchain) error {
+		tc.seed = s
+		return nil
+	}
+}
+
+// WithProgress installs a progress callback. Events are delivered
+// serialized (never concurrently), in completion order.
+func WithProgress(fn func(Event)) ToolchainOption {
+	return func(tc *Toolchain) error {
+		tc.progress = fn
+		return nil
+	}
+}
+
+// Toolchain is the end-to-end compilation pipeline of the paper's
+// toolflow (Fig. 4) behind one entry point: it characterizes
+// applications, compiles them through the interchangeable communication
+// backends, and costs design points across the evaluation grids of
+// Figures 6–9 — with one shared option set (policy, distance,
+// technology, workers, seed), cooperative cancellation on every
+// long-running path, and structured progress events.
+//
+//	tc, _ := surfcomm.NewToolchain(
+//		surfcomm.WithPolicy(surfcomm.Policy6),
+//		surfcomm.WithWorkers(8),
+//	)
+//	plan, err := tc.Compile(ctx, surfcomm.BraidBackend{}, circ)
+type Toolchain struct {
+	distance int
+	tech     Technology
+	policy   BraidPolicy
+	workers  int
+	seed     int64
+	progress func(Event)
+}
+
+// NewToolchain builds a Toolchain from functional options; option
+// errors match ErrBadConfig.
+func NewToolchain(opts ...ToolchainOption) (*Toolchain, error) {
+	tc := &Toolchain{
+		distance: 9,
+		tech:     Superconducting(1e-8),
+		policy:   Policy6,
+		seed:     1,
+	}
+	for _, opt := range opts {
+		if err := opt(tc); err != nil {
+			return nil, err
+		}
+	}
+	return tc, nil
+}
+
+// Target returns the compilation target derived from the toolchain's
+// options.
+func (tc *Toolchain) Target() Target {
+	return Target{
+		Distance:   tc.distance,
+		Technology: tc.tech,
+		Policy:     tc.policy,
+		Seed:       tc.seed,
+		Window:     JITWindowAuto,
+	}
+}
+
+// Seed returns the toolchain's base seed (recorded in emitted cells).
+func (tc *Toolchain) Seed() int64 { return tc.seed }
+
+func (tc *Toolchain) emit(ev Event) {
+	if tc.progress != nil {
+		tc.progress(ev)
+	}
+}
+
+// sweepOpts builds grid options that forward cell completions as
+// progress events.
+func (tc *Toolchain) sweepOpts(stage string, label func(i int) string) sweep.Options {
+	opt := sweep.Options{Workers: tc.workers, Seed: tc.seed}
+	if tc.progress != nil {
+		opt.Progress = func(i, total int) {
+			ev := Event{Stage: stage, Index: i, Total: total}
+			if label != nil {
+				ev.Cell = label(i)
+			}
+			tc.progress(ev)
+		}
+	}
+	return opt
+}
+
+// Compile lowers a circuit onto one backend at the toolchain's target.
+// Optional override functions adjust the target for this call only
+// (e.g. a fixed placement or an ablation knob).
+func (tc *Toolchain) Compile(ctx context.Context, b Backend, c *Circuit, override ...func(*Target)) (Plan, error) {
+	if b == nil {
+		return Plan{}, scerr.BadConfig("toolchain: nil backend")
+	}
+	target := tc.Target()
+	for _, fn := range override {
+		fn(&target)
+	}
+	plan, err := b.Compile(ctx, c, &target)
+	if err != nil {
+		return Plan{}, fmt.Errorf("toolchain: %s: %w", b.Name(), err)
+	}
+	name := ""
+	if c != nil {
+		name = c.Name
+	}
+	tc.emit(Event{Stage: "compile", Backend: b.Name(), Cell: name, Total: 1})
+	return plan, nil
+}
+
+// CompileAll compiles the circuit through every backend, in Backends()
+// order — the paper's three-way communication comparison for one
+// program.
+func (tc *Toolchain) CompileAll(ctx context.Context, c *Circuit, override ...func(*Target)) ([]Plan, error) {
+	backends := Backends()
+	plans := make([]Plan, 0, len(backends))
+	for _, b := range backends {
+		p, err := tc.Compile(ctx, b, c, override...)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// Estimate runs the frontend characterization (the Table 2 columns:
+// op counts, critical path, parallelism) for each workload across the
+// worker pool.
+func (tc *Toolchain) Estimate(ctx context.Context, ws []Workload) ([]Estimate, error) {
+	return sweep.Map(ctx, tc.sweepOpts("estimate", func(i int) string { return ws[i].Name }), ws,
+		func(_ int, w Workload) (Estimate, error) {
+			return resource.EstimateCircuit(w.Circuit)
+		})
+}
+
+// Characterize measures application models across the worker pool; the
+// result is identical to serial characterization at any worker count.
+func (tc *Toolchain) Characterize(ctx context.Context, ws []Workload) ([]AppModel, error) {
+	return sweep.Characterize(ctx, tc.sweepOpts("characterize", func(i int) string { return ws[i].Name }), ws)
+}
+
+// Models characterizes the reference suite — the app models behind
+// Figures 7–9.
+func (tc *Toolchain) Models(ctx context.Context) ([]AppModel, error) {
+	return tc.Characterize(ctx, toolflow.ReferenceWorkloads())
+}
+
+// Cost evaluates one design point (application model × computation
+// size) at the toolchain's technology.
+func (tc *Toolchain) Cost(m AppModel, totalOps float64) (DesignPoint, error) {
+	dp, err := toolflow.Evaluate(m, totalOps, tc.tech.PhysicalErrorRate)
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	tc.emit(Event{Stage: "cost", Cell: m.Name, Total: 1})
+	return dp, nil
+}
+
+// CostSurgery evaluates the design point under all three communication
+// schemes (the quantified §8.2 comparison).
+func (tc *Toolchain) CostSurgery(m AppModel, totalOps float64) (SurgeryPoint, error) {
+	sp, err := toolflow.EvaluateSurgery(m, totalOps, tc.tech.PhysicalErrorRate)
+	if err != nil {
+		return SurgeryPoint{}, err
+	}
+	tc.emit(Event{Stage: "cost", Cell: m.Name, Total: 1})
+	return sp, nil
+}
+
+// Crossover returns the computation size where double-defect codes
+// overtake planar codes at the toolchain's technology.
+func (tc *Toolchain) Crossover(m AppModel) (kStar float64, ok bool) {
+	return toolflow.Crossover(m, tc.tech.PhysicalErrorRate)
+}
+
+// PipelineResult is one workload carried through the full pipeline:
+// its measured model, its compiled plan under every backend, and its
+// costed design point under all three communication schemes.
+type PipelineResult struct {
+	Model AppModel
+	Plans []Plan
+	Point SurgeryPoint
+}
+
+// Run carries one workload through Characterize → Compile → Cost: the
+// toolchain's end-to-end path for a single application at computation
+// size totalOps.
+func (tc *Toolchain) Run(ctx context.Context, w Workload, totalOps float64) (PipelineResult, error) {
+	m, err := toolflow.CharacterizeContext(ctx, w, tc.seed)
+	if err != nil {
+		return PipelineResult{}, fmt.Errorf("toolchain: %w", err)
+	}
+	tc.emit(Event{Stage: "characterize", Cell: w.Name, Total: 1})
+	plans, err := tc.CompileAll(ctx, w.Circuit)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	sp, err := tc.CostSurgery(m, totalOps)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	return PipelineResult{Model: m, Plans: plans, Point: sp}, nil
+}
+
+// Figure6 runs the braid policy grid (every suite application under
+// every policy) across the worker pool. The zero Figure6Options value
+// selects the toolchain's distance and the full suite.
+func (tc *Toolchain) Figure6(ctx context.Context, fopt SweepFigure6Options) ([]SweepFigure6Cell, error) {
+	if fopt.Distance == 0 {
+		fopt.Distance = tc.distance
+	}
+	var label func(int) string
+	if tc.progress != nil {
+		var labels []string
+		for _, w := range Fig6Suite() {
+			if fopt.App != "" && !strings.EqualFold(fopt.App, w.Name) {
+				continue
+			}
+			for _, p := range AllBraidPolicies {
+				labels = append(labels, fmt.Sprintf("%s/policy%d", w.Name, int(p)))
+			}
+		}
+		label = func(i int) string { return labels[i] }
+	}
+	return sweep.Figure6(ctx, tc.sweepOpts("figure6", label), fopt)
+}
+
+// Curve evaluates a log-spaced K sweep for one model (the Figure 7/8
+// series) at the toolchain's technology.
+func (tc *Toolchain) Curve(ctx context.Context, m AppModel, fromExp, toExp, pointsPerDecade int) ([]DesignPoint, error) {
+	label := func(i int) string { return fmt.Sprintf("%s/point%d", m.Name, i) }
+	return sweep.Curve(ctx, tc.sweepOpts("curve", label), m, tc.tech.PhysicalErrorRate, fromExp, toExp, pointsPerDecade)
+}
+
+// Boundary computes the Figure 9 crossover boundaries for every model
+// over the given error-rate axis.
+func (tc *Toolchain) Boundary(ctx context.Context, models []AppModel, rates []float64) ([][]BoundaryPoint, error) {
+	label := func(i int) string {
+		return fmt.Sprintf("%s/pp=%.1e", models[i/len(rates)].Name, rates[i%len(rates)])
+	}
+	if len(rates) == 0 {
+		label = nil
+	}
+	return sweep.Boundary(ctx, tc.sweepOpts("boundary", label), models, rates)
+}
+
+// EPRStudy runs the §8.1 pipelined-EPR window study per suite
+// application at the toolchain's distance.
+func (tc *Toolchain) EPRStudy(ctx context.Context) ([]SweepEPRCell, error) {
+	var label func(int) string
+	if tc.progress != nil {
+		names := make([]string, 0, 4)
+		for _, w := range Fig6Suite() {
+			names = append(names, w.Name)
+		}
+		label = func(i int) string { return names[i] }
+	}
+	return sweep.EPRWindows(ctx, tc.sweepOpts("epr", label), teleport.Config{Distance: tc.distance})
+}

@@ -1,0 +1,425 @@
+package surfcomm_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"surfcomm"
+)
+
+// --- API parity: the Toolchain must reproduce the deprecated
+// free-function paths byte-for-byte at the same seed. ---
+
+// TestBraidBackendParity compiles every Fig6Suite workload through
+// Toolchain.Compile and asserts the plan — including the recorded
+// static schedule — is identical to the deprecated SimulateBraids path.
+func TestBraidBackendParity(t *testing.T) {
+	tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5), surfcomm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range surfcomm.Fig6Suite() {
+		plan, err := tc.Compile(context.Background(), surfcomm.BraidBackend{}, w.Circuit,
+			func(tg *surfcomm.Target) { tg.RecordSchedule = true })
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		ref, err := surfcomm.SimulateBraids(w.Circuit, surfcomm.Policy6,
+			surfcomm.BraidConfig{Distance: 5, Seed: 1, RecordSchedule: true})
+		if err != nil {
+			t.Fatalf("%s: deprecated path: %v", w.Name, err)
+		}
+		if plan.Cycles != ref.ScheduleCycles {
+			t.Errorf("%s: plan cycles %d != deprecated %d", w.Name, plan.Cycles, ref.ScheduleCycles)
+		}
+		if plan.PhysicalQubits != float64(ref.PhysicalQubits) {
+			t.Errorf("%s: plan qubits %g != deprecated %d", w.Name, plan.PhysicalQubits, ref.PhysicalQubits)
+		}
+		if plan.CommOps != ref.BraidsPlaced {
+			t.Errorf("%s: plan comm ops %d != deprecated %d", w.Name, plan.CommOps, ref.BraidsPlaced)
+		}
+		if !reflect.DeepEqual(plan.Braid.Schedule, ref.Schedule) {
+			t.Errorf("%s: recorded schedules diverge (%d vs %d entries)",
+				w.Name, len(plan.Braid.Schedule), len(ref.Schedule))
+		}
+	}
+}
+
+// TestPlanarBackendParity compiles every Fig6Suite workload through the
+// planar backend and asserts the fused schedule + distribution match
+// the deprecated ScheduleSIMD → JITWindow → DistributeEPR chain.
+func TestPlanarBackendParity(t *testing.T) {
+	tc, err := surfcomm.NewToolchain(surfcomm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range surfcomm.Fig6Suite() {
+		plan, err := tc.Compile(context.Background(), surfcomm.PlanarBackend{}, w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		regions := 4
+		if w.Circuit.NumQubits > 128 {
+			regions = 16
+		}
+		width := 32
+		if perBank := (w.Circuit.NumQubits + regions - 1) / regions; perBank > width {
+			width = perBank
+		}
+		sched, err := surfcomm.ScheduleSIMD(w.Circuit,
+			surfcomm.SIMDConfig{Regions: regions, Width: width, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: deprecated path: %v", w.Name, err)
+		}
+		cfg := surfcomm.TeleportConfig{Distance: 9}
+		ref, err := surfcomm.DistributeEPR(sched, surfcomm.JITWindow(sched, cfg), cfg)
+		if err != nil {
+			t.Fatalf("%s: deprecated path: %v", w.Name, err)
+		}
+		if *plan.EPR != ref {
+			t.Errorf("%s: EPR result diverges: %+v vs %+v", w.Name, *plan.EPR, ref)
+		}
+		if !reflect.DeepEqual(plan.SIMD.Moves, sched.Moves) {
+			t.Errorf("%s: move lists diverge (%d vs %d moves)",
+				w.Name, len(plan.SIMD.Moves), len(sched.Moves))
+		}
+		if plan.Cycles != ref.ScheduleCycles {
+			t.Errorf("%s: plan cycles %d != deprecated %d", w.Name, plan.Cycles, ref.ScheduleCycles)
+		}
+	}
+}
+
+// TestSurgeryBackendCompilesSuite checks the third backend end to end:
+// deterministic plans, schedules no faster than the merge-chain
+// critical path, and — the paper's §8.2 argument — communication that
+// costs more cycles than braiding's distance-independent claims.
+func TestSurgeryBackendCompilesSuite(t *testing.T) {
+	tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5), surfcomm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range surfcomm.Fig6Suite() {
+		plan, err := tc.Compile(context.Background(), surfcomm.SurgeryBackend{}, w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		again, err := tc.Compile(context.Background(), surfcomm.SurgeryBackend{}, w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: recompile: %v", w.Name, err)
+		}
+		if plan.Cycles != again.Cycles || plan.CommOps != again.CommOps {
+			t.Errorf("%s: surgery compile not deterministic", w.Name)
+		}
+		if plan.Cycles < plan.Braid.CriticalPathCycles {
+			t.Errorf("%s: schedule %d beats critical path %d",
+				w.Name, plan.Cycles, plan.Braid.CriticalPathCycles)
+		}
+		braidPlan, err := tc.Compile(context.Background(), surfcomm.BraidBackend{}, w.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Cycles < braidPlan.Cycles {
+			t.Errorf("%s: surgery (%d cycles) should not beat braiding (%d cycles)",
+				w.Name, plan.Cycles, braidPlan.Cycles)
+		}
+		if plan.PhysicalQubits >= braidPlan.PhysicalQubits {
+			t.Errorf("%s: surgery qubits %g should undercut double-defect %g",
+				w.Name, plan.PhysicalQubits, braidPlan.PhysicalQubits)
+		}
+	}
+}
+
+func syntheticModel(name string) surfcomm.AppModel {
+	return surfcomm.AppModel{
+		Name:             name,
+		Parallelism:      2,
+		SchedParallelism: 2,
+		MoveFraction:     0.5,
+		CongestionDD:     1.8,
+		QubitsForOps:     func(k float64) float64 { return 8 * math.Cbrt(k) },
+	}
+}
+
+// TestToolchainRecordParity asserts the Toolchain grids serialize to
+// byte-identical JSON records as the deprecated Sweep* free functions
+// at the same seed — the BENCH_sweep.json compatibility guarantee.
+func TestToolchainRecordParity(t *testing.T) {
+	ctx := context.Background()
+	const seed = 3
+	tc, err := surfcomm.NewToolchain(
+		surfcomm.WithSeed(seed),
+		surfcomm.WithTechnology(surfcomm.Superconducting(1e-6)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := surfcomm.SweepOptions{Seed: seed}
+
+	workloads := []surfcomm.Workload{
+		{Name: "GSE", Circuit: surfcomm.GSE(surfcomm.GSEConfig{M: 4, Steps: 1})},
+		{Name: "IM", Circuit: surfcomm.Ising(surfcomm.IsingConfig{N: 10, Steps: 1}, true)},
+	}
+	newModels, err := tc.Characterize(ctx, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldModels, err := surfcomm.SweepCharacterize(opt, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newRecs, oldRecs []surfcomm.SweepCellResult
+	newRecs = append(newRecs, surfcomm.SweepModelRecords(seed, newModels)...)
+	oldRecs = append(oldRecs, surfcomm.SweepModelRecords(seed, oldModels)...)
+
+	m := syntheticModel("synthetic")
+	newCurve, err := tc.Curve(ctx, m, 0, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCurve, err := surfcomm.SweepCurve(opt, m, 1e-6, 0, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRecs = append(newRecs, surfcomm.SweepCurveRecords("figure7", m.Name, 1e-6, seed, newCurve)...)
+	oldRecs = append(oldRecs, surfcomm.SweepCurveRecords("figure7", m.Name, 1e-6, seed, oldCurve)...)
+
+	models := []surfcomm.AppModel{m, syntheticModel("synthetic2")}
+	rates := surfcomm.Figure9ErrorRates()
+	newBound, err := tc.Boundary(ctx, models, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldBound, err := surfcomm.SweepBoundary(opt, models, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRecs = append(newRecs, surfcomm.SweepBoundaryRecords(seed, models, newBound)...)
+	oldRecs = append(oldRecs, surfcomm.SweepBoundaryRecords(seed, models, oldBound)...)
+
+	var a, b bytes.Buffer
+	if err := surfcomm.WriteSweepRecords(&a, newRecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := surfcomm.WriteSweepRecords(&b, oldRecs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("toolchain records differ from deprecated free-function records")
+	}
+}
+
+// TestFigure6GridParity runs the Figure 6 grid both ways at a reduced
+// distance and compares the serialized records byte-for-byte.
+func TestFigure6GridParity(t *testing.T) {
+	tc, err := surfcomm.NewToolchain(surfcomm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCells, err := tc.Figure6(context.Background(), surfcomm.SweepFigure6Options{Distance: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCells, err := surfcomm.SweepFigure6(surfcomm.SweepOptions{Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := surfcomm.WriteSweepRecords(&a, surfcomm.SweepFigure6Records(1, newCells)); err != nil {
+		t.Fatal(err)
+	}
+	if err := surfcomm.WriteSweepRecords(&b, surfcomm.SweepFigure6Records(1, oldCells)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Figure 6 grid records differ between toolchain and deprecated path")
+	}
+}
+
+// --- Cancellation: every backend must abort a canceled compile with
+// ErrCanceled and leak no goroutines. ---
+
+// waitGoroutines polls until the goroutine count returns to the
+// baseline (scheduler cleanup is asynchronous).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func testBackendCancellation(t *testing.T, b surfcomm.Backend) {
+	t.Helper()
+	tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ := surfcomm.Ising(surfcomm.IsingConfig{N: 32, Steps: 1}, true)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = tc.Compile(ctx, b, circ)
+	if !errors.Is(err, surfcomm.ErrCanceled) {
+		t.Fatalf("%s: err = %v, want ErrCanceled", b.Name(), err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("%s: err should also match context.Canceled, got %v", b.Name(), err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestBraidBackendCancellation(t *testing.T) {
+	testBackendCancellation(t, surfcomm.BraidBackend{})
+}
+
+func TestPlanarBackendCancellation(t *testing.T) {
+	testBackendCancellation(t, surfcomm.PlanarBackend{})
+}
+
+func TestSurgeryBackendCancellation(t *testing.T) {
+	testBackendCancellation(t, surfcomm.SurgeryBackend{})
+}
+
+// TestFigure6CancellationBounded cancels the Figure 6 grid from its
+// first progress event and asserts the run aborts within a bounded
+// number of cells, reports ErrCanceled, and drains its worker pool.
+func TestFigure6CancellationBounded(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := 0
+	tc, err := surfcomm.NewToolchain(
+		surfcomm.WithWorkers(2),
+		surfcomm.WithProgress(func(ev surfcomm.Event) {
+			events++ // serialized by the grid runner
+			cancel()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	_, err = tc.Figure6(ctx, surfcomm.SweepFigure6Options{Distance: 9})
+	if !errors.Is(err, surfcomm.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	total := len(surfcomm.Fig6Suite()) * len(surfcomm.AllBraidPolicies)
+	// Cancel fires at the first completion; only cells already in
+	// flight on the 2 workers may still land.
+	if events == 0 || events > 4 {
+		t.Errorf("grid processed %d cells after cancellation, want 1..4 (grid size %d)", events, total)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestGridPrecanceledRunsNoCells asserts a canceled context stops the
+// grid before any cell executes.
+func TestGridPrecanceledRunsNoCells(t *testing.T) {
+	events := 0
+	tc, err := surfcomm.NewToolchain(
+		surfcomm.WithProgress(func(surfcomm.Event) { events++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = tc.Models(ctx)
+	if !errors.Is(err, surfcomm.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if events != 0 {
+		t.Errorf("%d cells ran under a pre-canceled context", events)
+	}
+}
+
+// --- Sentinel errors across the facade. ---
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := surfcomm.NewToolchain(surfcomm.WithDistance(0)); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Errorf("WithDistance(0): %v, want ErrBadConfig", err)
+	}
+	if _, err := surfcomm.NewToolchain(surfcomm.WithPolicy(surfcomm.BraidPolicy(99))); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Errorf("WithPolicy(99): %v, want ErrBadConfig", err)
+	}
+	if _, err := surfcomm.NewToolchain(surfcomm.WithWorkers(-1)); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Errorf("WithWorkers(-1): %v, want ErrBadConfig", err)
+	}
+
+	c := surfcomm.NewCircuit("bad", 2)
+	c.Append(surfcomm.OpCNOT, 0, 1)
+	if _, err := surfcomm.SimulateBraids(c, surfcomm.BraidPolicy(42), surfcomm.BraidConfig{}); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Errorf("SimulateBraids bad policy: %v, want ErrBadConfig", err)
+	}
+	if _, err := surfcomm.ScheduleSIMD(c, surfcomm.SIMDConfig{Regions: 3}); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Errorf("ScheduleSIMD regions=3: %v, want ErrBadConfig", err)
+	}
+
+	if _, err := surfcomm.ModelFor(nil, "nope"); !errors.Is(err, surfcomm.ErrUnknownModel) {
+		t.Errorf("ModelFor: %v, want ErrUnknownModel", err)
+	}
+	if _, err := surfcomm.Evaluate(syntheticModel("x"), 0.5, 1e-6); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Errorf("Evaluate K<1: %v, want ErrBadConfig", err)
+	}
+	if _, err := surfcomm.BackendByName("quantum-carrier-pigeon"); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Errorf("BackendByName: %v, want ErrBadConfig", err)
+	}
+}
+
+// TestToolchainRunPipeline drives the Characterize→Compile→Cost path
+// end to end for one workload.
+func TestToolchainRunPipeline(t *testing.T) {
+	var stages []string
+	tc, err := surfcomm.NewToolchain(
+		surfcomm.WithDistance(5),
+		surfcomm.WithProgress(func(ev surfcomm.Event) { stages = append(stages, ev.Stage) }),
+		surfcomm.WithTechnology(surfcomm.Superconducting(1e-5)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := surfcomm.Workload{
+		Name:    "IM",
+		Circuit: surfcomm.Ising(surfcomm.IsingConfig{N: 16, Steps: 1}, true),
+	}
+	res, err := tc.Run(context.Background(), w, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plans) != 3 {
+		t.Fatalf("want 3 plans, got %d", len(res.Plans))
+	}
+	names := map[string]bool{}
+	for _, p := range res.Plans {
+		names[p.Backend] = true
+		if p.Cycles <= 0 || p.PhysicalQubits <= 0 {
+			t.Errorf("%s: implausible plan %+v", p.Backend, p)
+		}
+	}
+	for _, n := range []string{"braid", "planar", "surgery"} {
+		if !names[n] {
+			t.Errorf("missing plan for backend %q", n)
+		}
+	}
+	if res.Point.SpaceTimeRatio <= 0 || res.Point.SurgeryVsPlanar <= 0 {
+		t.Errorf("implausible design point: %+v", res.Point)
+	}
+	seen := map[string]bool{}
+	for _, s := range stages {
+		seen[s] = true
+	}
+	for _, s := range []string{"characterize", "compile", "cost"} {
+		if !seen[s] {
+			t.Errorf("pipeline emitted no %q event (events: %v)", s, stages)
+		}
+	}
+}
