@@ -187,6 +187,7 @@ func BenchmarkFigure9Boundary(b *testing.B) {
 	for _, m := range models {
 		m := m
 		b.Run(m.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var pts []surfcomm.BoundaryPoint
 			for i := 0; i < b.N; i++ {
 				pts = surfcomm.Boundary(m, rates)
@@ -212,6 +213,7 @@ func BenchmarkSection81EPRWindow(b *testing.B) {
 	for _, w := range surfcomm.Fig6Suite() {
 		w := w
 		b.Run(w.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			regions := 4
 			if w.Circuit.NumQubits > 128 {
 				regions = 16 // bigger machines get the full checkerboard
@@ -226,13 +228,14 @@ func BenchmarkSection81EPRWindow(b *testing.B) {
 			}
 			cfg := surfcomm.TeleportConfig{Distance: 9}
 			jit := surfcomm.JITWindow(sched, cfg)
+			dist := surfcomm.NewEPRDistributor() // reused: steady state is allocation-free
 			var jitRes, flood surfcomm.TeleportResult
 			for i := 0; i < b.N; i++ {
-				jitRes, err = surfcomm.DistributeEPR(sched, jit, cfg)
+				jitRes, err = dist.Distribute(sched, jit, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				flood, err = surfcomm.DistributeEPR(sched, surfcomm.PrefetchAll, cfg)
+				flood, err = dist.Distribute(sched, surfcomm.PrefetchAll, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -331,13 +334,16 @@ func BenchmarkAblationLayout(b *testing.B) {
 
 // BenchmarkErrorModelValidation grounds the analytic p_L(d) model in
 // Monte Carlo decoding: below threshold, each distance step suppresses
-// the measured logical rate (paper §2.3's matching machinery).
+// the measured logical rate (paper §2.3's matching machinery). Trials
+// decode across the worker pool with reusable per-worker scratch; the
+// reported pL is bit-identical to a serial run.
 func BenchmarkErrorModelValidation(b *testing.B) {
 	const p = 0.03
 	const trials = 1200
 	for _, d := range []int{3, 5, 7} {
 		d := d
 		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			var r surfcomm.DecoderResult
 			var err error
 			for i := 0; i < b.N; i++ {

@@ -5,10 +5,14 @@
 //	-fig9   crossover boundary across physical error rates (all apps)
 //	-epr    pipelined EPR distribution window sweep (§8.1)
 //
-// With no flags, all four studies run. -fig6 selects the Figure 6
-// braid-policy grid (every application under every policy) — like the
-// other flags it narrows the run to the selected studies; it is not in
-// the default set because cmd/braidsim covers it interactively.
+// With no flags, all four studies run. Two more grids are opt-in:
+// -fig6 selects the Figure 6 braid-policy grid (every application under
+// every policy; cmd/braidsim covers it interactively), and -decoder
+// selects the §2.3 Monte Carlo error-model validation grid (distance ×
+// physical rate, deterministic per-cell seeds). Like the other flags
+// they narrow the run to the selected studies. `-epr -decoder -json
+// BENCH_planar.json` regenerates the committed planar-pipeline
+// artifact.
 //
 // The studies run on a shared surfcomm.Toolchain: the grids evaluate on
 // its worker pool (-workers, default GOMAXPROCS) and results are
@@ -41,13 +45,14 @@ func main() {
 	fig8 := flag.Bool("fig8", false, "Figure 8: resource ratios and crossover")
 	fig9 := flag.Bool("fig9", false, "Figure 9: crossover boundaries")
 	epr := flag.Bool("epr", false, "§8.1: EPR window sweep")
+	dec := flag.Bool("decoder", false, "§2.3: Monte Carlo error-model validation grid (opt-in)")
 	pp := flag.Float64("pp", 1e-8, "physical error rate for -fig7/-fig8")
 	seed := flag.Int64("seed", 1, "characterization seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write per-cell results to this JSON file (e.g. BENCH_sweep.json)")
 	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
 	flag.Parse()
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -104,6 +109,11 @@ func main() {
 	}
 	if all || *epr {
 		if err := runEPR(ctx, tc, &records); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *dec {
+		if err := runDecoder(ctx, tc, &records); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -218,6 +228,26 @@ func runFig9(ctx context.Context, tc *surfcomm.Toolchain, models []surfcomm.AppM
 	}
 	fmt.Println("Paper: boundaries fall as devices get faultier and sit higher for more")
 	fmt.Println("parallel applications.")
+	return nil
+}
+
+func runDecoder(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm.SweepCellResult) error {
+	distances := []int{3, 5, 7}
+	rates := []float64{0.02, 0.05, 0.10}
+	const trials = 400
+	cells, err := tc.DecoderGrid(ctx, distances, rates, trials)
+	if err != nil {
+		return err
+	}
+	*records = append(*records, surfcomm.SweepDecoderRecords(cells)...)
+	fmt.Println("\n§2.3: Monte Carlo error-model validation (logical rate per decode round)")
+	fmt.Println(strings.Repeat("-", 56))
+	fmt.Printf("%-6s %10s %10s %12s %10s\n", "d", "p", "failures", "trials", "p_L")
+	for _, c := range cells {
+		fmt.Printf("%-6d %10.2f %10d %12d %10.4f\n",
+			c.Distance, c.PhysicalRate, c.Failures, c.Trials, c.LogicalRate)
+	}
+	fmt.Println("Paper: below threshold, each distance step suppresses the logical rate.")
 	return nil
 }
 

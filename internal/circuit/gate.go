@@ -73,6 +73,10 @@ const (
 	numOpcodes
 )
 
+// OpcodeCount is the size of the opcode space — schedulers use it to
+// build dense per-opcode tables instead of maps.
+const OpcodeCount = int(numOpcodes)
+
 var opcodeNames = [numOpcodes]string{
 	Nop:     "nop",
 	PrepZ:   "prepz",

@@ -17,12 +17,24 @@
 // polynomial and dependency-free, with a slightly lower threshold
 // (documented in DESIGN.md). The exponential error suppression below
 // threshold, which is what the toolflow consumes, is preserved.
+//
+// The Monte Carlo harnesses parallelize over trials: random draws are
+// generated sequentially from the caller's Rng (so the consumed stream
+// is identical to a serial run), then trials decode across a bounded
+// worker pool with per-worker scratch. Failure counts are bit-identical
+// at any worker count.
 package decoder
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"surfcomm/internal/scerr"
 )
 
 // Lattice is a distance-d toric code patch: 2d² data qubits on the
@@ -85,6 +97,12 @@ func (l *Lattice) NewErrorPattern() ErrorPattern {
 // edges are flipped (a defect).
 func (l *Lattice) Syndrome(e ErrorPattern) []bool {
 	s := make([]bool, l.Checks())
+	l.syndromeInto(s, e)
+	return s
+}
+
+// syndromeInto measures every plaquette into dst (length Checks).
+func (l *Lattice) syndromeInto(dst []bool, e ErrorPattern) {
 	for r := 0; r < l.d; r++ {
 		for c := 0; c < l.d; c++ {
 			parity := false
@@ -93,10 +111,9 @@ func (l *Lattice) Syndrome(e ErrorPattern) []bool {
 					parity = !parity
 				}
 			}
-			s[r*l.d+c] = parity
+			dst[r*l.d+c] = parity
 		}
 	}
-	return s
 }
 
 // defect is a plaquette with anomalous syndrome.
@@ -148,43 +165,58 @@ func (l *Lattice) Decode(syndrome []bool) (ErrorPattern, error) {
 	return correction, nil
 }
 
-// match pairs defects greedily by ascending distance, then improves the
-// pairing with 2-opt swaps until no swap reduces total weight — the
-// polynomial substitute for Edmonds' blossom matching.
-func (l *Lattice) match(defects []defect) [][2]int {
-	n := len(defects)
+// cand is one candidate defect pairing with its matching weight.
+type cand struct{ a, b, w int }
+
+// matchScratch holds the reusable candidate/matched/pairs buffers of
+// the greedy + 2-opt matcher, so steady-state matching never allocates.
+type matchScratch struct {
+	cands   []cand
+	matched []bool
+	pairs   [][2]int
+}
+
+// matchPairs pairs n defects greedily by ascending weight under dist,
+// then improves the pairing with 2-opt swaps until no swap reduces
+// total weight — the polynomial substitute for Edmonds' blossom
+// matching. Candidates sort on the total key (weight, then both defect
+// indices): equal-weight pairs always match in the same order no matter
+// what the sort algorithm does with ties. The returned slice is valid
+// until the next call.
+func (ms *matchScratch) matchPairs(n int, dist func(a, b int) int) [][2]int {
+	ms.pairs = ms.pairs[:0]
 	if n == 0 {
-		return nil
+		return ms.pairs
 	}
-	type cand struct {
-		a, b, dist int
-	}
-	cands := make([]cand, 0, n*(n-1)/2)
+	ms.cands = ms.cands[:0]
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
-			cands = append(cands, cand{a, b, l.torusDist(defects[a], defects[b])})
+			ms.cands = append(ms.cands, cand{a, b, dist(a, b)})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
+	slices.SortFunc(ms.cands, func(x, y cand) int {
+		if x.w != y.w {
+			return x.w - y.w
 		}
-		if cands[i].a != cands[j].a {
-			return cands[i].a < cands[j].a
+		if x.a != y.a {
+			return x.a - y.a
 		}
-		return cands[i].b < cands[j].b
+		return x.b - y.b
 	})
-	matched := make([]bool, n)
-	var pairs [][2]int
-	for _, c := range cands {
-		if !matched[c.a] && !matched[c.b] {
-			matched[c.a] = true
-			matched[c.b] = true
-			pairs = append(pairs, [2]int{c.a, c.b})
+	if cap(ms.matched) < n {
+		ms.matched = make([]bool, n)
+	}
+	ms.matched = ms.matched[:n]
+	clear(ms.matched)
+	for _, c := range ms.cands {
+		if !ms.matched[c.a] && !ms.matched[c.b] {
+			ms.matched[c.a] = true
+			ms.matched[c.b] = true
+			ms.pairs = append(ms.pairs, [2]int{c.a, c.b})
 		}
 	}
 	// 2-opt refinement: try re-pairing every pair of pairs.
-	dist := func(i, j int) int { return l.torusDist(defects[i], defects[j]) }
+	pairs := ms.pairs
 	improved := true
 	for improved {
 		improved = false
@@ -208,6 +240,15 @@ func (l *Lattice) match(defects []defect) [][2]int {
 		}
 	}
 	return pairs
+}
+
+// match pairs defects with a fresh scratch (steady-state callers hold a
+// trialScratch and call matchPairs directly).
+func (l *Lattice) match(defects []defect) [][2]int {
+	var ms matchScratch
+	return ms.matchPairs(len(defects), func(a, b int) int {
+		return l.torusDist(defects[a], defects[b])
+	})
 }
 
 // flipGeodesic flips the edges of a shortest torus path between two
@@ -272,9 +313,14 @@ func (l *Lattice) LogicalFailure(err, correction ErrorPattern) bool {
 
 // MonteCarlo estimates the logical X-error rate per decode round for
 // independent physical error rate p over the given number of trials.
+// Trials decode in parallel (see Workers); the random stream and the
+// failure count are identical to a serial run at any worker count.
 type MonteCarlo struct {
 	Lattice *Lattice
 	Rng     *rand.Rand
+	// Workers bounds the decoding worker pool; <= 0 selects GOMAXPROCS,
+	// 1 forces serial decoding.
+	Workers int
 }
 
 // Result summarizes a Monte Carlo run.
@@ -286,10 +332,76 @@ type Result struct {
 	LogicalRate  float64
 }
 
-// Run samples error patterns, decodes, and counts logical failures. It
+// trialScratch is one worker's reusable decode state: error/correction
+// patterns, syndrome buffers, the defect list, and the matcher scratch.
+// With it, a steady-state trial allocates nothing.
+type trialScratch struct {
+	match      matchScratch
+	errs       ErrorPattern
+	correction ErrorPattern
+	combined   ErrorPattern
+	syndrome   []bool
+	meas       []bool
+	prev       []bool
+	defects    []defect
+	stDefects  []spacetimeDefect
+}
+
+func (l *Lattice) newTrialScratch() *trialScratch {
+	return &trialScratch{
+		errs:       l.NewErrorPattern(),
+		correction: l.NewErrorPattern(),
+		combined:   l.NewErrorPattern(),
+		syndrome:   make([]bool, l.Checks()),
+		meas:       make([]bool, l.Checks()),
+		prev:       make([]bool, l.Checks()),
+	}
+}
+
+// mcTrial decodes one pregenerated trial: draws holds the per-qubit
+// error flips. Returns whether the trial is a logical failure. It
 // panics only on internal invariant violations (syndrome not cleared by
 // its own correction), which indicate decoder bugs, not user error.
+func (l *Lattice) mcTrial(sc *trialScratch, draws []bool) (bool, error) {
+	copy(sc.errs, draws)
+	l.syndromeInto(sc.syndrome, sc.errs)
+	sc.defects = sc.defects[:0]
+	for i, hot := range sc.syndrome {
+		if hot {
+			sc.defects = append(sc.defects, defect{r: i / l.d, c: i % l.d})
+		}
+	}
+	if len(sc.defects)%2 != 0 {
+		return false, fmt.Errorf("decoder: odd defect count %d (corrupted syndrome)", len(sc.defects))
+	}
+	pairs := sc.match.matchPairs(len(sc.defects), func(a, b int) int {
+		return l.torusDist(sc.defects[a], sc.defects[b])
+	})
+	clear(sc.correction)
+	for _, p := range pairs {
+		l.flipGeodesic(sc.correction, sc.defects[p[0]], sc.defects[p[1]])
+	}
+	// Invariant: correction must clear the syndrome.
+	for q := range sc.combined {
+		sc.combined[q] = sc.errs[q] != sc.correction[q]
+	}
+	l.syndromeInto(sc.syndrome, sc.combined)
+	for i, hot := range sc.syndrome {
+		if hot {
+			panic(fmt.Sprintf("decoder: residual defect at plaquette %d — matching broke the syndrome", i))
+		}
+	}
+	return l.LogicalFailure(sc.errs, sc.correction), nil
+}
+
+// Run samples error patterns, decodes, and counts logical failures.
 func (mc *MonteCarlo) Run(p float64, trials int) (Result, error) {
+	return mc.RunContext(context.Background(), p, trials)
+}
+
+// RunContext is Run with cooperative cancellation, polled between trial
+// batches; an aborted run returns an error matching scerr.ErrCanceled.
+func (mc *MonteCarlo) RunContext(ctx context.Context, p float64, trials int) (Result, error) {
 	if p < 0 || p > 1 {
 		return Result{}, fmt.Errorf("decoder: physical rate %g outside [0,1]", p)
 	}
@@ -298,32 +410,101 @@ func (mc *MonteCarlo) Run(p float64, trials int) (Result, error) {
 	}
 	l := mc.Lattice
 	res := Result{Distance: l.Distance(), PhysicalRate: p, Trials: trials}
-	for t := 0; t < trials; t++ {
-		errs := l.NewErrorPattern()
-		for q := range errs {
-			if mc.Rng.Float64() < p {
-				errs[q] = true
+	stride := l.DataQubits()
+	failures, err := runTrialBatches(ctx, l, mc.Workers, trials, stride,
+		func(draws []bool) {
+			for i := range draws {
+				draws[i] = mc.Rng.Float64() < p
 			}
-		}
-		syndrome := l.Syndrome(errs)
-		correction, err := l.Decode(syndrome)
-		if err != nil {
-			return Result{}, err
-		}
-		// Invariant: correction must clear the syndrome.
-		combined := l.NewErrorPattern()
-		for q := range combined {
-			combined[q] = errs[q] != correction[q]
-		}
-		for i, hot := range l.Syndrome(combined) {
-			if hot {
-				panic(fmt.Sprintf("decoder: residual defect at plaquette %d — matching broke the syndrome", i))
-			}
-		}
-		if l.LogicalFailure(errs, correction) {
-			res.Failures++
-		}
+		},
+		(*Lattice).mcTrial)
+	if err != nil {
+		return Result{}, err
 	}
+	res.Failures = failures
 	res.LogicalRate = float64(res.Failures) / float64(res.Trials)
 	return res, nil
+}
+
+// batchTrials bounds the pregenerated-draw buffer: draws for at most
+// this many trials are in memory at once.
+const batchTrials = 1024
+
+// runTrialBatches is the shared Monte Carlo engine: it draws trial
+// randomness sequentially (gen fills one trial's stride of draws, so
+// the Rng stream matches a serial run), then decodes each batch across
+// the worker pool with per-worker scratch. The failure count is a sum
+// of independent per-trial outcomes, so it is identical at any worker
+// count; errors surface from the lowest-indexed failing trial.
+func runTrialBatches(ctx context.Context, l *Lattice, workers, trials, stride int,
+	gen func(draws []bool), trial func(*Lattice, *trialScratch, []bool) (bool, error)) (int, error) {
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	batch := batchTrials
+	if batch > trials {
+		batch = trials
+	}
+	draws := make([]bool, batch*stride)
+	fails := make([]bool, batch)
+	errs := make([]error, batch)
+	scratch := make([]*trialScratch, workers)
+	for w := range scratch {
+		scratch[w] = l.newTrialScratch()
+	}
+	failures := 0
+	done := ctx.Done()
+	for start := 0; start < trials; start += batch {
+		if done != nil {
+			select {
+			case <-done:
+				return 0, scerr.Canceled(ctx)
+			default:
+			}
+		}
+		n := batch
+		if rem := trials - start; n > rem {
+			n = rem
+		}
+		for t := 0; t < n; t++ {
+			gen(draws[t*stride : (t+1)*stride])
+		}
+		if workers <= 1 {
+			sc := scratch[0]
+			for t := 0; t < n; t++ {
+				fails[t], errs[t] = trial(l, sc, draws[t*stride:(t+1)*stride])
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				sc := scratch[w]
+				go func() {
+					defer wg.Done()
+					for {
+						t := int(next.Add(1)) - 1
+						if t >= n {
+							return
+						}
+						fails[t], errs[t] = trial(l, sc, draws[t*stride:(t+1)*stride])
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		for t := 0; t < n; t++ {
+			if errs[t] != nil {
+				return 0, errs[t]
+			}
+			if fails[t] {
+				failures++
+			}
+		}
+	}
+	return failures, nil
 }

@@ -1,9 +1,9 @@
 package decoder
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
 // Syndrome-history decoding (paper §2.3): real syndrome measurements
@@ -25,16 +25,27 @@ type spacetimeDefect struct {
 // history of the given number of rounds: each round injects fresh data
 // errors with probability p per qubit and flips each syndrome bit with
 // probability q (the final round is measured perfectly, closing the
-// volume — the standard terminating round).
+// volume — the standard terminating round). Trials decode in parallel
+// (see Workers); the failure count is identical to a serial run at any
+// worker count.
 type HistoryMonteCarlo struct {
 	Lattice *Lattice
 	Rounds  int
 	Rng     *rand.Rand
+	// Workers bounds the decoding worker pool; <= 0 selects GOMAXPROCS,
+	// 1 forces serial decoding.
+	Workers int
 }
 
 // Run samples, decodes the space-time volume, and counts logical
 // failures over the accumulated error.
 func (mc *HistoryMonteCarlo) Run(p, q float64, trials int) (Result, error) {
+	return mc.RunContext(context.Background(), p, q, trials)
+}
+
+// RunContext is Run with cooperative cancellation, polled between trial
+// batches; an aborted run returns an error matching scerr.ErrCanceled.
+func (mc *HistoryMonteCarlo) RunContext(ctx context.Context, p, q float64, trials int) (Result, error) {
 	if p < 0 || p > 1 || q < 0 || q > 1 {
 		return Result{}, fmt.Errorf("decoder: rates (%g, %g) outside [0,1]", p, q)
 	}
@@ -46,121 +57,107 @@ func (mc *HistoryMonteCarlo) Run(p, q float64, trials int) (Result, error) {
 	}
 	l := mc.Lattice
 	res := Result{Distance: l.Distance(), PhysicalRate: p, Trials: trials}
-	for trial := 0; trial < trials; trial++ {
-		errs := l.NewErrorPattern() // cumulative data errors
-		prev := make([]bool, l.Checks())
-		var defects []spacetimeDefect
-		for t := 0; t < mc.Rounds; t++ {
-			for qb := range errs {
-				if mc.Rng.Float64() < p {
-					errs[qb] = !errs[qb]
+	nq, checks, rounds := l.DataQubits(), l.Checks(), mc.Rounds
+	// One trial's draw layout, in the exact order a serial run consumes
+	// the Rng: per round, nq data-flip draws, then (for every round but
+	// the perfectly-measured last) checks measurement-flip draws.
+	stride := rounds*nq + (rounds-1)*checks
+	failures, err := runTrialBatches(ctx, l, mc.Workers, trials, stride,
+		func(draws []bool) {
+			pos := 0
+			for t := 0; t < rounds; t++ {
+				for qb := 0; qb < nq; qb++ {
+					draws[pos+qb] = mc.Rng.Float64() < p
 				}
-			}
-			meas := l.Syndrome(errs)
-			if t < mc.Rounds-1 { // final round is perfect
-				for i := range meas {
-					if mc.Rng.Float64() < q {
-						meas[i] = !meas[i]
+				pos += nq
+				if t < rounds-1 {
+					for i := 0; i < checks; i++ {
+						draws[pos+i] = mc.Rng.Float64() < q
 					}
+					pos += checks
 				}
 			}
-			for i := range meas {
-				if meas[i] != prev[i] {
-					defects = append(defects, spacetimeDefect{
-						t: t,
-						d: defect{r: i / l.d, c: i % l.d},
-					})
-				}
-			}
-			prev = meas
-		}
-		correction := l.decodeSpacetime(defects)
-
-		combined := l.NewErrorPattern()
-		for qb := range combined {
-			combined[qb] = errs[qb] != correction[qb]
-		}
-		for i, hot := range l.Syndrome(combined) {
-			if hot {
-				panic(fmt.Sprintf("decoder: space-time residual defect at plaquette %d", i))
-			}
-		}
-		if l.LogicalFailure(errs, correction) {
-			res.Failures++
-		}
+		},
+		func(l *Lattice, sc *trialScratch, draws []bool) (bool, error) {
+			return l.historyTrial(sc, rounds, draws)
+		})
+	if err != nil {
+		return Result{}, err
 	}
+	res.Failures = failures
 	res.LogicalRate = float64(res.Failures) / float64(res.Trials)
 	return res, nil
 }
 
-// decodeSpacetime matches defects in the space-time metric (torus
-// Manhattan + time separation) and projects each pair's spatial
-// displacement onto data corrections.
-func (l *Lattice) decodeSpacetime(defects []spacetimeDefect) ErrorPattern {
-	correction := l.NewErrorPattern()
-	n := len(defects)
-	if n == 0 {
-		return correction
+// historyTrial replays one pregenerated syndrome history and decodes
+// its space-time volume.
+func (l *Lattice) historyTrial(sc *trialScratch, rounds int, draws []bool) (bool, error) {
+	nq, checks := l.DataQubits(), l.Checks()
+	clear(sc.errs) // cumulative data errors
+	clear(sc.prev)
+	sc.stDefects = sc.stDefects[:0]
+	pos := 0
+	for t := 0; t < rounds; t++ {
+		for qb := 0; qb < nq; qb++ {
+			if draws[pos+qb] {
+				sc.errs[qb] = !sc.errs[qb]
+			}
+		}
+		pos += nq
+		l.syndromeInto(sc.meas, sc.errs)
+		if t < rounds-1 { // final round is perfect
+			for i := 0; i < checks; i++ {
+				if draws[pos+i] {
+					sc.meas[i] = !sc.meas[i]
+				}
+			}
+			pos += checks
+		}
+		for i := range sc.meas {
+			if sc.meas[i] != sc.prev[i] {
+				sc.stDefects = append(sc.stDefects, spacetimeDefect{
+					t: t,
+					d: defect{r: i / l.d, c: i % l.d},
+				})
+			}
+		}
+		sc.meas, sc.prev = sc.prev, sc.meas
 	}
-	dist := func(a, b spacetimeDefect) int {
-		dt := a.t - b.t
+	l.decodeSpacetimeInto(sc)
+
+	for qb := range sc.combined {
+		sc.combined[qb] = sc.errs[qb] != sc.correction[qb]
+	}
+	l.syndromeInto(sc.syndrome, sc.combined)
+	for i, hot := range sc.syndrome {
+		if hot {
+			panic(fmt.Sprintf("decoder: space-time residual defect at plaquette %d", i))
+		}
+	}
+	return l.LogicalFailure(sc.errs, sc.correction), nil
+}
+
+// decodeSpacetimeInto matches sc.stDefects in the space-time metric
+// (torus Manhattan + time separation) and projects each pair's spatial
+// displacement onto data corrections in sc.correction. Candidate
+// ordering uses the same total (weight, defect indices) key as the
+// single-round matcher.
+func (l *Lattice) decodeSpacetimeInto(sc *trialScratch) {
+	clear(sc.correction)
+	if len(sc.stDefects) == 0 {
+		return
+	}
+	defects := sc.stDefects
+	pairs := sc.match.matchPairs(len(defects), func(a, b int) int {
+		dt := defects[a].t - defects[b].t
 		if dt < 0 {
 			dt = -dt
 		}
-		return l.torusDist(a.d, b.d) + dt
-	}
-	type cand struct{ a, b, w int }
-	cands := make([]cand, 0, n*(n-1)/2)
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			cands = append(cands, cand{a, b, dist(defects[a], defects[b])})
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].w != cands[j].w {
-			return cands[i].w < cands[j].w
-		}
-		if cands[i].a != cands[j].a {
-			return cands[i].a < cands[j].a
-		}
-		return cands[i].b < cands[j].b
+		return l.torusDist(defects[a].d, defects[b].d) + dt
 	})
-	matched := make([]bool, n)
-	var pairs [][2]int
-	for _, c := range cands {
-		if !matched[c.a] && !matched[c.b] {
-			matched[c.a] = true
-			matched[c.b] = true
-			pairs = append(pairs, [2]int{c.a, c.b})
-		}
-	}
-	// 2-opt refinement, as in the single-round matcher.
-	improved := true
-	for improved {
-		improved = false
-		for i := 0; i < len(pairs); i++ {
-			for j := i + 1; j < len(pairs); j++ {
-				a0, a1 := pairs[i][0], pairs[i][1]
-				b0, b1 := pairs[j][0], pairs[j][1]
-				cur := dist(defects[a0], defects[a1]) + dist(defects[b0], defects[b1])
-				if alt := dist(defects[a0], defects[b0]) + dist(defects[a1], defects[b1]); alt < cur {
-					pairs[i] = [2]int{a0, b0}
-					pairs[j] = [2]int{a1, b1}
-					improved = true
-					continue
-				}
-				if alt := dist(defects[a0], defects[b1]) + dist(defects[a1], defects[b0]); alt < cur {
-					pairs[i] = [2]int{a0, b1}
-					pairs[j] = [2]int{a1, b0}
-					improved = true
-				}
-			}
-		}
-	}
 	for _, pr := range pairs {
 		// The spatial projection carries the data correction; the time
 		// component is measurement-error bookkeeping.
-		l.flipGeodesic(correction, defects[pr[0]].d, defects[pr[1]].d)
+		l.flipGeodesic(sc.correction, defects[pr[0]].d, defects[pr[1]].d)
 	}
-	return correction
 }

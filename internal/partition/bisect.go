@@ -58,8 +58,12 @@ func Bisect(g *Graph, opts Options) (side []int, cut int) {
 		level = next.graph
 	}
 
-	coarseSide := level.initialPartition(rng, opts.BalanceTolerance)
-	level.refine(coarseSide, opts)
+	// One refinement scratch serves every level: sized for the finest
+	// graph, it is reused across initial partitioning, every FM pass,
+	// and every uncoarsening level instead of reallocating per pass.
+	sc := newFMScratch(n)
+	coarseSide := level.initialPartition(rng, opts.BalanceTolerance, sc)
+	level.refine(coarseSide, opts, sc)
 
 	// Project back through the hierarchy, refining at each level.
 	for i := len(hierarchy) - 1; i >= 0; i-- {
@@ -69,11 +73,42 @@ func Bisect(g *Graph, opts Options) (side []int, cut int) {
 		for v := range fineSide {
 			fineSide[v] = coarseSide[h.match[v]]
 		}
-		fine.refine(fineSide, opts)
+		fine.refine(fineSide, opts, sc)
 		coarseSide = fineSide
 	}
 	copy(side, coarseSide)
 	return side, g.CutWeight(side)
+}
+
+// fmScratch is the reusable working set of the refinement passes: gain
+// tables, lock flags, and the tentative move sequence. Buffers grow to
+// the finest level and are re-sliced per level.
+type fmScratch struct {
+	gain   []int
+	locked []bool
+	seq    []fmMove
+}
+
+type fmMove struct{ v, gain int }
+
+func newFMScratch(n int) *fmScratch {
+	return &fmScratch{
+		gain:   make([]int, n),
+		locked: make([]bool, n),
+		seq:    make([]fmMove, 0, n),
+	}
+}
+
+// forSize returns zeroed gain and locked views of length n.
+func (sc *fmScratch) forSize(n int) (gain []int, locked []bool) {
+	if cap(sc.gain) < n {
+		sc.gain = make([]int, n)
+		sc.locked = make([]bool, n)
+	}
+	gain, locked = sc.gain[:n], sc.locked[:n]
+	clear(gain)
+	clear(locked)
+	return gain, locked
 }
 
 // coarseLevel records one coarsening step: the fine graph and the
@@ -174,7 +209,7 @@ func (lg *levelGraph) coarsen(rng *rand.Rand) (*coarseLevel, bool) {
 // initialPartition grows side 0 from a seed by repeatedly absorbing the
 // vertex most heavily connected to the growing region, until half the
 // total vertex weight is absorbed.
-func (lg *levelGraph) initialPartition(rng *rand.Rand, tolerance float64) []int {
+func (lg *levelGraph) initialPartition(rng *rand.Rand, tolerance float64, sc *fmScratch) []int {
 	n := lg.size()
 	side := make([]int, n)
 	for v := range side {
@@ -184,7 +219,7 @@ func (lg *levelGraph) initialPartition(rng *rand.Rand, tolerance float64) []int 
 	if n == 0 || target == 0 {
 		return side
 	}
-	gain := make([]int, n)
+	gain, _ := sc.forSize(n)
 	seed := rng.Intn(n)
 	side[seed] = 0
 	absorbed := lg.vw[seed]
@@ -215,7 +250,7 @@ func (lg *levelGraph) initialPartition(rng *rand.Rand, tolerance float64) []int 
 // refine restores balance (projection from a coarser level, or the
 // greedy initial partition, can overshoot when supervertices are
 // lumpy), then runs FM passes until no pass improves the cut.
-func (lg *levelGraph) refine(side []int, opts Options) {
+func (lg *levelGraph) refine(side []int, opts Options, sc *fmScratch) {
 	total := lg.totalWeight()
 	maxSide := int(float64(total) * (0.5 + opts.BalanceTolerance))
 	if min := (total + 1) / 2; maxSide < min {
@@ -223,7 +258,7 @@ func (lg *levelGraph) refine(side []int, opts Options) {
 	}
 	lg.rebalance(side, maxSide)
 	for pass := 0; pass < opts.Passes; pass++ {
-		if !lg.fmPass(side, maxSide) {
+		if !lg.fmPass(side, maxSide, sc) {
 			return
 		}
 	}
@@ -275,9 +310,9 @@ func (lg *levelGraph) rebalance(side []int, maxSide int) {
 // fmPass performs one Fiduccia–Mattheyses pass: tentatively move every
 // vertex once in best-gain order (respecting balance), then keep the
 // best prefix of the move sequence. Returns whether the cut improved.
-func (lg *levelGraph) fmPass(side []int, maxSide int) bool {
+func (lg *levelGraph) fmPass(side []int, maxSide int, sc *fmScratch) bool {
 	n := lg.size()
-	gain := make([]int, n)
+	gain, locked := sc.forSize(n)
 	for v := 0; v < n; v++ {
 		gain[v] = lg.moveGain(v, side)
 	}
@@ -286,9 +321,7 @@ func (lg *levelGraph) fmPass(side []int, maxSide int) bool {
 		weights[side[v]] += lg.vw[v]
 	}
 
-	locked := make([]bool, n)
-	type move struct{ v, gain int }
-	var sequence []move
+	sequence := sc.seq[:0]
 	cumulative, best, bestIdx := 0, 0, -1
 
 	for step := 0; step < n; step++ {
@@ -314,7 +347,7 @@ func (lg *levelGraph) fmPass(side []int, maxSide int) bool {
 		weights[1-src] += lg.vw[cand]
 		locked[cand] = true
 		cumulative += candGain
-		sequence = append(sequence, move{cand, candGain})
+		sequence = append(sequence, fmMove{cand, candGain})
 		if cumulative > best {
 			best, bestIdx = cumulative, len(sequence)-1
 		}
@@ -329,6 +362,7 @@ func (lg *levelGraph) fmPass(side []int, maxSide int) bool {
 		v := sequence[i].v
 		side[v] = 1 - side[v]
 	}
+	sc.seq = sequence[:0] // hand grown capacity back for the next pass
 	return best > 0
 }
 

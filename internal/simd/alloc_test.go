@@ -1,0 +1,60 @@
+package simd
+
+import (
+	"testing"
+
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/resource"
+)
+
+// TestScheduleTimestepZeroAlloc asserts the per-timestep packing loop
+// is allocation-free in steady state (mirroring the braid engine's
+// zero-alloc hot-path test): grouping, region packing, and move
+// emission all run out of the stamp-cleared scratch.
+func TestScheduleTimestepZeroAlloc(t *testing.T) {
+	c := circuit.New("hot", 64)
+	for q := 0; q < 64; q++ {
+		c.Append(circuit.H, q)
+	}
+	for q := 0; q < 63; q += 2 {
+		c.Append(circuit.CNOT, q, q+1)
+	}
+	for q := 0; q < 64; q += 4 {
+		c.Append(circuit.T, q)
+	}
+	cfg := Config{Regions: 4, Width: 8}.withDefaults()
+	dag, err := resource.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newSchedState(c, cfg, dag.Heights())
+	// Admit only the dependency-free first layer so the ready set is
+	// stable across runs (scheduleTimestep does not retire ops itself).
+	remDeps := make([]int, len(c.Gates))
+	for i := range c.Gates {
+		remDeps[i] = len(dag.Preds[i])
+		if remDeps[i] == 0 {
+			st.push(i)
+		}
+	}
+	st.flush()
+	if len(st.ready) == 0 {
+		t.Fatal("no ready ops")
+	}
+	bank := homeRegions(c, cfg)
+	orig := append([]int(nil), bank...)
+	sched := &Schedule{Config: cfg}
+
+	run := func() {
+		copy(bank, orig)
+		sched.Moves = sched.Moves[:0]
+		sched.Teleports, sched.MagicMoves = 0, 0
+		if got := st.scheduleTimestep(bank, 0, sched); len(got) == 0 {
+			t.Fatal("nothing scheduled")
+		}
+	}
+	run() // grow Moves and scratch to steady-state capacity
+	if allocs := testing.AllocsPerRun(100, run); allocs > 0 {
+		t.Errorf("scheduleTimestep allocates %.1f times per timestep, want 0", allocs)
+	}
+}

@@ -13,7 +13,7 @@ package simd
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"surfcomm/internal/circuit"
 	"surfcomm/internal/partition"
@@ -119,6 +119,96 @@ func Run(c *circuit.Circuit, cfg Config) (*Schedule, error) {
 	return RunContext(context.Background(), c, cfg)
 }
 
+// schedState is the per-run scheduling state: the ready structure plus
+// all per-timestep scratch, allocated once per Run and stamp-cleared
+// between timesteps so the scheduling loop never allocates in steady
+// state (the mesh/braid scratch pattern).
+type schedState struct {
+	c       *circuit.Circuit
+	cfg     Config
+	heights []int
+
+	// ready holds schedulable ops in priority order (height descending,
+	// op index ascending — a total order, so no stable sort is needed).
+	// Insertions stage into pending and merge in one pass per timestep,
+	// the batched-merge pattern of braid's readyQueue; the comparator is
+	// static, so the merged slice is never resorted.
+	ready   []int
+	pending []int
+	spare   []int
+
+	// Stamp-cleared per-timestep scratch: a slot is live iff its stamp
+	// matches the current timestep's stamp, so clearing is O(1).
+	stamp       int64
+	engagedAt   []int64          // per qubit: operated on this timestep
+	scheduledAt []int64          // per op: committed this timestep
+	groupAt     []int64          // per opcode: group live this timestep
+	groupOps    [][]int          // per opcode: ready ops, priority order
+	groupList   []circuit.Opcode // opcodes with ready ops this timestep
+	counts      []int            // per region: operand residency
+	regionOp    []circuit.Opcode // per region: broadcast opcode (Nop = unset)
+	regionLoad  []int            // per region: ops committed
+	scheduled   []int            // ops committed this timestep
+}
+
+func newSchedState(c *circuit.Circuit, cfg Config, heights []int) *schedState {
+	return &schedState{
+		c:           c,
+		cfg:         cfg,
+		heights:     heights,
+		engagedAt:   make([]int64, c.NumQubits),
+		scheduledAt: make([]int64, len(c.Gates)),
+		groupAt:     make([]int64, circuit.OpcodeCount),
+		groupOps:    make([][]int, circuit.OpcodeCount),
+		groupList:   make([]circuit.Opcode, 0, circuit.OpcodeCount),
+		counts:      make([]int, cfg.Regions),
+		regionOp:    make([]circuit.Opcode, cfg.Regions),
+		regionLoad:  make([]int, cfg.Regions),
+	}
+}
+
+// less is the static ready-order comparator: most critical first,
+// then op index — the same total order the per-timestep group sorts
+// used to produce.
+func (st *schedState) less(a, b int) bool {
+	if st.heights[a] != st.heights[b] {
+		return st.heights[a] > st.heights[b]
+	}
+	return a < b
+}
+
+// push stages an op for insertion at the next flush.
+func (st *schedState) push(i int) { st.pending = append(st.pending, i) }
+
+// flush merges staged ops into the ordered ready slice in one pass.
+func (st *schedState) flush() {
+	if len(st.pending) == 0 {
+		return
+	}
+	slices.SortFunc(st.pending, func(a, b int) int {
+		if st.less(a, b) {
+			return -1
+		}
+		return 1
+	})
+	merged := st.spare[:0]
+	i, j := 0, 0
+	for i < len(st.ready) && j < len(st.pending) {
+		if st.less(st.pending[j], st.ready[i]) {
+			merged = append(merged, st.pending[j])
+			j++
+		} else {
+			merged = append(merged, st.ready[i])
+			i++
+		}
+	}
+	merged = append(merged, st.ready[i:]...)
+	merged = append(merged, st.pending[j:]...)
+	st.spare = st.ready[:0]
+	st.ready = merged
+	st.pending = st.pending[:0]
+}
+
 // RunContext is Run with cooperative cancellation, polled once per
 // timestep; an aborted run returns an error matching scerr.ErrCanceled.
 func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (*Schedule, error) {
@@ -141,11 +231,11 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (*Schedule,
 	_, depth := dag.ASAP()
 	sched.CriticalTimesteps = depth
 
+	st := newSchedState(c, cfg, heights)
 	remDeps := make([]int, len(c.Gates))
 	for i := range c.Gates {
 		remDeps[i] = len(dag.Preds[i])
 	}
-	var ready []int
 	var admit func(i int)
 	completed := 0
 	admit = func(i int) {
@@ -159,7 +249,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (*Schedule,
 			}
 			return
 		}
-		ready = append(ready, i)
+		st.push(i)
 	}
 	for i := range c.Gates {
 		if remDeps[i] == 0 {
@@ -177,26 +267,24 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (*Schedule,
 			default:
 			}
 		}
-		if len(ready) == 0 {
+		st.flush()
+		if len(st.ready) == 0 {
 			return nil, fmt.Errorf("simd: no ready ops with %d gates pending (dependency corruption)",
 				len(c.Gates)-completed)
 		}
-		scheduled := scheduleTimestep(c, cfg, ready, heights, bank, timestep, sched)
+		scheduled := st.scheduleTimestep(bank, timestep, sched)
 		if len(scheduled) == 0 {
-			return nil, fmt.Errorf("simd: empty timestep with %d ready ops", len(ready))
+			return nil, fmt.Errorf("simd: empty timestep with %d ready ops", len(st.ready))
 		}
-		// Retire scheduled ops and admit their successors.
-		isScheduled := make(map[int]bool, len(scheduled))
-		for _, i := range scheduled {
-			isScheduled[i] = true
-		}
-		next := ready[:0]
-		for _, i := range ready {
-			if !isScheduled[i] {
+		// Retire scheduled ops (stamped by scheduleTimestep) and admit
+		// their successors. The filter keeps the ready order intact.
+		next := st.ready[:0]
+		for _, i := range st.ready {
+			if st.scheduledAt[i] != st.stamp {
 				next = append(next, i)
 			}
 		}
-		ready = next
+		st.ready = next
 		for _, i := range scheduled {
 			completed++
 			for _, s := range dag.Succs[i] {
@@ -264,86 +352,63 @@ func homeRegions(c *circuit.Circuit, cfg Config) []int {
 }
 
 // scheduleTimestep packs ready ops into the k regions for one timestep
-// and returns the scheduled op indices. It mutates bank (qubit
-// residency) and appends the timestep's moves to sched.
-func scheduleTimestep(c *circuit.Circuit, cfg Config, ready []int, heights []int,
-	bank []int, timestep int, sched *Schedule) []int {
+// and returns the scheduled op indices (valid until the next call). It
+// mutates bank (qubit residency), appends the timestep's moves to
+// sched, and stamps scheduledAt for every committed op. Steady-state
+// allocation-free: all working sets live in the reused scratch.
+func (st *schedState) scheduleTimestep(bank []int, timestep int, sched *Schedule) []int {
+	st.stamp++
+	stamp := st.stamp
+	c, cfg := st.c, st.cfg
 
-	// Group ready ops by opcode — a SIMD region broadcasts one
-	// operation type per timestep.
-	groups := map[circuit.Opcode][]int{}
-	for _, i := range ready {
-		groups[c.Gates[i].Op] = append(groups[c.Gates[i].Op], i)
+	// Group ready ops by opcode — a SIMD region broadcasts one operation
+	// type per timestep. The ready slice is already in (height desc,
+	// index asc) order, so each group inherits its priority order.
+	st.groupList = st.groupList[:0]
+	for _, i := range st.ready {
+		op := c.Gates[i].Op
+		if st.groupAt[op] != stamp {
+			st.groupAt[op] = stamp
+			st.groupOps[op] = st.groupOps[op][:0]
+			st.groupList = append(st.groupList, op)
+		}
+		st.groupOps[op] = append(st.groupOps[op], i)
 	}
-	type scored struct {
-		op       circuit.Opcode
-		ops      []int
-		priority int // max criticality in the group
-	}
-	var list []scored
-	for op, ops := range groups {
-		sort.Slice(ops, func(a, b int) bool {
-			if heights[ops[a]] != heights[ops[b]] {
-				return heights[ops[a]] > heights[ops[b]]
+	// Order groups by (max criticality desc, size desc, opcode asc).
+	slices.SortFunc(st.groupList, func(a, b circuit.Opcode) int {
+		if pa, pb := st.heights[st.groupOps[a][0]], st.heights[st.groupOps[b][0]]; pa != pb {
+			if pa > pb {
+				return -1
 			}
-			return ops[a] < ops[b]
-		})
-		list = append(list, scored{op: op, ops: ops, priority: heights[ops[0]]})
-	}
-	sort.Slice(list, func(a, b int) bool {
-		if list[a].priority != list[b].priority {
-			return list[a].priority > list[b].priority
+			return 1
 		}
-		if len(list[a].ops) != len(list[b].ops) {
-			return len(list[a].ops) > len(list[b].ops)
+		if la, lb := len(st.groupOps[a]), len(st.groupOps[b]); la != lb {
+			if la > lb {
+				return -1
+			}
+			return 1
 		}
-		return list[a].op < list[b].op
+		if a < b {
+			return -1
+		}
+		return 1
 	})
+
 	// Region state for this timestep: a region is either unconfigured
 	// or broadcasts one opcode; several regions may broadcast the same
 	// opcode (each has its own control), which keeps clustered operands
 	// at home.
-	regionOp := make([]circuit.Opcode, cfg.Regions) // Nop = unconfigured
-	regionLoad := make([]int, cfg.Regions)
-	var scheduled []int
-	engaged := map[int]bool{} // qubits already operated on this timestep
-
-	// placeIn tries to commit op i to region r.
-	placeIn := func(i, r int) bool {
-		if regionOp[r] == circuit.Nop {
-			regionOp[r] = c.Gates[i].Op
-		} else if regionOp[r] != c.Gates[i].Op || regionLoad[r] >= cfg.Width {
-			return false
-		}
-		if regionLoad[r] >= cfg.Width {
-			return false
-		}
-		regionLoad[r]++
-		for _, q := range c.Gates[i].Qubits {
-			engaged[q] = true
-			if bank[q] != r {
-				sched.Moves = append(sched.Moves, Move{
-					Timestep: timestep, Qubit: q, From: bank[q], To: r,
-				})
-				sched.Teleports++
-				bank[q] = r
-			}
-		}
-		if c.Gates[i].Op.IsT() {
-			sched.Moves = append(sched.Moves, Move{
-				Timestep: timestep, Qubit: -1, From: MagicSource, To: r,
-			})
-			sched.MagicMoves++
-		}
-		scheduled = append(scheduled, i)
-		return true
+	for r := 0; r < cfg.Regions; r++ {
+		st.regionOp[r] = circuit.Nop
+		st.regionLoad[r] = 0
 	}
+	st.scheduled = st.scheduled[:0]
 
-	for _, grp := range list {
-		for _, i := range grp.ops {
+	for _, op := range st.groupList {
+		for _, i := range st.groupOps[op] {
 			conflict := false
 			for _, q := range c.Gates[i].Qubits {
-				if engaged[q] {
+				if st.engagedAt[q] == stamp {
 					conflict = true
 					break
 				}
@@ -354,31 +419,66 @@ func scheduleTimestep(c *circuit.Circuit, cfg Config, ready []int, heights []int
 			// Preference order: the operand-majority region, then any
 			// region already broadcasting this opcode with spare width,
 			// then any unconfigured region.
-			counts := make([]int, cfg.Regions)
+			for r := 0; r < cfg.Regions; r++ {
+				st.counts[r] = 0
+			}
 			for _, q := range c.Gates[i].Qubits {
-				counts[bank[q]]++
+				st.counts[bank[q]]++
 			}
 			pref, best := 0, -1
 			for r := 0; r < cfg.Regions; r++ {
-				if counts[r] > best {
-					pref, best = r, counts[r]
+				if st.counts[r] > best {
+					pref, best = r, st.counts[r]
 				}
 			}
-			if placeIn(i, pref) {
+			if st.placeIn(i, pref, bank, timestep, sched) {
 				continue
 			}
 			placed := false
 			for r := 0; r < cfg.Regions && !placed; r++ {
-				if r != pref && regionOp[r] == c.Gates[i].Op && regionLoad[r] < cfg.Width {
-					placed = placeIn(i, r)
+				if r != pref && st.regionOp[r] == c.Gates[i].Op && st.regionLoad[r] < cfg.Width {
+					placed = st.placeIn(i, r, bank, timestep, sched)
 				}
 			}
 			for r := 0; r < cfg.Regions && !placed; r++ {
-				if regionOp[r] == circuit.Nop {
-					placed = placeIn(i, r)
+				if st.regionOp[r] == circuit.Nop {
+					placed = st.placeIn(i, r, bank, timestep, sched)
 				}
 			}
 		}
 	}
-	return scheduled
+	return st.scheduled
+}
+
+// placeIn tries to commit op i to region r.
+func (st *schedState) placeIn(i, r int, bank []int, timestep int, sched *Schedule) bool {
+	c := st.c
+	if st.regionOp[r] == circuit.Nop {
+		st.regionOp[r] = c.Gates[i].Op
+	} else if st.regionOp[r] != c.Gates[i].Op || st.regionLoad[r] >= st.cfg.Width {
+		return false
+	}
+	if st.regionLoad[r] >= st.cfg.Width {
+		return false
+	}
+	st.regionLoad[r]++
+	for _, q := range c.Gates[i].Qubits {
+		st.engagedAt[q] = st.stamp
+		if bank[q] != r {
+			sched.Moves = append(sched.Moves, Move{
+				Timestep: timestep, Qubit: q, From: bank[q], To: r,
+			})
+			sched.Teleports++
+			bank[q] = r
+		}
+	}
+	if c.Gates[i].Op.IsT() {
+		sched.Moves = append(sched.Moves, Move{
+			Timestep: timestep, Qubit: -1, From: MagicSource, To: r,
+		})
+		sched.MagicMoves++
+	}
+	st.scheduledAt[i] = st.stamp
+	st.scheduled = append(st.scheduled, i)
+	return true
 }

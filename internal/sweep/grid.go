@@ -2,12 +2,14 @@ package sweep
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"context"
 
 	"surfcomm/internal/apps"
 	"surfcomm/internal/braid"
+	"surfcomm/internal/decoder"
 	"surfcomm/internal/simd"
 	"surfcomm/internal/teleport"
 	"surfcomm/internal/toolflow"
@@ -112,6 +114,59 @@ func EPRWindows(ctx context.Context, opt Options, cfg teleport.Config) ([]EPRCel
 			JIT:       jit,
 			JITIndex:  jitIndex,
 			Rows:      rows,
+		}, nil
+	})
+}
+
+// DecoderCell is one Monte Carlo decoding cell of the §2.3 error-model
+// validation grid: a (distance, physical rate) point with its measured
+// failure count.
+type DecoderCell struct {
+	Distance     int
+	PhysicalRate float64
+	Trials       int
+	// Seed is the cell's derived Monte Carlo seed (deterministic from
+	// Options.Seed and the cell index, recorded for reproduction).
+	Seed        int64
+	Failures    int
+	LogicalRate float64
+}
+
+// DecoderGrid measures the logical error rate across the (distance ×
+// physical rate) plane — the decoding counterpart of the Figure 9
+// boundary studies. Each cell derives its seed deterministically from
+// the base seed and its index, runs its Monte Carlo serially (the grid
+// itself fans across the worker pool), and is bit-identical at any
+// worker count.
+func DecoderGrid(ctx context.Context, opt Options, distances []int, rates []float64, trials int) ([]DecoderCell, error) {
+	type cell struct {
+		d    int
+		rate float64
+	}
+	cells := make([]cell, 0, len(distances)*len(rates))
+	for _, d := range distances {
+		for _, r := range rates {
+			cells = append(cells, cell{d, r})
+		}
+	}
+	return Map(ctx, opt, cells, func(i int, c cell) (DecoderCell, error) {
+		seed := opt.Seed + int64(i)
+		l, err := decoder.NewLattice(c.d)
+		if err != nil {
+			return DecoderCell{}, err
+		}
+		mc := &decoder.MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(seed)), Workers: 1}
+		r, err := mc.RunContext(ctx, c.rate, trials)
+		if err != nil {
+			return DecoderCell{}, err
+		}
+		return DecoderCell{
+			Distance:     c.d,
+			PhysicalRate: c.rate,
+			Trials:       trials,
+			Seed:         seed,
+			Failures:     r.Failures,
+			LogicalRate:  r.LogicalRate,
 		}, nil
 	})
 }

@@ -135,6 +135,25 @@ func EPRRecords(seed int64, cells []EPRCell) []CellResult {
 	return out
 }
 
+// DecoderRecords converts an error-model validation grid to cell
+// results; each record carries the cell's own derived seed.
+func DecoderRecords(cells []DecoderCell) []CellResult {
+	out := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, CellResult{
+			Study: "decoder",
+			Cell:  fmt.Sprintf("d=%d/p=%.2e", c.Distance, c.PhysicalRate),
+			Seed:  c.Seed,
+			Metrics: map[string]float64{
+				"failures":     float64(c.Failures),
+				"logical_rate": c.LogicalRate,
+				"trials":       float64(c.Trials),
+			},
+		})
+	}
+	return out
+}
+
 // Figure6Records converts a Figure 6 policy grid to cell results.
 func Figure6Records(seed int64, cells []Figure6Cell) []CellResult {
 	out := make([]CellResult, 0, len(cells))

@@ -16,7 +16,7 @@ package teleport
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"surfcomm/internal/layout"
 	"surfcomm/internal/scerr"
@@ -111,20 +111,64 @@ func (g geometry) coordOf(region int) layout.Coord {
 	return g.coords[region]
 }
 
+// nodeIndex flattens a coordinate onto the geometry grid.
+func (g geometry) nodeIndex(c layout.Coord) int { return c.Row*g.cols + c.Col }
+
 // half is one EPR half in flight: it follows the XY staircase from the
-// EPR factory to its destination region.
+// EPR factory to its destination region. Halves are pooled in a flat
+// slice and addressed by index — no per-move heap objects.
 type half struct {
-	move     int
-	dest     layout.Coord
-	pos      layout.Coord
-	arrived  bool
-	arriveAt int64
+	move int32
+	dest layout.Coord
+	pos  layout.Coord
 }
 
-// link identifies a directed channel between adjacent region coords.
-type link struct {
-	from, to layout.Coord
+// linkUse is the per-cycle bandwidth accounting of one directed channel
+// between adjacent region coordinates.
+type linkUse struct {
+	cycle int64
+	used  int32
 }
+
+// delta is one live-EPR counting event (launch +1, consume −1).
+type delta struct {
+	at int64
+	d  int32
+}
+
+// Distributor owns the reusable simulation state of Distribute: pooled
+// halves, the time-bucketed propagation calendar, dense per-link usage
+// tables, and the arrival/live-accounting scratch. Reusing one
+// Distributor across runs (as SweepWindows does) makes steady-state
+// distribution allocation-free. A Distributor is safe for one goroutine
+// at a time.
+type Distributor struct {
+	geo        geometry // cached for geoRegions
+	geoRegions int
+	halves     []half
+	launchTime []int64 // per half: network entry cycle
+	order      []int32 // halves in launch-calendar order
+	ring       [][]int32
+	links      []linkUse
+	arrival    []int64 // per move: latest half arrival
+	maxArrival []int64 // per timestep: latest pair arrival
+	starts     []int64 // per timestep: actual start cycle
+	deltas     []delta
+}
+
+// geometryFor returns the cached geometry, rebuilding it only when the
+// schedule's region count changes.
+func (d *Distributor) geometryFor(regions int) geometry {
+	if d.geoRegions != regions {
+		d.geo = newGeometry(regions)
+		d.geoRegions = regions
+	}
+	return d.geo
+}
+
+// NewDistributor returns an empty Distributor; scratch grows on first
+// use and is retained across runs.
+func NewDistributor() *Distributor { return &Distributor{} }
 
 // Distribute replays the schedule's move list with the given look-ahead
 // window (in EC cycles): each pair launches at
@@ -137,6 +181,17 @@ func Distribute(s *simd.Schedule, window int64, cfg Config) (Result, error) {
 // polled every few thousand propagation cycles; an aborted run returns
 // an error matching scerr.ErrCanceled.
 func DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg Config) (Result, error) {
+	return NewDistributor().DistributeContext(ctx, s, window, cfg)
+}
+
+// Distribute runs one distribution on the reusable state.
+func (d *Distributor) Distribute(s *simd.Schedule, window int64, cfg Config) (Result, error) {
+	return d.DistributeContext(context.Background(), s, window, cfg)
+}
+
+// DistributeContext runs one cancelable distribution on the reusable
+// state.
+func (d *Distributor) DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if window < 0 {
 		return Result{}, scerr.BadConfig("teleport: negative window %d", window)
@@ -144,7 +199,7 @@ func DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg 
 	if s.Config.Regions < 1 {
 		return Result{}, scerr.BadConfig("teleport: schedule has no regions")
 	}
-	geo := newGeometry(s.Config.Regions)
+	geo := d.geometryFor(s.Config.Regions)
 	res := Result{
 		WindowCycles: window,
 		BaseCycles:   int64(s.Timesteps) * cfg.StepCycles(),
@@ -155,46 +210,77 @@ func DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg 
 		return res, nil
 	}
 
-	// Launch schedule: each move's two halves enter the network at
-	// max(0, useTime − window), from the EPR factory.
-	type launch struct {
-		time int64
-		h    *half
-	}
-	useTime := make([]int64, len(s.Moves))
-	launches := make([]launch, 0, 2*len(s.Moves))
-	halves := make([]*half, 0, 2*len(s.Moves))
+	// Launch calendar: each move's two halves enter the network at
+	// max(0, useTime − window), from the EPR factory. Schedules list
+	// moves in timestep order, so launch times are already sorted and
+	// the calendar is the creation order; hand-built schedules may be
+	// out of order and get a stable (time, creation index) sort.
+	d.halves = d.halves[:0]
+	d.launchTime = d.launchTime[:0]
+	sorted := true
 	for m, mv := range s.Moves {
-		useTime[m] = int64(mv.Timestep) * cfg.StepCycles()
-		at := useTime[m] - window
+		if mv.Timestep < 0 || mv.Timestep >= s.Timesteps {
+			return Result{}, scerr.BadConfig("teleport: move %d at timestep %d outside schedule of %d",
+				m, mv.Timestep, s.Timesteps)
+		}
+		at := int64(mv.Timestep)*cfg.StepCycles() - window
 		if at < 0 {
 			at = 0
 		}
-		for _, dest := range []layout.Coord{geo.coordOf(mv.From), geo.coordOf(mv.To)} {
-			h := &half{move: m, dest: dest, pos: geo.epr}
-			halves = append(halves, h)
-			launches = append(launches, launch{time: at, h: h})
+		for _, dst := range [2]layout.Coord{geo.coordOf(mv.From), geo.coordOf(mv.To)} {
+			if len(d.launchTime) > 0 && at < d.launchTime[len(d.launchTime)-1] {
+				sorted = false
+			}
+			d.halves = append(d.halves, half{move: int32(m), dest: dst, pos: geo.epr})
+			d.launchTime = append(d.launchTime, at)
 		}
 	}
-	sort.SliceStable(launches, func(i, j int) bool { return launches[i].time < launches[j].time })
+	d.order = d.order[:0]
+	for i := range d.halves {
+		d.order = append(d.order, int32(i))
+	}
+	if !sorted {
+		slices.SortFunc(d.order, func(a, b int32) int {
+			if d.launchTime[a] != d.launchTime[b] {
+				if d.launchTime[a] < d.launchTime[b] {
+					return -1
+				}
+				return 1
+			}
+			return int(a) - int(b)
+		})
+	}
 
-	// Cycle-driven propagation with per-link bandwidth. Pending holds
-	// halves bucketed by their next movement attempt cycle.
-	pending := map[int64][]*half{}
-	for _, l := range launches {
-		pending[l.time] = append(pending[l.time], l.h)
+	// Cycle-driven propagation with per-link bandwidth. The pending map
+	// of old is a ring calendar: movement delays are only +1 (blocked
+	// retry) and +hop, so hop+1 buckets cover every in-flight half.
+	hop := cfg.HopCycles()
+	ringSize := int(hop) + 1
+	if cap(d.ring) < ringSize {
+		d.ring = make([][]int32, ringSize)
 	}
-	type linkUse struct {
-		cycle int64
-		used  int
+	d.ring = d.ring[:ringSize]
+	for i := range d.ring {
+		d.ring[i] = d.ring[i][:0]
 	}
-	usage := map[link]*linkUse{}
-	active := 0
-	for _, b := range pending {
-		active += len(b)
+	numLinks := geo.rows * geo.cols * 4
+	if cap(d.links) < numLinks {
+		d.links = make([]linkUse, numLinks)
 	}
-	arrivalByMove := make([]int64, len(s.Moves))
+	d.links = d.links[:numLinks]
+	for i := range d.links {
+		d.links[i] = linkUse{cycle: -1}
+	}
+	if cap(d.arrival) < len(s.Moves) {
+		d.arrival = make([]int64, len(s.Moves))
+	}
+	d.arrival = d.arrival[:len(s.Moves)]
+	clear(d.arrival)
 
+	active := len(d.halves)
+	inFlight := 0
+	cursor := 0
+	bw := int32(cfg.LinkBandwidth)
 	done := ctx.Done()
 	for cycle := int64(0); active > 0; cycle++ {
 		if done != nil && cycle&4095 == 0 {
@@ -204,59 +290,78 @@ func DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg 
 			default:
 			}
 		}
-		bucket := pending[cycle]
+		// Idle gap: nothing in flight, next launch in the future — skip
+		// straight to it (pure fast-forward, no state advances between).
+		if inFlight == 0 {
+			if next := d.launchTime[d.order[cursor]]; next > cycle {
+				cycle = next
+			}
+		}
+		// Admit launches due inside the calendar window. A launch lands
+		// in its bucket before any hop or retry can target that bucket,
+		// preserving the launch-first bucket order of the old map.
+		for cursor < len(d.order) && d.launchTime[d.order[cursor]] <= cycle+hop {
+			hi := d.order[cursor]
+			t := d.launchTime[hi]
+			d.ring[t%int64(ringSize)] = append(d.ring[t%int64(ringSize)], hi)
+			inFlight++
+			cursor++
+		}
+		slot := cycle % int64(ringSize)
+		bucket := d.ring[slot]
 		if len(bucket) == 0 {
 			continue
 		}
-		delete(pending, cycle)
-		for _, h := range bucket {
+		for _, hi := range bucket {
+			h := &d.halves[hi]
 			if h.pos == h.dest {
-				h.arrived = true
-				h.arriveAt = cycle
-				if cycle > arrivalByMove[h.move] {
-					arrivalByMove[h.move] = cycle
+				if cycle > d.arrival[h.move] {
+					d.arrival[h.move] = cycle
 				}
 				active--
+				inFlight--
 				continue
 			}
-			next := stepToward(h.pos, h.dest)
-			l := link{from: h.pos, to: next}
-			u := usage[l]
-			if u == nil {
-				u = &linkUse{}
-				usage[l] = u
-			}
+			next, dir := stepTowardDir(h.pos, h.dest)
+			u := &d.links[geo.nodeIndex(h.pos)*4+dir]
 			if u.cycle != cycle {
 				u.cycle = cycle
 				u.used = 0
 			}
-			if u.used >= cfg.LinkBandwidth {
+			if u.used >= bw {
 				// Blocked: retry next cycle.
-				pending[cycle+1] = append(pending[cycle+1], h)
+				rs := (cycle + 1) % int64(ringSize)
+				d.ring[rs] = append(d.ring[rs], hi)
 				continue
 			}
 			u.used++
 			h.pos = next
-			pending[cycle+cfg.HopCycles()] = append(pending[cycle+cfg.HopCycles()], h)
+			rs := (cycle + hop) % int64(ringSize)
+			d.ring[rs] = append(d.ring[rs], hi)
 		}
+		d.ring[slot] = bucket[:0]
 	}
 
 	// Timestep commit recurrence: a timestep starts when the previous
 	// one has finished AND all of its EPR pairs have arrived.
-	maxArrival := map[int]int64{}
+	if cap(d.maxArrival) < s.Timesteps {
+		d.maxArrival = make([]int64, s.Timesteps)
+	}
+	d.maxArrival = d.maxArrival[:s.Timesteps]
+	clear(d.maxArrival)
 	for m, mv := range s.Moves {
-		if arrivalByMove[m] > maxArrival[mv.Timestep] {
-			maxArrival[mv.Timestep] = arrivalByMove[m]
+		if d.arrival[m] > d.maxArrival[mv.Timestep] {
+			d.maxArrival[mv.Timestep] = d.arrival[m]
 		}
 	}
-	actualStart := make([]int64, s.Timesteps)
+	d.starts = d.starts[:0]
 	prevEnd := int64(0)
 	for t := 0; t < s.Timesteps; t++ {
 		start := prevEnd
-		if a, ok := maxArrival[t]; ok && a > start {
+		if a := d.maxArrival[t]; a > start {
 			start = a
 		}
-		actualStart[t] = start
+		d.starts = append(d.starts, start)
 		prevEnd = start + cfg.StepCycles()
 	}
 	res.ScheduleCycles = prevEnd
@@ -267,29 +372,27 @@ func DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg 
 
 	// Live-EPR accounting: each half is live from launch until its
 	// move's timestep commits (the pair is consumed by the teleport).
-	type delta struct {
-		at int64
-		d  int
+	d.deltas = d.deltas[:0]
+	for i := range d.halves {
+		consume := d.starts[s.Moves[d.halves[i].move].Timestep] + cfg.StepCycles()
+		d.deltas = append(d.deltas, delta{at: d.launchTime[i], d: 1}, delta{at: consume, d: -1})
 	}
-	var deltas []delta
-	for i, l := range launches {
-		consume := actualStart[s.Moves[l.h.move].Timestep] + cfg.StepCycles()
-		deltas = append(deltas, delta{at: l.time, d: 1}, delta{at: consume, d: -1})
-		_ = i
-	}
-	sort.Slice(deltas, func(i, j int) bool {
-		if deltas[i].at != deltas[j].at {
-			return deltas[i].at < deltas[j].at
+	slices.SortFunc(d.deltas, func(a, b delta) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
-		return deltas[i].d < deltas[j].d // consume before launch at ties
+		return int(a.d) - int(b.d) // consume before launch at ties
 	})
 	live, peak := 0, 0
 	var integral int64
 	last := int64(0)
-	for _, d := range deltas {
-		integral += int64(live) * (d.at - last)
-		last = d.at
-		live += d.d
+	for _, dl := range d.deltas {
+		integral += int64(live) * (dl.at - last)
+		last = dl.at
+		live += int(dl.d)
 		if live > peak {
 			peak = live
 		}
@@ -301,19 +404,29 @@ func DistributeContext(ctx context.Context, s *simd.Schedule, window int64, cfg 
 	return res, nil
 }
 
-// stepToward advances one hop along the XY staircase (columns first).
-func stepToward(pos, dest layout.Coord) layout.Coord {
+// stepTowardDir advances one hop along the XY staircase (columns
+// first), also returning the directed-link slot (0..3) the hop uses.
+func stepTowardDir(pos, dest layout.Coord) (layout.Coord, int) {
 	switch {
 	case pos.Col < dest.Col:
 		pos.Col++
+		return pos, 0
 	case pos.Col > dest.Col:
 		pos.Col--
+		return pos, 1
 	case pos.Row < dest.Row:
 		pos.Row++
+		return pos, 2
 	default:
 		pos.Row--
+		return pos, 3
 	}
-	return pos
+}
+
+// stepToward advances one hop along the XY staircase (columns first).
+func stepToward(pos, dest layout.Coord) layout.Coord {
+	next, _ := stepTowardDir(pos, dest)
+	return next
 }
 
 // SweepWindows runs Distribute across a set of windows — the §8.1
@@ -323,10 +436,13 @@ func SweepWindows(s *simd.Schedule, windows []int64, cfg Config) ([]Result, erro
 }
 
 // SweepWindowsContext is SweepWindows with cooperative cancellation.
+// One Distributor is shared across the windows, so only the first run
+// pays the scratch allocation.
 func SweepWindowsContext(ctx context.Context, s *simd.Schedule, windows []int64, cfg Config) ([]Result, error) {
+	d := NewDistributor()
 	out := make([]Result, 0, len(windows))
 	for _, w := range windows {
-		r, err := DistributeContext(ctx, s, w, cfg)
+		r, err := d.DistributeContext(ctx, s, w, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -229,6 +229,14 @@ func DistributeEPR(s *SIMDSchedule, window int64, cfg TeleportConfig) (TeleportR
 	return teleport.Distribute(s, window, cfg)
 }
 
+// EPRDistributor owns reusable EPR-distribution scratch: repeated
+// distributions through one distributor (a window sweep, a batch of
+// schedules) are allocation-free in steady state.
+type EPRDistributor = teleport.Distributor
+
+// NewEPRDistributor returns an empty reusable distributor.
+func NewEPRDistributor() *EPRDistributor { return teleport.NewDistributor() }
+
 // JITWindow returns the just-in-time window heuristic for a schedule.
 func JITWindow(s *SIMDSchedule, cfg TeleportConfig) int64 { return teleport.JITWindow(s, cfg) }
 
@@ -309,6 +317,10 @@ type SweepFigure6Cell = sweep.Figure6Cell
 
 // SweepEPRCell is one application's §8.1 window study.
 type SweepEPRCell = sweep.EPRCell
+
+// SweepDecoderCell is one (distance, physical rate) Monte Carlo cell of
+// the error-model validation grid.
+type SweepDecoderCell = sweep.DecoderCell
 
 // SweepFigure6Options selects the Figure 6 grid variant (distance,
 // magic-state ablation, schedule recording, app filter).
@@ -393,6 +405,12 @@ func SweepEPRRecords(seed int64, cells []SweepEPRCell) []SweepCellResult {
 	return sweep.EPRRecords(seed, cells)
 }
 
+// SweepDecoderRecords converts an error-model validation grid to cell
+// results.
+func SweepDecoderRecords(cells []SweepDecoderCell) []SweepCellResult {
+	return sweep.DecoderRecords(cells)
+}
+
 // SweepFigure6Records converts a Figure 6 policy grid to cell results.
 func SweepFigure6Records(seed int64, cells []SweepFigure6Cell) []SweepCellResult {
 	return sweep.Figure6Records(seed, cells)
@@ -426,7 +444,9 @@ func NewDecoderLattice(d int) (*DecoderLattice, error) { return decoder.NewLatti
 
 // MeasureLogicalErrorRate runs a decoding Monte Carlo: independent
 // physical errors at rate p, matching-decoded, counting logical
-// failures — the empirical grounding of the p_L(d) model.
+// failures — the empirical grounding of the p_L(d) model. Trials decode
+// across GOMAXPROCS workers; the failure count is identical to a serial
+// run (use Toolchain.MeasureLogicalErrorRate to bound the pool).
 func MeasureLogicalErrorRate(d int, p float64, trials int, seed int64) (DecoderResult, error) {
 	l, err := decoder.NewLattice(d)
 	if err != nil {
@@ -434,6 +454,20 @@ func MeasureLogicalErrorRate(d int, p float64, trials int, seed int64) (DecoderR
 	}
 	mc := &decoder.MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(seed))}
 	return mc.Run(p, trials)
+}
+
+// MeasureLogicalErrorRateHistory runs the syndrome-history Monte Carlo
+// (§2.3 space-time decoding): rounds noisy measurement rounds with data
+// error rate p and measurement error rate q, decoded in a space-time
+// volume. Trials decode across GOMAXPROCS workers with a failure count
+// identical to a serial run.
+func MeasureLogicalErrorRateHistory(d, rounds int, p, q float64, trials int, seed int64) (DecoderResult, error) {
+	l, err := decoder.NewLattice(d)
+	if err != nil {
+		return DecoderResult{}, err
+	}
+	mc := &decoder.HistoryMonteCarlo{Lattice: l, Rounds: rounds, Rng: rand.New(rand.NewSource(seed))}
+	return mc.Run(p, q, trials)
 }
 
 // --- QASM interchange ---

@@ -3,8 +3,10 @@ package surfcomm
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"strings"
 
+	"surfcomm/internal/decoder"
 	"surfcomm/internal/resource"
 	"surfcomm/internal/scerr"
 	"surfcomm/internal/sweep"
@@ -18,7 +20,7 @@ import (
 // wide studies instead of waiting for the full grid.
 type Event struct {
 	// Stage names the pipeline stage: "characterize", "compile",
-	// "cost", "figure6", "curve", "boundary", or "epr".
+	// "cost", "figure6", "curve", "boundary", "epr", or "decoder".
 	Stage string
 	// Backend is the compiling backend's name (compile events only).
 	Backend string
@@ -334,6 +336,37 @@ func (tc *Toolchain) Boundary(ctx context.Context, models []AppModel, rates []fl
 		label = nil
 	}
 	return sweep.Boundary(ctx, tc.sweepOpts("boundary", label), models, rates)
+}
+
+// MeasureLogicalErrorRate runs the decoding Monte Carlo at the
+// toolchain's seed, decoding trials across the WithWorkers pool. The
+// failure count is bit-identical at any worker count (trial randomness
+// is drawn sequentially; only the decoding work is pooled).
+func (tc *Toolchain) MeasureLogicalErrorRate(ctx context.Context, d int, p float64, trials int) (DecoderResult, error) {
+	l, err := decoder.NewLattice(d)
+	if err != nil {
+		return DecoderResult{}, err
+	}
+	mc := &decoder.MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(tc.seed)), Workers: tc.workers}
+	res, err := mc.RunContext(ctx, p, trials)
+	if err != nil {
+		return DecoderResult{}, fmt.Errorf("toolchain: %w", err)
+	}
+	tc.emit(Event{Stage: "decoder", Cell: fmt.Sprintf("d=%d/p=%.2e", d, p), Total: 1})
+	return res, nil
+}
+
+// DecoderGrid runs the §2.3 error-model validation grid (distance ×
+// physical rate, Monte Carlo per cell) across the worker pool, with
+// per-cell seeds derived from the toolchain's seed.
+func (tc *Toolchain) DecoderGrid(ctx context.Context, distances []int, rates []float64, trials int) ([]SweepDecoderCell, error) {
+	var label func(int) string
+	if tc.progress != nil && len(rates) > 0 {
+		label = func(i int) string {
+			return fmt.Sprintf("d=%d/p=%.2e", distances[i/len(rates)], rates[i%len(rates)])
+		}
+	}
+	return sweep.DecoderGrid(ctx, tc.sweepOpts("decoder", label), distances, rates, trials)
 }
 
 // EPRStudy runs the §8.1 pipelined-EPR window study per suite

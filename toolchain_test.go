@@ -423,3 +423,42 @@ func TestToolchainRunPipeline(t *testing.T) {
 		}
 	}
 }
+
+// TestDecoderWorkerParity pins the decoder paths exposed through the
+// Toolchain: the Monte Carlo failure count and the full validation grid
+// must be bit-identical at every worker count (trial randomness is
+// drawn sequentially from the seed; only decoding work is pooled).
+func TestDecoderWorkerParity(t *testing.T) {
+	ctx := context.Background()
+	distances := []int{3, 5}
+	rates := []float64{0.03, 0.08}
+	var refResult surfcomm.DecoderResult
+	var refGrid []surfcomm.SweepDecoderCell
+	for i, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		tc, err := surfcomm.NewToolchain(surfcomm.WithWorkers(workers), surfcomm.WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tc.MeasureLogicalErrorRate(ctx, 5, 0.04, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := tc.DecoderGrid(ctx, distances, rates, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refResult, refGrid = r, grid
+			if r.Failures == 0 {
+				t.Error("expected some failures at d=5, p=0.04")
+			}
+			continue
+		}
+		if r != refResult {
+			t.Errorf("workers=%d: result %+v diverged from serial %+v", workers, r, refResult)
+		}
+		if !reflect.DeepEqual(grid, refGrid) {
+			t.Errorf("workers=%d: decoder grid diverged from serial run", workers)
+		}
+	}
+}
