@@ -47,6 +47,12 @@ type Target struct {
 	// Placement overrides the policy-selected qubit arrangement
 	// (braid and surgery backends).
 	Placement *Placement
+	// Device is the physical topology the machine is realized on (dead
+	// tiles, disabled links, per-link latency multipliers). Nil selects
+	// the perfect uniform grid; every backend on a perfect device is
+	// bit-identical to the pre-device pipeline. Routes impossible on a
+	// defective device fail with an error matching ErrUnroutable.
+	Device *Device
 }
 
 // withDefaults fills the paper's default target parameters.
@@ -88,6 +94,9 @@ type Plan struct {
 	Circuit  string // circuit name
 	Distance int
 	Seed     int64
+	// Device names the topology the plan was compiled on ("perfect",
+	// or preset(p=…,seed=…) for defective devices).
+	Device string
 
 	// Cycles is the end-to-end schedule length in EC cycles; Seconds
 	// converts it at the target technology's syndrome cycle time.
@@ -197,6 +206,7 @@ func braidCompile(ctx context.Context, c *Circuit, t *Target, surgery bool) (Pla
 		RecordSchedule: tt.RecordSchedule,
 		Placement:      tt.Placement,
 		Surgery:        surgery,
+		Device:         tt.Device,
 	})
 	if err != nil {
 		return Plan{}, err
@@ -206,6 +216,7 @@ func braidCompile(ctx context.Context, c *Circuit, t *Target, surgery bool) (Pla
 		Circuit:        c.Name,
 		Distance:       tt.Distance,
 		Seed:           tt.Seed,
+		Device:         tt.Device.String(),
 		Cycles:         res.ScheduleCycles,
 		Seconds:        float64(res.ScheduleCycles) * tt.Technology.SyndromeCycleTime(),
 		PhysicalQubits: float64(res.PhysicalQubits),
@@ -239,7 +250,7 @@ func (PlanarBackend) Compile(ctx context.Context, c *Circuit, t *Target) (Plan, 
 	if err != nil {
 		return Plan{}, err
 	}
-	tcfg := teleport.Config{Distance: tt.Distance, LinkBandwidth: tt.LinkBandwidth}
+	tcfg := teleport.Config{Distance: tt.Distance, LinkBandwidth: tt.LinkBandwidth, Device: tt.Device}
 	window := tt.Window
 	if window == JITWindowAuto {
 		window = teleport.JITWindow(sched, tcfg)
@@ -262,6 +273,7 @@ func (PlanarBackend) Compile(ctx context.Context, c *Circuit, t *Target) (Plan, 
 		Circuit:        c.Name,
 		Distance:       tt.Distance,
 		Seed:           tt.Seed,
+		Device:         tt.Device.String(),
 		Cycles:         epr.ScheduleCycles,
 		Seconds:        float64(epr.ScheduleCycles) * tt.Technology.SyndromeCycleTime(),
 		PhysicalQubits: tiles*float64(surface.PlanarTileQubits(tt.Distance)) + float64(epr.PeakLiveEPR),

@@ -32,6 +32,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"surfcomm"
@@ -46,13 +47,17 @@ func main() {
 	fig9 := flag.Bool("fig9", false, "Figure 9: crossover boundaries")
 	epr := flag.Bool("epr", false, "§8.1: EPR window sweep")
 	dec := flag.Bool("decoder", false, "§2.3: Monte Carlo error-model validation grid (opt-in)")
+	yield := flag.Bool("yield", false, "communication-yield study: braid compiles on defective devices (opt-in)")
+	defectFrac := flag.String("defect-frac", "", "comma-separated defect fractions for -yield (default 0,0.02,0.05)")
+	yieldApp := flag.String("yield-app", "GSE", "application for the -yield study")
+	clustered := flag.Bool("clustered", false, "use clustered defects instead of random yield for -yield")
 	pp := flag.Float64("pp", 1e-8, "physical error rate for -fig7/-fig8")
 	seed := flag.Int64("seed", 1, "characterization seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write per-cell results to this JSON file (e.g. BENCH_sweep.json)")
 	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
 	flag.Parse()
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec && !*yield
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -117,6 +122,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *yield {
+		fracs, err := parseFracs(*defectFrac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runYield(ctx, tc, surfcomm.SweepYieldOptions{
+			App:       *yieldApp,
+			Fractions: fracs,
+			Clustered: *clustered,
+			Distance:  9,
+		}, &records); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *jsonPath != "" {
 		if err := surfcomm.WriteSweepRecordsFile(*jsonPath, records); err != nil {
@@ -124,6 +143,46 @@ func main() {
 		}
 		log.Printf("wrote %d cells to %s", len(records), *jsonPath)
 	}
+}
+
+// parseFracs parses the -defect-frac list; empty selects the YieldGrid
+// defaults.
+func parseFracs(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -defect-frac %q: %v", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func runYield(ctx context.Context, tc *surfcomm.Toolchain, yopt surfcomm.SweepYieldOptions, records *[]surfcomm.SweepCellResult) error {
+	cells, err := tc.YieldGrid(ctx, yopt)
+	if err != nil {
+		return err
+	}
+	*records = append(*records, surfcomm.SweepYieldRecords(cells)...)
+	fmt.Println("\nCommunication yield: braid compiles on defective devices")
+	fmt.Println(strings.Repeat("-", 78))
+	fmt.Printf("%-8s %8s %6s %12s %8s %10s %12s\n",
+		"App", "p", "trial", "cycles", "ratio", "adaptive", "p_L(sched)")
+	for _, c := range cells {
+		if c.Unroutable {
+			fmt.Printf("%-8s %8g %6d %12s\n", c.App, c.DefectFrac, c.Trial, "unroutable")
+			continue
+		}
+		fmt.Printf("%-8s %8g %6d %12d %8.3f %10d %12.3e\n",
+			c.App, c.DefectFrac, c.Trial, c.Cycles, c.Ratio, c.Adaptive, c.LogicalRate)
+	}
+	fmt.Println("Defects stretch schedules (dimension-ordered routes detour via BFS) until")
+	fmt.Println("the fabric disconnects and compiles fail fast with ErrUnroutable.")
+	return nil
 }
 
 func runFig6(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm.SweepCellResult) error {

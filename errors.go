@@ -12,6 +12,7 @@ import "surfcomm/internal/scerr"
 //	case errors.Is(err, surfcomm.ErrCanceled):   // ctx canceled mid-compile
 //	case errors.Is(err, surfcomm.ErrBadConfig):  // invalid option/target
 //	case errors.Is(err, surfcomm.ErrUnknownModel): // unregistered app model
+//	case errors.Is(err, surfcomm.ErrUnroutable):   // impossible on the device
 //	}
 var (
 	// ErrCanceled reports a stage aborted by its context; it also
@@ -22,4 +23,9 @@ var (
 	// ErrUnknownModel reports a lookup of an application model or
 	// scaling law that is not registered.
 	ErrUnknownModel = scerr.ErrUnknownModel
+	// ErrUnroutable reports a braid, merge-chain, or EPR route (or a
+	// qubit placement) that is impossible on a defective device:
+	// endpoints dead or disconnected by missing links. Every backend
+	// returns it (wrapped with %w) instead of hanging or panicking.
+	ErrUnroutable = scerr.ErrUnroutable
 )

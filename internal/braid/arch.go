@@ -11,8 +11,10 @@ package braid
 import (
 	"fmt"
 
+	"surfcomm/internal/device"
 	"surfcomm/internal/layout"
 	"surfcomm/internal/mesh"
+	"surfcomm/internal/scerr"
 	"surfcomm/internal/surface"
 )
 
@@ -31,7 +33,25 @@ type Arch struct {
 	DataTiles          int
 	QubitTile          []layout.Coord // per logical qubit (physical grid coords)
 	FactoryTiles       []layout.Coord // factory ports, one tile each
+	// Topo is the realized device topology at junction-grid dims
+	// (TileRows+1 × TileCols+1); nil on a perfect device. NewMesh masks
+	// the channel mesh with it.
+	Topo *device.Topology
 }
+
+// archCols returns the physical tile-column count for a data grid of
+// cols columns (factory columns interspersed at the pitch).
+func archCols(cols int) int {
+	fcols := (cols + factoryColumnPitch - 1) / factoryColumnPitch
+	if fcols < 1 {
+		fcols = 1
+	}
+	return cols + fcols
+}
+
+// physicalCol maps a data-grid column to its physical column (shifted
+// right once per factory column inserted to its left).
+func physicalCol(c int) int { return c + c/factoryColumnPitch }
 
 // NewArch builds the floorplan for a placement of logical qubits. Data
 // columns keep their relative order; a factory column is inserted after
@@ -46,10 +66,7 @@ func NewArch(p *layout.Placement) (*Arch, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("braid: no qubits to place")
 	}
-	fcols := (p.Cols + factoryColumnPitch - 1) / factoryColumnPitch
-	if fcols < 1 {
-		fcols = 1
-	}
+	fcols := archCols(p.Cols) - p.Cols
 	a := &Arch{
 		TileRows:  p.Rows,
 		TileCols:  p.Cols + fcols,
@@ -59,7 +76,7 @@ func NewArch(p *layout.Placement) (*Arch, error) {
 	// Physical column of data column c: shifted right once per factory
 	// column already inserted to its left.
 	for q, c := range p.Pos {
-		a.QubitTile[q] = layout.Coord{Row: c.Row, Col: c.Col + c.Col/factoryColumnPitch}
+		a.QubitTile[q] = layout.Coord{Row: c.Row, Col: physicalCol(c.Col)}
 	}
 	// Factory columns sit after each group of factoryColumnPitch data
 	// columns: physical columns pitch, 2*pitch+1, ... one port per row.
@@ -72,6 +89,40 @@ func NewArch(p *layout.Placement) (*Arch, error) {
 			a.FactoryTiles = append(a.FactoryTiles, layout.Coord{Row: r, Col: col})
 		}
 	}
+	return a, nil
+}
+
+// NewArchOn builds the floorplan on a realized device topology (at the
+// junction dims the placement implies). Factory ports whose attachment
+// junction is dead are dropped from the floorplan; a placement that
+// lands a qubit on a dead junction fails with an error matching
+// scerr.ErrUnroutable. A nil or non-degraded topology selects NewArch
+// exactly.
+func NewArchOn(p *layout.Placement, topo *device.Topology) (*Arch, error) {
+	a, err := NewArch(p)
+	if err != nil {
+		return nil, err
+	}
+	if topo == nil || !topo.Degraded() {
+		return a, nil
+	}
+	if topo.Rows() != a.TileRows+1 || topo.Cols() != a.TileCols+1 {
+		return nil, fmt.Errorf("braid: topology dims %dx%d do not match junction grid %dx%d",
+			topo.Rows(), topo.Cols(), a.TileRows+1, a.TileCols+1)
+	}
+	a.Topo = topo
+	for q, c := range a.QubitTile {
+		if topo.TileDead(a.Junction(c)) {
+			return nil, scerr.Unroutable("braid: qubit %d placed on dead tile %v", q, c)
+		}
+	}
+	alive := a.FactoryTiles[:0]
+	for _, f := range a.FactoryTiles {
+		if !topo.TileDead(a.Junction(f)) {
+			alive = append(alive, f)
+		}
+	}
+	a.FactoryTiles = alive
 	return a, nil
 }
 
@@ -90,9 +141,16 @@ func (a *Arch) FactoryJunction(f int) mesh.Node {
 	return a.Junction(a.FactoryTiles[f])
 }
 
-// NewMesh returns an empty channel mesh spanning all tile corners.
+// NewMesh returns an empty channel mesh spanning all tile corners,
+// masked with the floorplan's device topology when one is attached.
 func (a *Arch) NewMesh() *mesh.Mesh {
-	return mesh.New(a.TileRows+1, a.TileCols+1)
+	m := mesh.New(a.TileRows+1, a.TileCols+1)
+	if a.Topo != nil {
+		if err := m.ApplyTopology(a.Topo); err != nil {
+			panic(fmt.Sprintf("braid: arch/topology invariant broken: %v", err))
+		}
+	}
+	return m
 }
 
 // TotalTiles returns the tile count of the floorplan (data + factory).

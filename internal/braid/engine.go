@@ -3,9 +3,11 @@ package braid
 import (
 	"context"
 	"fmt"
+	"math"
 	"slices"
 
 	"surfcomm/internal/circuit"
+	"surfcomm/internal/device"
 	"surfcomm/internal/layout"
 	"surfcomm/internal/mesh"
 	"surfcomm/internal/partition"
@@ -46,6 +48,12 @@ type Config struct {
 	// a full scan is forced whenever the network is idle). Zero
 	// selects 48.
 	MaxAttemptsPerRound int
+	// Device is the physical topology the machine is realized on: dead
+	// tiles are never placed or routed through, disabled links are
+	// excluded from routing, and link latency multipliers stretch braid
+	// stabilization. Nil (or device.Perfect()) selects the ideal uniform
+	// grid and keeps every path bit-identical to the pre-device engine.
+	Device *device.Device
 	// Surgery switches the engine to lattice-surgery timing (paper
 	// §8.2): a communicating op becomes a chain of patch merges and
 	// splits along its route, each hop stabilizing for d cycles, so
@@ -292,18 +300,29 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, p Policy, cfg Conf
 	if err != nil {
 		return Result{}, err
 	}
+	topo, view, err := realizeDevice(cfg.Device, c.NumQubits, cfg.Placement)
+	if err != nil {
+		return Result{}, err
+	}
 	place := cfg.Placement
 	if place == nil {
 		if p.OptimizedLayout() {
-			place, err = layout.Optimized(InteractionGraph(c), cfg.Seed)
-			if err != nil {
-				return Result{}, err
-			}
+			place, err = layout.OptimizedOn(InteractionGraph(c), cfg.Seed, view)
 		} else {
-			place = layout.RowMajor(c.NumQubits)
+			place, err = layout.RowMajorOn(c.NumQubits, view)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	} else if view != nil {
+		// A malformed placement (collision, out of bounds) is a caller
+		// bug, not a device property; dead-tile refusals are NewArchOn's
+		// job and classify as unroutable there.
+		if err := place.Validate(); err != nil {
+			return Result{}, fmt.Errorf("braid: %w", err)
 		}
 	}
-	arch, err := NewArch(place)
+	arch, err := NewArchOn(place, topo)
 	if err != nil {
 		return Result{}, err
 	}
@@ -318,6 +337,9 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, p Policy, cfg Conf
 		done:   ctx.Done(),
 	}
 	if err := e.buildOps(c); err != nil {
+		return Result{}, err
+	}
+	if err := e.checkRoutable(); err != nil {
 		return Result{}, err
 	}
 	if err := e.run(); err != nil {
@@ -353,6 +375,87 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, p Policy, cfg Conf
 		res.Arch = arch
 	}
 	return res, nil
+}
+
+// realizeDevice instantiates the device at the junction grid the
+// circuit's floorplan implies and builds the placement view of its
+// usable data tiles. The data grid grows beyond the ideal near-square
+// fit until enough tiles survive the defect map; a yield too low to
+// ever fit the circuit fails with an error matching scerr.ErrUnroutable.
+// Perfect (and nil) devices return (nil, nil): every caller stays on
+// the original ideal-grid path.
+func realizeDevice(dev *device.Device, qubits int, fixed *layout.Placement) (*device.Topology, *device.View, error) {
+	if dev.IsPerfect() {
+		return nil, nil, nil
+	}
+	rows, cols := layout.GridFor(qubits)
+	if fixed != nil {
+		// A caller-fixed placement pins the grid; no growth.
+		rows, cols = fixed.Rows, fixed.Cols
+	}
+	for {
+		topo := dev.Instance(rows+1, archCols(cols)+1)
+		// A data tile is usable iff its attachment junction survives.
+		// The View's all-pairs distance table is lazy, so building one
+		// per growth iteration costs only the aliveness scan.
+		view := device.NewView(rows, cols, func(c device.Coord) bool {
+			return !topo.TileDead(device.Coord{Row: c.Row, Col: physicalCol(c.Col)})
+		})
+		if view.AliveCount() >= qubits || fixed != nil {
+			if !topo.Degraded() {
+				return nil, nil, nil
+			}
+			return topo, view, nil
+		}
+		if rows*cols > 4*qubits+64 {
+			return nil, nil, scerr.Unroutable(
+				"braid: device yield too low: %d usable tiles on a %dx%d grid for %d qubits",
+				view.AliveCount(), rows, cols, qubits)
+		}
+		if cols <= rows {
+			cols++
+		} else {
+			rows++
+		}
+	}
+}
+
+// checkRoutable fails fast — with an error matching scerr.ErrUnroutable
+// — when any op's communication is impossible on the masked mesh even
+// when idle: braid endpoints in different connected components of the
+// defective fabric, or a magic destination cut off from every factory
+// port. On a perfect device it is a no-op.
+func (e *engine) checkRoutable() error {
+	if e.arch.Topo == nil {
+		return nil
+	}
+	comps := e.arch.Topo.Components()
+	jcols := e.arch.TileCols + 1
+	compOf := func(n mesh.Node) int32 { return comps[n.Row*jcols+n.Col] }
+	factoryComp := make(map[int32]bool, len(e.arch.FactoryTiles))
+	for f := range e.arch.FactoryTiles {
+		factoryComp[compOf(e.arch.FactoryJunction(f))] = true
+	}
+	for i := range e.ops {
+		o := &e.ops[i]
+		switch o.kind {
+		case opBraid:
+			ca, cb := compOf(e.arch.QubitJunction(o.qubits[0])), compOf(e.arch.QubitJunction(o.qubits[1]))
+			if ca < 0 || ca != cb {
+				return scerr.Unroutable("braid: op %d qubits %d and %d are disconnected on the device",
+					i, o.qubits[0], o.qubits[1])
+			}
+		case opMagic:
+			if len(e.arch.FactoryTiles) == 0 {
+				return scerr.Unroutable("braid: every factory port is dead on the device")
+			}
+			if cd := compOf(e.arch.QubitJunction(o.qubits[0])); cd < 0 || !factoryComp[cd] {
+				return scerr.Unroutable("braid: op %d qubit %d cannot reach any factory port on the device",
+					i, o.qubits[0])
+			}
+		}
+	}
+	return nil
 }
 
 func (e *engine) buildOps(c *circuit.Circuit) error {
@@ -391,7 +494,10 @@ func (e *engine) buildOps(c *circuit.Circuit) error {
 	e.heap = make(completionHeap, 0, 16+len(c.Gates)/4)
 	e.ready.events = make([]event, 0, 16+len(c.Gates)/8)
 	e.ready.spare = make([]event, 0, 16+len(c.Gates)/8)
-	if !e.cfg.LocalTOps && len(e.arch.FactoryTiles) == 0 {
+	if !e.cfg.LocalTOps && len(e.arch.FactoryTiles) == 0 && e.arch.Topo == nil {
+		// On a degraded device dead factory ports only matter when the
+		// circuit actually braids magic states in — checkRoutable
+		// reports those per op with ErrUnroutable.
 		return fmt.Errorf("braid: magic traffic enabled but no factories provisioned")
 	}
 	return nil
@@ -427,9 +533,16 @@ func (e *engine) phaseLatencyHops(hops int) int64 {
 	return int64(e.cfg.Distance) + 1
 }
 
-// phaseLatency is the phase latency of a routed path.
+// phaseLatency is the phase latency of a routed path. On a weighted
+// device the slowest link along the route stretches the whole phase —
+// the stabilization rounds are paced by the worst channel the braid
+// (or merge chain) occupies. Perfect devices multiply by 1 exactly.
 func (e *engine) phaseLatency(p mesh.Path) int64 {
-	return e.phaseLatencyHops(len(p) - 1)
+	lat := e.phaseLatencyHops(len(p) - 1)
+	if w := e.net.PathMaxWeight(p); w > 1 {
+		lat = int64(math.Ceil(float64(lat) * w))
+	}
+	return lat
 }
 
 func (e *engine) tileIndex(c layout.Coord) int { return c.Row*e.arch.TileCols + c.Col }
@@ -466,6 +579,13 @@ func (e *engine) run() error {
 					detail = fmt.Sprintf("head op %d kind=%d phase=%d opPhase=%d qubits=%v factory=%d tileBusy=%v factBusy=%v factFree=%v",
 						h.opIndex, o.kind, h.phase, o.phase, o.qubits, o.factory,
 						e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[0]])], e.factoryBusy, e.factoryFreeAt)
+				}
+				if e.net.Masked() {
+					// The routability precheck passed, so this should be
+					// unreachable — but on a defective device a stall must
+					// surface as unroutable, never as a hang or panic.
+					return scerr.Unroutable("braid: no progress at t=%d with %d ops pending on masked mesh (%s)",
+						e.now, len(e.ops)-e.doneCount, detail)
 				}
 				return fmt.Errorf("braid: no progress at t=%d with %d ops pending, %d ready, idle network (%s)",
 					e.now, len(e.ops)-e.doneCount, e.ready.Len(), detail)
@@ -779,16 +899,24 @@ func (e *engine) placeClose(ev *event, o *op, src, dst mesh.Node) bool {
 }
 
 // route escalates from dimension-ordered to adaptive search once the
-// event has been blocked past the adaptivity timeout (paper §6.1). The
-// candidate path is built in a pooled buffer: a successful route keeps
-// it until the braid phase releases, a failed attempt returns it — so
-// routing allocates nothing once the pool has warmed up.
+// event has been blocked past the adaptivity timeout (paper §6.1). On a
+// device-masked mesh the escalation is immediate when the dimension-
+// ordered path crosses a dead junction or disabled link: that
+// obstruction is permanent, so waiting out the congestion timeout would
+// only stall (or deadlock) the schedule. The candidate path is built in
+// a pooled buffer: a successful route keeps it until the braid phase
+// releases, a failed attempt returns it — so routing allocates nothing
+// once the pool has warmed up.
 func (e *engine) route(ev *event, src, dst mesh.Node) (mesh.Path, bool) {
 	p := mesh.XYPathInto(e.getPath(), src, dst)
 	if e.net.PathFree(p) {
 		return p, true
 	}
-	if e.now-ev.readySince >= e.cfg.AdaptTimeout {
+	escalate := e.now-ev.readySince >= e.cfg.AdaptTimeout
+	if !escalate && e.net.Masked() && e.net.PathBlockedByMask(p) {
+		escalate = true
+	}
+	if escalate {
 		p = mesh.YXPathInto(p, src, dst)
 		if e.net.PathFree(p) {
 			return p, true

@@ -11,26 +11,18 @@ import (
 	"fmt"
 	"math"
 
+	"surfcomm/internal/device"
 	"surfcomm/internal/partition"
+	"surfcomm/internal/scerr"
 )
 
-// Coord is a tile position on the grid (row-major).
-type Coord struct {
-	Row, Col int
-}
+// Coord is a tile position on the grid (row-major). It is the shared
+// grid coordinate of the device layer, so tiles, mesh junctions, and
+// teleport regions interconvert without copying.
+type Coord = device.Coord
 
 // ManhattanDistance returns the L1 distance between coordinates.
-func ManhattanDistance(a, b Coord) int {
-	dr := a.Row - b.Row
-	if dr < 0 {
-		dr = -dr
-	}
-	dc := a.Col - b.Col
-	if dc < 0 {
-		dc = -dc
-	}
-	return dr + dc
-}
+func ManhattanDistance(a, b Coord) int { return device.Manhattan(a, b) }
 
 // Placement maps logical qubits to distinct grid coordinates.
 type Placement struct {
@@ -208,6 +200,196 @@ func placeRecursive(g *partition.Graph, vertices []int, r region, p *Placement, 
 		return err
 	}
 	return placeRecursive(g, partB, rB, p, seed+2)
+}
+
+// --- Device-aware placement ---
+//
+// On a defective device the placement grid has unusable tiles and the
+// cost of separating two interacting qubits is no longer their raw
+// Manhattan distance (routes detour around defects). The *On variants
+// below take a device.View — which tiles are alive and the hop distance
+// between them — refuse dead tiles, and optimize against device-aware
+// distances. A nil view selects the original ideal-grid paths, which
+// stay bit-identical.
+
+// RowMajorOn places qubit i at the i-th usable tile in row-major order
+// — the naive baseline on a defective device. It fails with an error
+// matching scerr.ErrUnroutable when the view has fewer usable tiles
+// than qubits. A nil view is the ideal grid.
+func RowMajorOn(n int, v *device.View) (*Placement, error) {
+	if v == nil {
+		return RowMajor(n), nil
+	}
+	if v.AliveCount() < n {
+		return nil, scerr.Unroutable("layout: %d qubits need %d usable tiles, device has %d",
+			n, n, v.AliveCount())
+	}
+	p := &Placement{Rows: v.Rows(), Cols: v.Cols(), Pos: make([]Coord, n)}
+	q := 0
+	for r := 0; r < v.Rows() && q < n; r++ {
+		for c := 0; c < v.Cols() && q < n; c++ {
+			if v.Alive(Coord{Row: r, Col: c}) {
+				p.Pos[q] = Coord{Row: r, Col: c}
+				q++
+			}
+		}
+	}
+	return p, nil
+}
+
+// ValidateOn checks Validate plus that no qubit sits on a dead tile.
+func (p *Placement) ValidateOn(v *device.View) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if v == nil {
+		return nil
+	}
+	for q, c := range p.Pos {
+		if !v.Alive(c) {
+			return fmt.Errorf("layout: qubit %d placed on dead tile %v", q, c)
+		}
+	}
+	return nil
+}
+
+// DistanceOn returns the device-aware tile distance between two qubits
+// (Manhattan when the view is nil).
+func (p *Placement) DistanceOn(a, b int, v *device.View) int {
+	if v == nil {
+		return p.Distance(a, b)
+	}
+	return v.Distance(p.Pos[a], p.Pos[b])
+}
+
+// WeightedDistanceOn is WeightedDistance under device-aware distances.
+func WeightedDistanceOn(g *partition.Graph, p *Placement, v *device.View) int {
+	if v == nil {
+		return WeightedDistance(g, p)
+	}
+	total := 0
+	n := g.NumVertices()
+	for a := 0; a < n; a++ {
+		for _, b := range g.Neighbors(a) {
+			if a < b {
+				total += g.EdgeWeight(a, b) * v.Distance(p.Pos[a], p.Pos[b])
+			}
+		}
+	}
+	return total
+}
+
+// OptimizedOn is Optimized against a device view: recursive bisection
+// over the usable tiles only, costed with device-aware distances, with
+// the device-aware row-major placement kept as the never-worse-than-
+// naive candidate. A nil view selects the original Optimized exactly.
+func OptimizedOn(g *partition.Graph, seed int64, v *device.View) (*Placement, error) {
+	if v == nil {
+		return Optimized(g, seed)
+	}
+	n := g.NumVertices()
+	best, err := RowMajorOn(n, v)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return best, nil
+	}
+	bestCost := WeightedDistanceOn(g, best, v)
+	for trial := 0; trial < 3; trial++ {
+		p, err := bisectionPlacementOn(g, seed+int64(trial)*101, v)
+		if err != nil {
+			return nil, err
+		}
+		if cost := WeightedDistanceOn(g, p, v); cost < bestCost {
+			best, bestCost = p, cost
+		}
+	}
+	return best, nil
+}
+
+// bisectionPlacementOn runs one recursive-bisection pass over the
+// usable tiles of the view.
+func bisectionPlacementOn(g *partition.Graph, seed int64, v *device.View) (*Placement, error) {
+	n := g.NumVertices()
+	p := &Placement{Rows: v.Rows(), Cols: v.Cols(), Pos: make([]Coord, n)}
+	vertices := make([]int, n)
+	for i := range vertices {
+		vertices[i] = i
+	}
+	r := region{row: 0, col: 0, rows: v.Rows(), cols: v.Cols()}
+	if err := placeRecursiveOn(g, vertices, r, p, seed, v); err != nil {
+		return nil, err
+	}
+	if err := p.ValidateOn(v); err != nil {
+		return nil, fmt.Errorf("layout: internal error: %w", err)
+	}
+	return p, nil
+}
+
+// capacityOn counts the region's usable tiles.
+func (r region) capacityOn(v *device.View) int {
+	n := 0
+	for i := 0; i < r.rows; i++ {
+		for j := 0; j < r.cols; j++ {
+			if v.Alive(Coord{Row: r.row + i, Col: r.col + j}) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// cellsOn lists the region's usable tiles row-major.
+func (r region) cellsOn(v *device.View) []Coord {
+	out := make([]Coord, 0, r.capacity())
+	for i := 0; i < r.rows; i++ {
+		for j := 0; j < r.cols; j++ {
+			if c := (Coord{Row: r.row + i, Col: r.col + j}); v.Alive(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// placeRecursiveOn is placeRecursive with region capacities counted
+// over usable tiles only, so qubits never land on dead ones.
+func placeRecursiveOn(g *partition.Graph, vertices []int, r region, p *Placement, seed int64, v *device.View) error {
+	capacity := r.capacityOn(v)
+	if len(vertices) > capacity {
+		return fmt.Errorf("layout: %d vertices exceed usable region capacity %d", len(vertices), capacity)
+	}
+	if len(vertices) == 0 {
+		return nil
+	}
+	if len(vertices) <= 2 || capacity <= 2 {
+		cells := r.cellsOn(v)
+		for i, vtx := range vertices {
+			p.Pos[vtx] = cells[i]
+		}
+		return nil
+	}
+	rA, rB := r.split()
+	sub, mapping, err := g.InducedSubgraph(vertices)
+	if err != nil {
+		return err
+	}
+	side, _ := partition.Bisect(sub, partition.Options{Seed: seed})
+	fitSides(sub, side, rA.capacityOn(v), rB.capacityOn(v))
+	zero, one := partition.SideVertices(side)
+	partA := make([]int, len(zero))
+	for i, vtx := range zero {
+		partA[i] = mapping[vtx]
+	}
+	partB := make([]int, len(one))
+	for i, vtx := range one {
+		partB[i] = mapping[vtx]
+	}
+	if err := placeRecursiveOn(g, partA, rA, p, seed+1, v); err != nil {
+		return err
+	}
+	return placeRecursiveOn(g, partB, rB, p, seed+2, v)
 }
 
 // fitSides enforces |side 0| ≤ capA and |side 1| ≤ capB by moving the

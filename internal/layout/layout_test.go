@@ -24,13 +24,13 @@ func interactionGraph(t *testing.T, c *circuit.Circuit) *partition.Graph {
 }
 
 func TestManhattanDistance(t *testing.T) {
-	if got := ManhattanDistance(Coord{0, 0}, Coord{3, 4}); got != 7 {
+	if got := ManhattanDistance(Coord{Row: 0, Col: 0}, Coord{Row: 3, Col: 4}); got != 7 {
 		t.Errorf("distance = %d, want 7", got)
 	}
-	if got := ManhattanDistance(Coord{5, 2}, Coord{1, 6}); got != 8 {
+	if got := ManhattanDistance(Coord{Row: 5, Col: 2}, Coord{Row: 1, Col: 6}); got != 8 {
 		t.Errorf("distance = %d, want 8", got)
 	}
-	if got := ManhattanDistance(Coord{2, 2}, Coord{2, 2}); got != 0 {
+	if got := ManhattanDistance(Coord{Row: 2, Col: 2}, Coord{Row: 2, Col: 2}); got != 0 {
 		t.Errorf("self distance = %d, want 0", got)
 	}
 }
@@ -73,11 +73,11 @@ func TestRowMajorAdjacent(t *testing.T) {
 }
 
 func TestValidateCatchesCollision(t *testing.T) {
-	p := &Placement{Rows: 2, Cols: 2, Pos: []Coord{{0, 0}, {0, 0}}}
+	p := &Placement{Rows: 2, Cols: 2, Pos: []Coord{{Row: 0, Col: 0}, {Row: 0, Col: 0}}}
 	if err := p.Validate(); err == nil {
 		t.Error("shared tile should fail validation")
 	}
-	p = &Placement{Rows: 2, Cols: 2, Pos: []Coord{{0, 0}, {5, 0}}}
+	p = &Placement{Rows: 2, Cols: 2, Pos: []Coord{{Row: 0, Col: 0}, {Row: 5, Col: 0}}}
 	if err := p.Validate(); err == nil {
 		t.Error("out-of-bounds tile should fail validation")
 	}

@@ -11,12 +11,16 @@
 // the braid package.
 package mesh
 
-import "fmt"
+import (
+	"fmt"
 
-// Node is a junction at a tile corner.
-type Node struct {
-	Row, Col int
-}
+	"surfcomm/internal/device"
+)
+
+// Node is a junction at a tile corner. It is the shared grid coordinate
+// of the device layer, so junctions, tiles, and regions interconvert
+// without copying.
+type Node = device.Coord
 
 // Link is an undirected channel segment between two adjacent junctions,
 // stored in normalized order (A before B row-major).
@@ -33,30 +37,10 @@ func NewLink(a, b Node) Link {
 }
 
 // adjacent reports whether two junctions are one channel segment apart.
-func adjacent(a, b Node) bool {
-	dr := a.Row - b.Row
-	if dr < 0 {
-		dr = -dr
-	}
-	dc := a.Col - b.Col
-	if dc < 0 {
-		dc = -dc
-	}
-	return dr+dc == 1
-}
+func adjacent(a, b Node) bool { return device.Adjacent(a, b) }
 
 // Manhattan returns the junction-grid L1 distance.
-func Manhattan(a, b Node) int {
-	dr := a.Row - b.Row
-	if dr < 0 {
-		dr = -dr
-	}
-	dc := a.Col - b.Col
-	if dc < 0 {
-		dc = -dc
-	}
-	return dr + dc
-}
+func Manhattan(a, b Node) int { return device.Manhattan(a, b) }
 
 // Path is a junction sequence; consecutive entries must be adjacent and
 // no junction may repeat.
@@ -109,6 +93,17 @@ type Mesh struct {
 	linkOwnerV []int // vertical links: (r,c)-(r+1,c), (rows-1)×cols
 	busyLinks  int
 
+	// Device mask (inactive on a perfect device): dead junctions and
+	// disabled links are permanently unusable, independent of the
+	// reservation state. The mask is one bool test per resource on the
+	// hot path, so the perfect-device fast path stays allocation-free
+	// and bit-identical.
+	masked   bool
+	topo     *device.Topology
+	deadNode []bool
+	maskH    []bool
+	maskV    []bool
+
 	// Route/validation scratch, grown once on first use. visitedAt is
 	// stamp-based so clearing between searches is O(1): a node is
 	// visited iff visitedAt[i] == stamp.
@@ -155,16 +150,140 @@ func (m *Mesh) InBounds(n Node) bool {
 
 func (m *Mesh) nodeIndex(n Node) int { return n.Row*m.cols + n.Col }
 
+// linkIndex resolves a link to its storage slot; ok=false if the link
+// is outside the mesh.
+func (m *Mesh) linkIndex(l Link) (horizontal bool, idx int, ok bool) {
+	if !m.InBounds(l.A) || !m.InBounds(l.B) || !adjacent(l.A, l.B) {
+		return false, 0, false
+	}
+	if l.A.Row == l.B.Row {
+		return true, l.A.Row*(m.cols-1) + min(l.A.Col, l.B.Col), true
+	}
+	return false, min(l.A.Row, l.B.Row)*m.cols + l.A.Col, true
+}
+
 // linkOwner returns a pointer to the owner slot of a link, or nil if the
 // link is outside the mesh.
 func (m *Mesh) linkOwner(l Link) *int {
-	if !m.InBounds(l.A) || !m.InBounds(l.B) || !adjacent(l.A, l.B) {
+	h, i, ok := m.linkIndex(l)
+	if !ok {
 		return nil
 	}
-	if l.A.Row == l.B.Row { // horizontal
-		return &m.linkOwnerH[l.A.Row*(m.cols-1)+min(l.A.Col, l.B.Col)]
+	if h {
+		return &m.linkOwnerH[i]
 	}
-	return &m.linkOwnerV[min(l.A.Row, l.B.Row)*m.cols+l.A.Col]
+	return &m.linkOwnerV[i]
+}
+
+// linkMasked reports whether a link is disabled by the device mask.
+func (m *Mesh) linkMasked(l Link) bool {
+	if !m.masked {
+		return false
+	}
+	h, i, ok := m.linkIndex(l)
+	if !ok {
+		return false
+	}
+	if h {
+		return m.maskH[i]
+	}
+	return m.maskV[i]
+}
+
+// ApplyTopology masks the mesh with a device topology at junction dims:
+// dead cells become unusable junctions, disabled links unusable
+// channels. The topology is retained for link-weight queries. Applying
+// a perfect (non-degraded) topology leaves the mesh unmasked, so the
+// ideal-grid behavior is bit-identical.
+func (m *Mesh) ApplyTopology(t *device.Topology) error {
+	if t == nil {
+		// Nil means perfect everywhere in the device layer: drop any
+		// previously applied mask.
+		m.masked = false
+		m.topo = nil
+		m.deadNode, m.maskH, m.maskV = nil, nil, nil
+		return nil
+	}
+	if t.Rows() != m.rows || t.Cols() != m.cols {
+		return fmt.Errorf("mesh: topology dims %dx%d do not match junction grid %dx%d",
+			t.Rows(), t.Cols(), m.rows, m.cols)
+	}
+	if !t.Degraded() {
+		// Clear any previously applied mask: the mesh is now perfect.
+		m.masked = false
+		m.topo = nil
+		m.deadNode, m.maskH, m.maskV = nil, nil, nil
+		return nil
+	}
+	m.masked = true
+	m.topo = t
+	m.deadNode = make([]bool, m.rows*m.cols)
+	m.maskH = make([]bool, len(m.linkOwnerH))
+	m.maskV = make([]bool, len(m.linkOwnerV))
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			n := Node{Row: r, Col: c}
+			if t.TileDead(n) {
+				m.deadNode[m.nodeIndex(n)] = true
+			}
+			if c+1 < m.cols && t.LinkDisabled(n, Node{Row: r, Col: c + 1}) {
+				m.maskH[r*(m.cols-1)+c] = true
+			}
+			if r+1 < m.rows && t.LinkDisabled(n, Node{Row: r + 1, Col: c}) {
+				m.maskV[r*m.cols+c] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Masked reports whether a device mask is active.
+func (m *Mesh) Masked() bool { return m.masked }
+
+// NodeMasked reports whether the junction is disabled by the device
+// mask (out-of-bounds junctions count as masked).
+func (m *Mesh) NodeMasked(n Node) bool {
+	if !m.masked {
+		return false
+	}
+	if !m.InBounds(n) {
+		return true
+	}
+	return m.deadNode[m.nodeIndex(n)]
+}
+
+// PathBlockedByMask reports whether the path crosses a masked junction
+// or link — a permanent obstruction, as opposed to a transient
+// reservation. The braid router uses it to escalate straight to the BFS
+// fallback instead of waiting out the congestion timeout.
+func (m *Mesh) PathBlockedByMask(p Path) bool {
+	if !m.masked {
+		return false
+	}
+	for i, n := range p {
+		if m.NodeMasked(n) {
+			return true
+		}
+		if i > 0 && m.linkMasked(NewLink(p[i-1], n)) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathMaxWeight returns the largest device link-latency multiplier
+// along the path (1 on a perfect device).
+func (m *Mesh) PathMaxWeight(p Path) float64 {
+	if m.topo == nil {
+		return 1
+	}
+	w := 1.0
+	for i := 1; i < len(p); i++ {
+		if lw := m.topo.LinkWeight(p[i-1], p[i]); lw > w {
+			w = lw
+		}
+	}
+	return w
 }
 
 // NodeOwner returns the claim owner of a junction (Free if unclaimed).
@@ -192,8 +311,15 @@ func (m *Mesh) PathFree(p Path) bool {
 		if !m.InBounds(n) || m.nodeOwner[m.nodeIndex(n)] != Free {
 			return false
 		}
+		if m.masked && m.deadNode[m.nodeIndex(n)] {
+			return false
+		}
 		if i > 0 {
-			if o := m.linkOwner(NewLink(p[i-1], n)); o == nil || *o != Free {
+			l := NewLink(p[i-1], n)
+			if o := m.linkOwner(l); o == nil || *o != Free {
+				return false
+			}
+			if m.linkMasked(l) {
 				return false
 			}
 		}
@@ -219,14 +345,15 @@ func (m *Mesh) checkPath(p Path) error {
 			return fmt.Errorf("mesh: path revisits junction %v", n)
 		}
 		m.visitedAt[ni] = m.stamp
-		if m.nodeOwner[ni] != Free {
+		if m.nodeOwner[ni] != Free || (m.masked && m.deadNode[ni]) {
 			return fmt.Errorf("mesh: path not free")
 		}
 		if i > 0 {
 			if !adjacent(p[i-1], n) {
 				return fmt.Errorf("mesh: path jump %v -> %v", p[i-1], n)
 			}
-			if *m.linkOwner(NewLink(p[i-1], n)) != Free {
+			l := NewLink(p[i-1], n)
+			if *m.linkOwner(l) != Free || m.linkMasked(l) {
 				return fmt.Errorf("mesh: path not free")
 			}
 		}

@@ -7,66 +7,66 @@ import (
 )
 
 func TestNewLinkNormalizes(t *testing.T) {
-	a, b := Node{1, 2}, Node{1, 3}
+	a, b := Node{Row: 1, Col: 2}, Node{Row: 1, Col: 3}
 	if NewLink(a, b) != NewLink(b, a) {
 		t.Error("link normalization should make order irrelevant")
 	}
-	v1, v2 := Node{2, 1}, Node{3, 1}
+	v1, v2 := Node{Row: 2, Col: 1}, Node{Row: 3, Col: 1}
 	if NewLink(v2, v1).A != v1 {
 		t.Error("vertical link should normalize to smaller row first")
 	}
 }
 
 func TestPathValidate(t *testing.T) {
-	good := Path{{0, 0}, {0, 1}, {1, 1}}
+	good := Path{{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 1}}
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid path rejected: %v", err)
 	}
-	jump := Path{{0, 0}, {0, 2}}
+	jump := Path{{Row: 0, Col: 0}, {Row: 0, Col: 2}}
 	if err := jump.Validate(); err == nil {
 		t.Error("non-adjacent step should fail")
 	}
-	revisit := Path{{0, 0}, {0, 1}, {0, 0}}
+	revisit := Path{{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 0, Col: 0}}
 	if err := revisit.Validate(); err == nil {
 		t.Error("revisit should fail")
 	}
 	if err := (Path{}).Validate(); err == nil {
 		t.Error("empty path should fail")
 	}
-	single := Path{{0, 0}}
+	single := Path{{Row: 0, Col: 0}}
 	if err := single.Validate(); err != nil {
 		t.Errorf("single-junction path should be valid: %v", err)
 	}
 }
 
 func TestPathLinks(t *testing.T) {
-	p := Path{{0, 0}, {0, 1}, {1, 1}}
+	p := Path{{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 1}}
 	links := p.Links()
 	if len(links) != 2 {
 		t.Fatalf("links = %d, want 2", len(links))
 	}
-	if links[0] != NewLink(Node{0, 0}, Node{0, 1}) {
+	if links[0] != NewLink(Node{Row: 0, Col: 0}, Node{Row: 0, Col: 1}) {
 		t.Errorf("first link = %v", links[0])
 	}
-	if (Path{{0, 0}}).Links() != nil {
+	if (Path{{Row: 0, Col: 0}}).Links() != nil {
 		t.Error("single-node path has no links")
 	}
 }
 
 func TestReserveRelease(t *testing.T) {
 	m := New(4, 4)
-	p := XYPath(Node{0, 0}, Node{2, 3})
+	p := XYPath(Node{Row: 0, Col: 0}, Node{Row: 2, Col: 3})
 	if err := m.Reserve(p, 7); err != nil {
 		t.Fatal(err)
 	}
-	if m.NodeOwner(Node{0, 0}) != 7 {
+	if m.NodeOwner(Node{Row: 0, Col: 0}) != 7 {
 		t.Error("endpoint not owned after reserve")
 	}
 	if m.BusyLinks() != len(p.Links()) {
 		t.Errorf("busy links = %d, want %d", m.BusyLinks(), len(p.Links()))
 	}
 	// Conflicting reservation must fail atomically.
-	q := XYPath(Node{2, 0}, Node{0, 3}) // crosses p
+	q := XYPath(Node{Row: 2, Col: 0}, Node{Row: 0, Col: 3}) // crosses p
 	if err := m.Reserve(q, 8); err == nil {
 		t.Fatal("crossing reservation should fail")
 	}
@@ -89,21 +89,21 @@ func TestReserveRelease(t *testing.T) {
 
 func TestReserveRejectsBadOwner(t *testing.T) {
 	m := New(2, 2)
-	if err := m.Reserve(Path{{0, 0}}, -1); err == nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 0}}, -1); err == nil {
 		t.Error("negative owner should be rejected")
 	}
 }
 
 func TestReleaseWrongOwnerFails(t *testing.T) {
 	m := New(3, 3)
-	p := XYPath(Node{0, 0}, Node{0, 2})
+	p := XYPath(Node{Row: 0, Col: 0}, Node{Row: 0, Col: 2})
 	if err := m.Reserve(p, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Release(p, 2); err == nil {
 		t.Error("release by non-owner should fail")
 	}
-	if err := m.Release(XYPath(Node{2, 0}, Node{2, 2}), 1); err == nil {
+	if err := m.Release(XYPath(Node{Row: 2, Col: 0}, Node{Row: 2, Col: 2}), 1); err == nil {
 		t.Error("release of unclaimed path should fail")
 	}
 }
@@ -111,17 +111,17 @@ func TestReleaseWrongOwnerFails(t *testing.T) {
 func TestTwoBraidsCannotShareJunction(t *testing.T) {
 	m := New(3, 3)
 	// Path 1 passes through (1,1).
-	if err := m.Reserve(Path{{1, 0}, {1, 1}}, 1); err != nil {
+	if err := m.Reserve(Path{{Row: 1, Col: 0}, {Row: 1, Col: 1}}, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Path 2 would bend at (1,1) without sharing a link: still illegal.
-	if err := m.Reserve(Path{{0, 1}, {1, 1}, {2, 1}}, 2); err == nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 1}, {Row: 1, Col: 1}, {Row: 2, Col: 1}}, 2); err == nil {
 		t.Error("junction sharing should be rejected (braids cannot cross)")
 	}
 }
 
 func TestXYPathShape(t *testing.T) {
-	p := XYPath(Node{0, 0}, Node{2, 3})
+	p := XYPath(Node{Row: 0, Col: 0}, Node{Row: 2, Col: 3})
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -129,26 +129,26 @@ func TestXYPathShape(t *testing.T) {
 		t.Errorf("XY path length = %d, want 6 (manhattan+1)", len(p))
 	}
 	// Horizontal leg first.
-	if p[1] != (Node{0, 1}) {
+	if p[1] != (Node{Row: 0, Col: 1}) {
 		t.Errorf("XY second hop = %v, want {0,1}", p[1])
 	}
-	if p[len(p)-1] != (Node{2, 3}) {
+	if p[len(p)-1] != (Node{Row: 2, Col: 3}) {
 		t.Error("XY path must end at destination")
 	}
 }
 
 func TestYXPathShape(t *testing.T) {
-	p := YXPath(Node{0, 0}, Node{2, 3})
+	p := YXPath(Node{Row: 0, Col: 0}, Node{Row: 2, Col: 3})
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if p[1] != (Node{1, 0}) {
+	if p[1] != (Node{Row: 1, Col: 0}) {
 		t.Errorf("YX second hop = %v, want {1,0}", p[1])
 	}
 }
 
 func TestPathsToSelf(t *testing.T) {
-	for _, p := range []Path{XYPath(Node{1, 1}, Node{1, 1}), YXPath(Node{1, 1}, Node{1, 1})} {
+	for _, p := range []Path{XYPath(Node{Row: 1, Col: 1}, Node{Row: 1, Col: 1}), YXPath(Node{Row: 1, Col: 1}, Node{Row: 1, Col: 1})} {
 		if len(p) != 1 {
 			t.Errorf("self path length = %d, want 1", len(p))
 		}
@@ -158,10 +158,10 @@ func TestPathsToSelf(t *testing.T) {
 func TestAdaptiveRouteFindsDetour(t *testing.T) {
 	m := New(4, 4)
 	// Wall across the middle rows at column 1, leaving row 3 open.
-	if err := m.Reserve(Path{{0, 1}, {1, 1}, {2, 1}}, 1); err != nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 1}, {Row: 1, Col: 1}, {Row: 2, Col: 1}}, 1); err != nil {
 		t.Fatal(err)
 	}
-	p, ok := m.AdaptiveRoute(Node{0, 0}, Node{0, 3})
+	p, ok := m.AdaptiveRoute(Node{Row: 0, Col: 0}, Node{Row: 0, Col: 3})
 	if !ok {
 		t.Fatal("detour should exist via row 3")
 	}
@@ -171,18 +171,18 @@ func TestAdaptiveRouteFindsDetour(t *testing.T) {
 	if !m.PathFree(p) {
 		t.Error("adaptive route must avoid reserved resources")
 	}
-	if p[0] != (Node{0, 0}) || p[len(p)-1] != (Node{0, 3}) {
+	if p[0] != (Node{Row: 0, Col: 0}) || p[len(p)-1] != (Node{Row: 0, Col: 3}) {
 		t.Error("route endpoints wrong")
 	}
 }
 
 func TestAdaptiveRouteShortestWhenFree(t *testing.T) {
 	m := New(5, 5)
-	p, ok := m.AdaptiveRoute(Node{1, 1}, Node{3, 4})
+	p, ok := m.AdaptiveRoute(Node{Row: 1, Col: 1}, Node{Row: 3, Col: 4})
 	if !ok {
 		t.Fatal("route should exist on empty mesh")
 	}
-	if len(p) != Manhattan(Node{1, 1}, Node{3, 4})+1 {
+	if len(p) != Manhattan(Node{Row: 1, Col: 1}, Node{Row: 3, Col: 4})+1 {
 		t.Errorf("free-mesh adaptive route should be shortest: len %d", len(p))
 	}
 }
@@ -190,20 +190,20 @@ func TestAdaptiveRouteShortestWhenFree(t *testing.T) {
 func TestAdaptiveRouteFailsWhenBlocked(t *testing.T) {
 	m := New(3, 3)
 	// Full wall down column 1.
-	if err := m.Reserve(Path{{0, 1}, {1, 1}, {2, 1}}, 1); err != nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 1}, {Row: 1, Col: 1}, {Row: 2, Col: 1}}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := m.AdaptiveRoute(Node{1, 0}, Node{1, 2}); ok {
+	if _, ok := m.AdaptiveRoute(Node{Row: 1, Col: 0}, Node{Row: 1, Col: 2}); ok {
 		t.Error("no route should exist through a full wall")
 	}
 }
 
 func TestAdaptiveRouteBusyEndpoint(t *testing.T) {
 	m := New(3, 3)
-	if err := m.Reserve(Path{{0, 0}}, 1); err != nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 0}}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := m.AdaptiveRoute(Node{0, 0}, Node{2, 2}); ok {
+	if _, ok := m.AdaptiveRoute(Node{Row: 0, Col: 0}, Node{Row: 2, Col: 2}); ok {
 		t.Error("busy source should not route")
 	}
 }
@@ -216,7 +216,7 @@ func TestUtilization(t *testing.T) {
 	if m.Utilization() != 0 {
 		t.Error("fresh mesh should be idle")
 	}
-	if err := m.Reserve(Path{{0, 0}, {0, 1}, {0, 2}}, 3); err != nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 0, Col: 2}}, 3); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.Utilization(); got != 2.0/12.0 {
@@ -231,8 +231,8 @@ func TestMeshQuick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		rows, cols := 2+rng.Intn(6), 2+rng.Intn(6)
 		m := New(rows, cols)
-		a := Node{rng.Intn(rows), rng.Intn(cols)}
-		b := Node{rng.Intn(rows), rng.Intn(cols)}
+		a := Node{Row: rng.Intn(rows), Col: rng.Intn(cols)}
+		b := Node{Row: rng.Intn(rows), Col: rng.Intn(cols)}
 		xy, yx := XYPath(a, b), YXPath(a, b)
 		if xy.Validate() != nil || yx.Validate() != nil {
 			return false
@@ -251,7 +251,7 @@ func TestMeshQuick(t *testing.T) {
 		}
 		for r := 0; r < rows; r++ {
 			for c := 0; c < cols; c++ {
-				if m.NodeOwner(Node{r, c}) != Free {
+				if m.NodeOwner(Node{Row: r, Col: c}) != Free {
 					return false
 				}
 			}

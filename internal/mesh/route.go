@@ -2,7 +2,12 @@ package mesh
 
 // Routing for braid paths (paper §6.1): dimension-ordered routes are
 // tried first; when the network is congested the engine escalates to an
-// adaptive shortest-path search over currently-free resources.
+// adaptive shortest-path search over currently-free resources. On a
+// device-masked mesh (ApplyTopology) the same stamp-scratch BFS doubles
+// as the defect fallback: dead junctions and disabled links are never
+// entered, and the engine escalates to it immediately when a
+// dimension-ordered path is blocked by the mask rather than by
+// congestion (PathBlockedByMask).
 //
 // Every routine has an Into form that writes the route into a
 // caller-supplied buffer (reusing its capacity) so the braid engine's
@@ -87,6 +92,9 @@ func (m *Mesh) AdaptiveRouteInto(dst Path, a, b Node) (Path, bool) {
 	if m.NodeOwner(a) != Free || m.NodeOwner(b) != Free {
 		return dst, false
 	}
+	if m.masked && (m.deadNode[m.nodeIndex(a)] || m.deadNode[m.nodeIndex(b)]) {
+		return dst, false
+	}
 	if a == b {
 		return append(dst, a), true
 	}
@@ -108,10 +116,11 @@ func (m *Mesh) AdaptiveRouteInto(dst Path, a, b Node) (Path, bool) {
 			if m.visitedAt[ni] == m.stamp {
 				continue
 			}
-			if m.nodeOwner[ni] != Free {
+			if m.nodeOwner[ni] != Free || (m.masked && m.deadNode[ni]) {
 				continue
 			}
-			if *m.linkOwner(NewLink(cur, next)) != Free {
+			l := NewLink(cur, next)
+			if *m.linkOwner(l) != Free || m.linkMasked(l) {
 				continue
 			}
 			m.visitedAt[ni] = m.stamp

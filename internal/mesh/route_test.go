@@ -11,28 +11,28 @@ import (
 
 func TestAdaptiveRouteBlockedDestination(t *testing.T) {
 	m := New(3, 3)
-	if err := m.Reserve(Path{{2, 2}}, 1); err != nil {
+	if err := m.Reserve(Path{{Row: 2, Col: 2}}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := m.AdaptiveRoute(Node{0, 0}, Node{2, 2}); ok {
+	if _, ok := m.AdaptiveRoute(Node{Row: 0, Col: 0}, Node{Row: 2, Col: 2}); ok {
 		t.Error("busy destination should not route")
 	}
 }
 
 func TestAdaptiveRouteOutOfBounds(t *testing.T) {
 	m := New(3, 3)
-	if _, ok := m.AdaptiveRoute(Node{-1, 0}, Node{2, 2}); ok {
+	if _, ok := m.AdaptiveRoute(Node{Row: -1, Col: 0}, Node{Row: 2, Col: 2}); ok {
 		t.Error("out-of-bounds source should not route")
 	}
-	if _, ok := m.AdaptiveRoute(Node{0, 0}, Node{3, 0}); ok {
+	if _, ok := m.AdaptiveRoute(Node{Row: 0, Col: 0}, Node{Row: 3, Col: 0}); ok {
 		t.Error("out-of-bounds destination should not route")
 	}
 }
 
 func TestAdaptiveRouteSelf(t *testing.T) {
 	m := New(2, 2)
-	p, ok := m.AdaptiveRoute(Node{1, 1}, Node{1, 1})
-	if !ok || len(p) != 1 || p[0] != (Node{1, 1}) {
+	p, ok := m.AdaptiveRoute(Node{Row: 1, Col: 1}, Node{Row: 1, Col: 1})
+	if !ok || len(p) != 1 || p[0] != (Node{Row: 1, Col: 1}) {
 		t.Errorf("self route = %v ok=%v, want single-junction path", p, ok)
 	}
 }
@@ -41,14 +41,14 @@ func TestAdaptiveRouteNoCorridorMesh(t *testing.T) {
 	// A 1×n strip: reserving any interior junction splits the mesh into
 	// halves with no corridor between them.
 	m := New(1, 5)
-	if err := m.Reserve(Path{{0, 2}}, 1); err != nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 2}}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := m.AdaptiveRoute(Node{0, 0}, Node{0, 4}); ok {
+	if _, ok := m.AdaptiveRoute(Node{Row: 0, Col: 0}, Node{Row: 0, Col: 4}); ok {
 		t.Error("severed strip should not route")
 	}
 	// Endpoints on the same side still route.
-	if _, ok := m.AdaptiveRoute(Node{0, 0}, Node{0, 1}); !ok {
+	if _, ok := m.AdaptiveRoute(Node{Row: 0, Col: 0}, Node{Row: 0, Col: 1}); !ok {
 		t.Error("same-side route should exist")
 	}
 }
@@ -60,22 +60,22 @@ func TestAdaptiveRouteBlockedLinkOnly(t *testing.T) {
 	// free-junction/busy-link combination: reserve a path, release it,
 	// and re-reserve a sub-path so stale scratch state would be visible.
 	m := New(2, 2)
-	wall := Path{{0, 0}, {0, 1}}
+	wall := Path{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
 	if err := m.Reserve(wall, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Release(wall, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Reserve(Path{{0, 1}}, 2); err != nil {
+	if err := m.Reserve(Path{{Row: 0, Col: 1}}, 2); err != nil {
 		t.Fatal(err)
 	}
-	p, ok := m.AdaptiveRoute(Node{0, 0}, Node{1, 1})
+	p, ok := m.AdaptiveRoute(Node{Row: 0, Col: 0}, Node{Row: 1, Col: 1})
 	if !ok {
 		t.Fatal("detour via (1,0) should exist")
 	}
 	for _, n := range p {
-		if n == (Node{0, 1}) {
+		if n == (Node{Row: 0, Col: 1}) {
 			t.Error("route crossed a claimed junction")
 		}
 	}
@@ -98,8 +98,8 @@ func TestAdaptiveRouteScratchReuse(t *testing.T) {
 			}
 			held = append(held[:i], held[i+1:]...)
 		} else {
-			a := Node{rng.Intn(6), rng.Intn(6)}
-			b := Node{rng.Intn(6), rng.Intn(6)}
+			a := Node{Row: rng.Intn(6), Col: rng.Intn(6)}
+			b := Node{Row: rng.Intn(6), Col: rng.Intn(6)}
 			p := XYPath(a, b)
 			if m.PathFree(p) {
 				if err := m.Reserve(p, 7); err != nil {
@@ -109,8 +109,8 @@ func TestAdaptiveRouteScratchReuse(t *testing.T) {
 			}
 		}
 		// Probe: adaptive route on the reused mesh vs a pristine clone.
-		src := Node{rng.Intn(6), rng.Intn(6)}
-		dst := Node{rng.Intn(6), rng.Intn(6)}
+		src := Node{Row: rng.Intn(6), Col: rng.Intn(6)}
+		dst := Node{Row: rng.Intn(6), Col: rng.Intn(6)}
 		got, gotOK := m.AdaptiveRoute(src, dst)
 		fresh := New(6, 6)
 		for _, p := range held {
@@ -140,8 +140,8 @@ func TestPathIntoVariantsMatchPlain(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	buf := make(Path, 0, 4) // deliberately small: must grow correctly
 	for i := 0; i < 50; i++ {
-		a := Node{rng.Intn(7), rng.Intn(7)}
-		b := Node{rng.Intn(7), rng.Intn(7)}
+		a := Node{Row: rng.Intn(7), Col: rng.Intn(7)}
+		b := Node{Row: rng.Intn(7), Col: rng.Intn(7)}
 		buf = XYPathInto(buf, a, b)
 		if want := XYPath(a, b); !pathsEqual(buf, want) {
 			t.Fatalf("XYPathInto %v->%v = %v, want %v", a, b, buf, want)
@@ -170,22 +170,22 @@ func pathsEqual(a, b Path) bool {
 // cycle must not allocate.
 func TestRoutingHotPathAllocationFree(t *testing.T) {
 	m := New(8, 8)
-	wall := Path{{0, 3}, {1, 3}, {2, 3}, {3, 3}, {4, 3}, {5, 3}}
+	wall := Path{{Row: 0, Col: 3}, {Row: 1, Col: 3}, {Row: 2, Col: 3}, {Row: 3, Col: 3}, {Row: 4, Col: 3}, {Row: 5, Col: 3}}
 	if err := m.Reserve(wall, 1); err != nil {
 		t.Fatal(err)
 	}
 	dst := make(Path, 0, 64)
 	xy := make(Path, 0, 64)
 	// Warm the scratch.
-	if _, ok := m.AdaptiveRouteInto(dst, Node{2, 0}, Node{2, 7}); !ok {
+	if _, ok := m.AdaptiveRouteInto(dst, Node{Row: 2, Col: 0}, Node{Row: 2, Col: 7}); !ok {
 		t.Fatal("detour should exist under the wall")
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		xy = XYPathInto(xy, Node{2, 0}, Node{2, 7})
+		xy = XYPathInto(xy, Node{Row: 2, Col: 0}, Node{Row: 2, Col: 7})
 		if m.PathFree(xy) {
 			t.Fatal("direct path should be blocked by the wall")
 		}
-		p, ok := m.AdaptiveRouteInto(dst, Node{2, 0}, Node{2, 7})
+		p, ok := m.AdaptiveRouteInto(dst, Node{Row: 2, Col: 0}, Node{Row: 2, Col: 7})
 		if !ok {
 			t.Fatal("adaptive route vanished")
 		}

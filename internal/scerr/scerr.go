@@ -19,6 +19,11 @@ var (
 	// ErrUnknownModel reports a lookup of an application model or
 	// scaling law that is not registered.
 	ErrUnknownModel = errors.New("surfcomm: unknown model")
+	// ErrUnroutable reports a communication route (or a placement) that
+	// is impossible on the target device: endpoints dead or in different
+	// connected components of the defective fabric. Compiles fail fast
+	// with this instead of hanging or panicking.
+	ErrUnroutable = errors.New("surfcomm: unroutable on device")
 )
 
 // Canceled wraps the context's cause so the result matches both
@@ -36,4 +41,10 @@ func BadConfig(format string, args ...any) error {
 // UnknownModel builds a lookup error that matches ErrUnknownModel.
 func UnknownModel(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUnknownModel, fmt.Sprintf(format, args...))
+}
+
+// Unroutable builds a routing-impossible error that matches
+// ErrUnroutable.
+func Unroutable(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnroutable, fmt.Sprintf(format, args...))
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"surfcomm/internal/device"
 	"surfcomm/internal/teleport"
 	"surfcomm/internal/toolflow"
 )
@@ -20,6 +21,11 @@ type CellResult struct {
 	Cell    string             `json:"cell"`
 	Seed    int64              `json:"seed"`
 	Metrics map[string]float64 `json:"metrics"`
+	// Device names the topology the cell ran on (preset + defect
+	// fraction + realization seed), so records from different
+	// topologies are distinguishable. It serializes last: pre-device
+	// records gain a byte-compatible `"device": "perfect"` suffix.
+	Device string `json:"device"`
 }
 
 // WriteRecords serializes cells as indented JSON. Encoding is stable:
@@ -50,9 +56,10 @@ func ModelRecords(seed int64, models []toolflow.AppModel) []CellResult {
 	out := make([]CellResult, 0, len(models))
 	for _, m := range models {
 		out = append(out, CellResult{
-			Study: "characterization",
-			Cell:  m.Name,
-			Seed:  seed,
+			Study:  "characterization",
+			Device: device.PresetPerfect,
+			Cell:   m.Name,
+			Seed:   seed,
 			Metrics: map[string]float64{
 				"parallelism":       m.Parallelism,
 				"sched_parallelism": m.SchedParallelism,
@@ -69,9 +76,10 @@ func CurveRecords(study, app string, physicalError float64, seed int64, pts []to
 	out := make([]CellResult, 0, len(pts))
 	for _, dp := range pts {
 		out = append(out, CellResult{
-			Study: study,
-			Cell:  fmt.Sprintf("%s/K=%.1e/pp=%.0e", app, dp.TotalOps, physicalError),
-			Seed:  seed,
+			Study:  study,
+			Device: device.PresetPerfect,
+			Cell:   fmt.Sprintf("%s/K=%.1e/pp=%.0e", app, dp.TotalOps, physicalError),
+			Seed:   seed,
 			Metrics: map[string]float64{
 				"distance":         float64(dp.Distance),
 				"planar_seconds":   dp.PlanarSeconds,
@@ -98,6 +106,7 @@ func BoundaryRecords(seed int64, models []toolflow.AppModel, boundaries [][]tool
 			}
 			out = append(out, CellResult{
 				Study:   "figure9",
+				Device:  device.PresetPerfect,
 				Cell:    fmt.Sprintf("%s/pp=%.1e", m.Name, pt.PhysicalError),
 				Seed:    seed,
 				Metrics: map[string]float64{"crossover_k": k},
@@ -121,9 +130,10 @@ func EPRRecords(seed int64, cells []EPRCell) []CellResult {
 	for _, c := range cells {
 		for _, r := range c.Rows {
 			out = append(out, CellResult{
-				Study: "epr",
-				Cell:  fmt.Sprintf("%s/window=%s", c.Name, EPRWindowLabel(r.WindowCycles)),
-				Seed:  seed,
+				Study:  "epr",
+				Device: device.PresetPerfect,
+				Cell:   fmt.Sprintf("%s/window=%s", c.Name, EPRWindowLabel(r.WindowCycles)),
+				Seed:   seed,
 				Metrics: map[string]float64{
 					"peak_live_epr":    float64(r.PeakLiveEPR),
 					"stall_cycles":     float64(r.StallCycles),
@@ -141,13 +151,42 @@ func DecoderRecords(cells []DecoderCell) []CellResult {
 	out := make([]CellResult, 0, len(cells))
 	for _, c := range cells {
 		out = append(out, CellResult{
-			Study: "decoder",
-			Cell:  fmt.Sprintf("d=%d/p=%.2e", c.Distance, c.PhysicalRate),
-			Seed:  c.Seed,
+			Study:  "decoder",
+			Device: device.PresetPerfect,
+			Cell:   fmt.Sprintf("d=%d/p=%.2e", c.Distance, c.PhysicalRate),
+			Seed:   c.Seed,
 			Metrics: map[string]float64{
 				"failures":     float64(c.Failures),
 				"logical_rate": c.LogicalRate,
 				"trials":       float64(c.Trials),
+			},
+		})
+	}
+	return out
+}
+
+// YieldRecords converts a yield study to cell results; each record
+// names the realized device it compiled on and carries the cell's own
+// derived realization seed.
+func YieldRecords(cells []YieldCell) []CellResult {
+	out := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		unroutable := 0.0
+		if c.Unroutable {
+			unroutable = 1
+		}
+		out = append(out, CellResult{
+			Study:  "yield",
+			Device: c.Device,
+			Cell:   fmt.Sprintf("%s/p=%g/trial%d", c.App, c.DefectFrac, c.Trial),
+			Seed:   c.Seed,
+			Metrics: map[string]float64{
+				"cycles":       float64(c.Cycles),
+				"ratio":        c.Ratio,
+				"adaptive":     float64(c.Adaptive),
+				"tiles":        float64(c.Tiles),
+				"logical_rate": c.LogicalRate,
+				"unroutable":   unroutable,
 			},
 		})
 	}
@@ -159,9 +198,10 @@ func Figure6Records(seed int64, cells []Figure6Cell) []CellResult {
 	out := make([]CellResult, 0, len(cells))
 	for _, c := range cells {
 		out = append(out, CellResult{
-			Study: "figure6",
-			Cell:  fmt.Sprintf("%s/policy%d", c.App, c.Policy),
-			Seed:  seed,
+			Study:  "figure6",
+			Device: device.PresetPerfect,
+			Cell:   fmt.Sprintf("%s/policy%d", c.App, c.Policy),
+			Seed:   seed,
 			Metrics: map[string]float64{
 				"ratio":  c.Ratio,
 				"util":   c.Util,

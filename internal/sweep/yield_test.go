@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestYieldGridWorkerParity asserts the yield grid — cells, derived
+// device seeds, and serialized records — is bit-identical at any worker
+// count.
+func TestYieldGridWorkerParity(t *testing.T) {
+	yopt := YieldOptions{Distance: 5, Fractions: []float64{0, 0.03}, Trials: 2}
+	serial, err := YieldGrid(context.Background(), Options{Workers: 1, Seed: 1}, yopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := YieldGrid(context.Background(), Options{Workers: 4, Seed: 1}, yopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel yield grid differs from serial:\n%+v\nvs\n%+v", serial, parallel)
+	}
+	var a, b bytes.Buffer
+	if err := WriteRecords(&a, YieldRecords(serial)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecords(&b, YieldRecords(parallel)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialized yield records differ between worker counts")
+	}
+}
+
+// TestYieldGridSeedsAndDevices pins the per-cell identity rules: seeds
+// derive from base seed + index, device strings name the realization,
+// and the zero-fraction cells match the perfect-device baseline.
+func TestYieldGridSeedsAndDevices(t *testing.T) {
+	cells, err := YieldGrid(context.Background(), Options{Workers: 2, Seed: 10},
+		YieldOptions{Distance: 5, Fractions: []float64{0, 0.02}, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for i, c := range cells {
+		if c.Seed != 10+int64(i) {
+			t.Errorf("cell %d seed %d, want %d", i, c.Seed, 10+int64(i))
+		}
+		if c.Device == "" {
+			t.Errorf("cell %d has empty device string", i)
+		}
+	}
+	// Zero-defect realizations are the perfect grid: both trials agree.
+	if cells[0].Cycles != cells[1].Cycles || cells[0].Ratio != cells[1].Ratio {
+		t.Errorf("zero-fraction trials differ: %+v vs %+v", cells[0], cells[1])
+	}
+	// Records carry the device string through.
+	recs := YieldRecords(cells)
+	for i, r := range recs {
+		if r.Device != cells[i].Device {
+			t.Errorf("record %d device %q != cell %q", i, r.Device, cells[i].Device)
+		}
+		if r.Study != "yield" {
+			t.Errorf("record %d study %q", i, r.Study)
+		}
+	}
+}
+
+// TestNonYieldRecordsPerfectDevice asserts every pre-device record
+// constructor stamps the appended device field with "perfect".
+func TestNonYieldRecordsPerfectDevice(t *testing.T) {
+	recs := DecoderRecords([]DecoderCell{{Distance: 3, PhysicalRate: 0.05, Trials: 10, Seed: 4}})
+	if len(recs) != 1 || recs[0].Device != "perfect" {
+		t.Fatalf("decoder record device = %+v, want perfect", recs)
+	}
+}

@@ -16,8 +16,10 @@ package teleport
 
 import (
 	"context"
+	"math"
 	"slices"
 
+	"surfcomm/internal/device"
 	"surfcomm/internal/layout"
 	"surfcomm/internal/scerr"
 	"surfcomm/internal/simd"
@@ -35,6 +37,14 @@ type Config struct {
 	// channel is a multi-lane swap corridor (the teleport buffers of
 	// Fig. 3a); zero selects 4 lanes.
 	LinkBandwidth int
+	// Device is the physical topology of the region grid: EPR halves
+	// never cross disabled links or dead regions (they detour along
+	// precomputed next-hop routes) and weighted links stretch their hop
+	// time. Nil (or device.Perfect()) is the ideal grid, bit-identical
+	// to the pre-device simulator. A schedule whose endpoints are cut
+	// off from the EPR factory fails with an error matching
+	// scerr.ErrUnroutable.
+	Device *device.Device
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +164,21 @@ type Distributor struct {
 	maxArrival []int64 // per timestep: latest pair arrival
 	starts     []int64 // per timestep: actual start cycle
 	deltas     []delta
+
+	// Device realization, cached per (device, geometry, hop). All nil /
+	// zero on a perfect device, which keeps the ideal-grid XY staircase
+	// bit-identical. On a degraded device, halves follow precomputed
+	// per-destination next-hop tables around dead regions and disabled
+	// links, and hopW prices each directed link's weighted hop time.
+	dev     *device.Device
+	devRows int
+	devCols int
+	devHop  int64
+	topo    *device.Topology
+	comps   []int32
+	nextHop []int8  // [dest*nodes + node] -> direction 0..3 (-1 unreachable)
+	hopW    []int64 // [node*4 + dir] -> hop cycles across that link
+	maxHop  int64   // slowest weighted hop (sizes the ring calendar)
 }
 
 // geometryFor returns the cached geometry, rebuilding it only when the
@@ -169,6 +194,140 @@ func (d *Distributor) geometryFor(regions int) geometry {
 // NewDistributor returns an empty Distributor; scratch grows on first
 // use and is retained across runs.
 func NewDistributor() *Distributor { return &Distributor{} }
+
+// dirDelta advances a coordinate along a directed-link slot (the
+// stepTowardDir convention: 0 Col+, 1 Col−, 2 Row+, 3 Row−).
+func dirDelta(c layout.Coord, dir int8) layout.Coord {
+	switch dir {
+	case 0:
+		c.Col++
+	case 1:
+		c.Col--
+	case 2:
+		c.Row++
+	default:
+		c.Row--
+	}
+	return c
+}
+
+// ensureDevice realizes the config's device on the geometry grid,
+// rebuilding the cached routing tables only when the device, grid, or
+// hop time changed. Perfect devices clear the tables: every hot-path
+// branch then takes the ideal-grid side.
+func (d *Distributor) ensureDevice(geo geometry, cfg Config) {
+	hop := cfg.HopCycles()
+	if d.dev == cfg.Device && d.devRows == geo.rows && d.devCols == geo.cols && d.devHop == hop {
+		return
+	}
+	d.dev, d.devRows, d.devCols, d.devHop = cfg.Device, geo.rows, geo.cols, hop
+	d.topo, d.comps, d.nextHop, d.hopW = nil, nil, nil, nil
+	d.maxHop = hop
+	if cfg.Device.IsPerfect() {
+		return
+	}
+	topo := cfg.Device.Instance(geo.rows, geo.cols)
+	if !topo.Degraded() {
+		return
+	}
+	d.topo = topo
+	d.comps = topo.Components()
+	nodes := geo.rows * geo.cols
+	d.hopW = make([]int64, nodes*4)
+	for r := 0; r < geo.rows; r++ {
+		for c := 0; c < geo.cols; c++ {
+			cur := layout.Coord{Row: r, Col: c}
+			for dir := int8(0); dir < 4; dir++ {
+				nb := dirDelta(cur, dir)
+				h := hop
+				if topo.InBounds(nb) {
+					if w := topo.LinkWeight(cur, nb); w > 1 {
+						h = int64(math.Ceil(float64(hop) * w))
+					}
+				}
+				d.hopW[(r*geo.cols+c)*4+int(dir)] = h
+				if h > d.maxHop {
+					d.maxHop = h
+				}
+			}
+		}
+	}
+	// Next-hop tables: one BFS per destination over alive regions and
+	// enabled links, each node keeping the first feasible direction in
+	// slot order — deterministic routes, no per-half search at runtime.
+	d.nextHop = make([]int8, nodes*nodes)
+	dist := make([]int32, nodes)
+	queue := make([]int32, 0, nodes)
+	for dst := 0; dst < nodes; dst++ {
+		row := d.nextHop[dst*nodes : (dst+1)*nodes]
+		for i := range row {
+			row[i] = -1
+		}
+		dc := layout.Coord{Row: dst / geo.cols, Col: dst % geo.cols}
+		if topo.TileDead(dc) {
+			continue
+		}
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], int32(dst))
+		for head := 0; head < len(queue); head++ {
+			ci := int(queue[head])
+			cur := layout.Coord{Row: ci / geo.cols, Col: ci % geo.cols}
+			for dir := int8(0); dir < 4; dir++ {
+				nb := dirDelta(cur, dir)
+				if !topo.InBounds(nb) || topo.TileDead(nb) || topo.LinkDisabled(cur, nb) {
+					continue
+				}
+				ni := nb.Row*geo.cols + nb.Col
+				if dist[ni] >= 0 {
+					continue
+				}
+				dist[ni] = dist[ci] + 1
+				queue = append(queue, int32(ni))
+			}
+		}
+		for n := 0; n < nodes; n++ {
+			if n == dst || dist[n] <= 0 {
+				continue
+			}
+			cur := layout.Coord{Row: n / geo.cols, Col: n % geo.cols}
+			for dir := int8(0); dir < 4; dir++ {
+				nb := dirDelta(cur, dir)
+				if !topo.InBounds(nb) || topo.TileDead(nb) || topo.LinkDisabled(cur, nb) {
+					continue
+				}
+				if dist[nb.Row*geo.cols+nb.Col] == dist[n]-1 {
+					row[n] = dir
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkRoutable fails with an error matching scerr.ErrUnroutable when
+// any move endpoint (or the EPR factory itself) is dead or cut off on
+// the degraded region grid.
+func (d *Distributor) checkRoutable(geo geometry, s *simd.Schedule) error {
+	eprIdx := geo.nodeIndex(geo.epr)
+	if d.topo.TileDead(geo.epr) {
+		return scerr.Unroutable("teleport: EPR factory region %v is dead on the device", geo.epr)
+	}
+	eprComp := d.comps[eprIdx]
+	for m, mv := range s.Moves {
+		for _, c := range [2]layout.Coord{geo.coordOf(mv.From), geo.coordOf(mv.To)} {
+			if d.topo.TileDead(c) {
+				return scerr.Unroutable("teleport: move %d endpoint region %v is dead on the device", m, c)
+			}
+			if d.comps[geo.nodeIndex(c)] != eprComp {
+				return scerr.Unroutable("teleport: move %d endpoint region %v is disconnected from the EPR factory", m, c)
+			}
+		}
+	}
+	return nil
+}
 
 // Distribute replays the schedule's move list with the given look-ahead
 // window (in EC cycles): each pair launches at
@@ -200,6 +359,12 @@ func (d *Distributor) DistributeContext(ctx context.Context, s *simd.Schedule, w
 		return Result{}, scerr.BadConfig("teleport: schedule has no regions")
 	}
 	geo := d.geometryFor(s.Config.Regions)
+	d.ensureDevice(geo, cfg)
+	if d.topo != nil {
+		if err := d.checkRoutable(geo, s); err != nil {
+			return Result{}, err
+		}
+	}
 	res := Result{
 		WindowCycles: window,
 		BaseCycles:   int64(s.Timesteps) * cfg.StepCycles(),
@@ -253,9 +418,10 @@ func (d *Distributor) DistributeContext(ctx context.Context, s *simd.Schedule, w
 
 	// Cycle-driven propagation with per-link bandwidth. The pending map
 	// of old is a ring calendar: movement delays are only +1 (blocked
-	// retry) and +hop, so hop+1 buckets cover every in-flight half.
+	// retry) and at most the slowest weighted hop, so maxHop+1 buckets
+	// cover every in-flight half (maxHop == hop on a perfect device).
 	hop := cfg.HopCycles()
-	ringSize := int(hop) + 1
+	ringSize := int(d.maxHop) + 1
 	if cap(d.ring) < ringSize {
 		d.ring = make([][]int32, ringSize)
 	}
@@ -322,7 +488,17 @@ func (d *Distributor) DistributeContext(ctx context.Context, s *simd.Schedule, w
 				inFlight--
 				continue
 			}
-			next, dir := stepTowardDir(h.pos, h.dest)
+			var next layout.Coord
+			var dir int
+			if d.nextHop == nil {
+				next, dir = stepTowardDir(h.pos, h.dest)
+			} else {
+				// Defect-aware: follow the precomputed next hop toward
+				// the destination (routability was prechecked).
+				nodes := geo.rows * geo.cols
+				dir = int(d.nextHop[geo.nodeIndex(h.dest)*nodes+geo.nodeIndex(h.pos)])
+				next = dirDelta(h.pos, int8(dir))
+			}
 			u := &d.links[geo.nodeIndex(h.pos)*4+dir]
 			if u.cycle != cycle {
 				u.cycle = cycle
@@ -335,8 +511,12 @@ func (d *Distributor) DistributeContext(ctx context.Context, s *simd.Schedule, w
 				continue
 			}
 			u.used++
+			hopT := hop
+			if d.hopW != nil {
+				hopT = d.hopW[geo.nodeIndex(h.pos)*4+dir]
+			}
 			h.pos = next
-			rs := (cycle + hop) % int64(ringSize)
+			rs := (cycle + hopT) % int64(ringSize)
 			d.ring[rs] = append(d.ring[rs], hi)
 		}
 		d.ring[slot] = bucket[:0]

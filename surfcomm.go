@@ -32,6 +32,7 @@ import (
 	"surfcomm/internal/braid"
 	"surfcomm/internal/circuit"
 	"surfcomm/internal/decoder"
+	"surfcomm/internal/device"
 	"surfcomm/internal/layout"
 	"surfcomm/internal/resource"
 	"surfcomm/internal/simd"
@@ -326,6 +327,14 @@ type SweepDecoderCell = sweep.DecoderCell
 // magic-state ablation, schedule recording, app filter).
 type SweepFigure6Options = sweep.Figure6Options
 
+// SweepYieldCell is one braid compile on one realized defective device
+// (a defect-fraction × trial point of the yield study).
+type SweepYieldCell = sweep.YieldCell
+
+// SweepYieldOptions selects the yield-study grid (distance, app,
+// defect fractions, trials per fraction, clustered vs. random defects).
+type SweepYieldOptions = sweep.YieldOptions
+
 // SweepModels characterizes the reference suite across a worker pool;
 // results are deterministic and identical to ReferenceModels at any
 // worker count.
@@ -416,10 +425,56 @@ func SweepFigure6Records(seed int64, cells []SweepFigure6Cell) []SweepCellResult
 	return sweep.Figure6Records(seed, cells)
 }
 
+// SweepYieldRecords converts a yield study to cell results; each
+// record names the realized device it compiled on.
+func SweepYieldRecords(cells []SweepYieldCell) []SweepCellResult {
+	return sweep.YieldRecords(cells)
+}
+
 // SweepEPRWindowLabel names a window row the way the §8.1 tables print
 // it.
 func SweepEPRWindowLabel(windowCycles int64) string {
 	return sweep.EPRWindowLabel(windowCycles)
+}
+
+// --- Device topology ---
+
+// Device is a named, seeded physical-topology spec: which tiles of the
+// fabric are dead, which links are disabled, and how much slower each
+// surviving link is. Backends realize it deterministically at their own
+// grid dims, so defective-device results are reproducible. A nil
+// *Device (the default) is the perfect uniform grid.
+type Device = device.Device
+
+// DeviceTopology is one realized defect map (dead tiles, disabled and
+// weighted links) at concrete grid dims.
+type DeviceTopology = device.Topology
+
+// Coord is the shared grid coordinate of tiles, junctions, and regions
+// (used by Placement and by CustomDevice builders).
+type Coord = device.Coord
+
+// PerfectDevice returns the ideal uniform device: every backend on it
+// is bit-identical to the pre-device pipeline.
+func PerfectDevice() *Device { return device.Perfect() }
+
+// RandomYieldDevice returns a device where each tile and link is
+// independently defective with probability frac (and a same-sized
+// fraction of surviving links runs at twice the ideal latency).
+func RandomYieldDevice(frac float64, seed int64) *Device { return device.RandomYield(frac, seed) }
+
+// ClusteredDefectsDevice returns a device whose dead tiles clump into
+// contiguous patches — the spatially correlated fabrication-defect
+// model.
+func ClusteredDefectsDevice(frac float64, seed int64) *Device {
+	return device.ClusteredDefects(frac, seed)
+}
+
+// CustomDevice returns a device realized by an arbitrary builder,
+// called on a fresh perfect topology at the grid dims each backend
+// requests.
+func CustomDevice(name string, seed int64, build func(*DeviceTopology, *rand.Rand)) *Device {
+	return device.Custom(name, seed, build)
 }
 
 // --- Layout ---

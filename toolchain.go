@@ -83,6 +83,18 @@ func WithWorkers(n int) ToolchainOption {
 	}
 }
 
+// WithDevice selects the physical device topology every backend
+// compiles onto (default the perfect uniform grid). Defective devices
+// make impossible routes fail with errors matching ErrUnroutable; a
+// PerfectDevice (or nil) keeps every result bit-identical to the
+// ideal-grid pipeline.
+func WithDevice(d *Device) ToolchainOption {
+	return func(tc *Toolchain) error {
+		tc.device = d
+		return nil
+	}
+}
+
 // WithSeed sets the base seed for layout, partitioning, and
 // characterization (default 1). The seed is part of every result's
 // identity: equal seeds reproduce byte-identical schedules and records.
@@ -121,6 +133,7 @@ type Toolchain struct {
 	policy   BraidPolicy
 	workers  int
 	seed     int64
+	device   *Device
 	progress func(Event)
 }
 
@@ -150,6 +163,7 @@ func (tc *Toolchain) Target() Target {
 		Policy:     tc.policy,
 		Seed:       tc.seed,
 		Window:     JITWindowAuto,
+		Device:     tc.device,
 	}
 }
 
@@ -367,6 +381,20 @@ func (tc *Toolchain) DecoderGrid(ctx context.Context, distances []int, rates []f
 		}
 	}
 	return sweep.DecoderGrid(ctx, tc.sweepOpts("decoder", label), distances, rates, trials)
+}
+
+// YieldGrid runs the communication-yield study: the braid backend
+// compiled across a grid of defective devices (defect fraction ×
+// independent realizations), reporting schedule latency and logical
+// error rate per cell. Per-cell device seeds derive deterministically
+// from the toolchain's seed, so records are bit-identical at any
+// worker count; unroutable realizations are recorded, not fatal.
+func (tc *Toolchain) YieldGrid(ctx context.Context, yopt SweepYieldOptions) ([]SweepYieldCell, error) {
+	var label func(int) string
+	if tc.progress != nil {
+		label = func(i int) string { return fmt.Sprintf("cell%d", i) }
+	}
+	return sweep.YieldGrid(ctx, tc.sweepOpts("yield", label), yopt)
 }
 
 // EPRStudy runs the §8.1 pipelined-EPR window study per suite
