@@ -69,7 +69,11 @@ func (t Target) withDefaults() Target {
 	return t
 }
 
-// validate checks the target after defaulting.
+// validate checks the target after defaulting. Every dimension an
+// internal constructor derives from the target (mesh junction grids,
+// device topologies, SIMD region grids) is bounded here, so the
+// constructors' invariant panics are unreachable from the public API:
+// a bad target fails with an error matching ErrBadConfig instead.
 func (t Target) validate() error {
 	if t.Distance < 1 {
 		return scerr.BadConfig("target: distance %d < 1", t.Distance)
@@ -79,6 +83,14 @@ func (t Target) validate() error {
 	}
 	if t.Window < 0 && t.Window != JITWindowAuto {
 		return scerr.BadConfig("target: negative window %d", t.Window)
+	}
+	if t.LinkBandwidth < 0 {
+		return scerr.BadConfig("target: negative link bandwidth %d", t.LinkBandwidth)
+	}
+	if t.SIMD != (SIMDConfig{}) {
+		if err := t.SIMD.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := t.Technology.Validate(); err != nil {
 		return scerr.BadConfig("target: %v", err)
@@ -153,9 +165,24 @@ func prepTarget(c *Circuit, t *Target) (Target, error) {
 	if t == nil {
 		return Target{}, scerr.BadConfig("compile: nil target")
 	}
+	if c.NumQubits < 1 {
+		return Target{}, scerr.BadConfig("compile: circuit %q has no qubits", c.Name)
+	}
+	if err := c.Validate(); err != nil {
+		return Target{}, scerr.BadConfig("compile: %v", err)
+	}
 	tt := t.withDefaults()
 	if err := tt.validate(); err != nil {
 		return Target{}, err
+	}
+	if tt.Placement != nil {
+		if err := tt.Placement.Validate(); err != nil {
+			return Target{}, scerr.BadConfig("compile: %v", err)
+		}
+		if len(tt.Placement.Pos) < c.NumQubits {
+			return Target{}, scerr.BadConfig("compile: placement covers %d qubits, circuit %q has %d",
+				len(tt.Placement.Pos), c.Name, c.NumQubits)
+		}
 	}
 	return tt, nil
 }

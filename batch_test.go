@@ -1,0 +1,123 @@
+package surfcomm_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"surfcomm"
+)
+
+func batchSuite(t *testing.T) []surfcomm.CompileRequest {
+	t.Helper()
+	gse, err := surfcomm.NewGSE(surfcomm.GSEConfig{M: 8, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := surfcomm.NewIsing(surfcomm.IsingConfig{N: 16, Steps: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []surfcomm.CompileRequest
+	for _, c := range []*surfcomm.Circuit{gse, im} {
+		for _, b := range []string{"braid", "planar", "surgery"} {
+			reqs = append(reqs, surfcomm.CompileRequest{Backend: b, Circuit: c})
+		}
+	}
+	return reqs
+}
+
+// TestCompileBatchWorkerInvariance is the batch acceptance property:
+// the result slice is byte-identical (per-slot FNV plan digests) at
+// workers 1, 4, and GOMAXPROCS, and slots stay in request order.
+func TestCompileBatchWorkerInvariance(t *testing.T) {
+	reqs := batchSuite(t)
+	var reference []uint64
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		tc, err := surfcomm.NewToolchain(
+			surfcomm.WithDistance(5),
+			surfcomm.WithWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := tc.CompileBatch(context.Background(), reqs)
+		if len(results) != len(reqs) {
+			t.Fatalf("workers=%d: %d results for %d requests", workers, len(results), len(reqs))
+		}
+		digests := make([]uint64, len(results))
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("workers=%d slot %d: %v", workers, i, res.Err)
+			}
+			if res.Plan.Backend != reqs[i].Backend {
+				t.Errorf("workers=%d slot %d: backend %q, want %q (order broken)",
+					workers, i, res.Plan.Backend, reqs[i].Backend)
+			}
+			if res.Plan.Circuit != reqs[i].Circuit.Name {
+				t.Errorf("workers=%d slot %d: circuit %q, want %q (order broken)",
+					workers, i, res.Plan.Circuit, reqs[i].Circuit.Name)
+			}
+			digests[i] = planDigest(res.Plan)
+		}
+		if reference == nil {
+			reference = digests
+			continue
+		}
+		for i := range digests {
+			if digests[i] != reference[i] {
+				t.Errorf("workers=%d slot %d: digest %x, serial reference %x",
+					workers, i, digests[i], reference[i])
+			}
+		}
+	}
+}
+
+// TestCompileBatchPerRequestErrors pins error isolation: failing
+// requests land in their slots, classifiable with errors.Is, and never
+// abort the rest of the batch.
+func TestCompileBatchPerRequestErrors(t *testing.T) {
+	tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := surfcomm.NewGSE(surfcomm.GSEConfig{M: 8, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := tc.CompileBatch(context.Background(), []surfcomm.CompileRequest{
+		{Backend: "nope", Circuit: good},
+		{Backend: "braid", Circuit: nil},
+		{Backend: "braid", Circuit: good},
+		{Backend: "planar", Circuit: good, Override: func(t *surfcomm.Target) { t.Distance = -1 }},
+	})
+	for _, i := range []int{0, 1, 3} {
+		if !errors.Is(results[i].Err, surfcomm.ErrBadConfig) {
+			t.Errorf("slot %d error = %v, want ErrBadConfig", i, results[i].Err)
+		}
+	}
+	if results[2].Err != nil {
+		t.Errorf("slot 2 should succeed, got %v", results[2].Err)
+	}
+	if results[2].Plan.Cycles <= 0 {
+		t.Errorf("slot 2 plan empty: %+v", results[2].Plan)
+	}
+}
+
+// TestCompileBatchCanceled pins the shutdown path: a canceled context
+// marks every unprocessed slot with an error matching ErrCanceled.
+func TestCompileBatchCanceled(t *testing.T) {
+	tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5), surfcomm.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := tc.CompileBatch(ctx, batchSuite(t))
+	for i, res := range results {
+		if !errors.Is(res.Err, surfcomm.ErrCanceled) {
+			t.Errorf("slot %d error = %v, want ErrCanceled", i, res.Err)
+		}
+	}
+}

@@ -4,6 +4,12 @@
 //
 //	qasm -app IM -n 16 -steps 1 > im.qasm
 //	qasm -stats im.qasm
+//
+// Like the other commands, it takes the unified -seed/-json flags:
+// `-json FILE` writes the frontend-statistics record of the generated
+// circuit (or of every -stats file) in the BENCH_*.json cell format,
+// stamped with -seed. A malformed size (e.g. an odd -n for SQ) exits 1
+// with the validation error instead of crashing.
 package main
 
 import (
@@ -13,76 +19,119 @@ import (
 	"os"
 	"strings"
 
-	"surfcomm/internal/apps"
-	"surfcomm/internal/circuit"
-	"surfcomm/internal/resource"
+	"surfcomm"
 )
+
+// validApps names the -app values in help order.
+const validApps = "GSE, SQ, SHA-1, IM, IM-semi"
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qasm: ")
-	app := flag.String("app", "", "application to emit: GSE, SQ, SHA-1, IM, IM-semi")
+	app := flag.String("app", "", "application to emit: "+validApps)
 	n := flag.Int("n", 8, "problem size (GSE molecule size, SQ bits, IM spins)")
 	steps := flag.Int("steps", 1, "Trotter steps (GSE, IM)")
 	iters := flag.Int("iters", 1, "Grover iterations (SQ)")
 	rounds := flag.Int("rounds", 1, "compression rounds (SHA-1)")
 	width := flag.Int("width", 16, "word width (SHA-1)")
 	stats := flag.Bool("stats", false, "read QASM files from args and print frontend statistics")
+	seed := flag.Int64("seed", 1, "seed stamped into -json records")
+	jsonPath := flag.String("json", "", "write frontend-statistics records to this JSON file")
 	flag.Parse()
+
+	var records []surfcomm.SweepCellResult
 
 	if *stats {
 		if flag.NArg() == 0 {
 			log.Fatal("-stats needs at least one QASM file")
 		}
 		for _, path := range flag.Args() {
-			if err := printStats(path); err != nil {
+			est, err := fileStats(path)
+			if err != nil {
 				log.Fatal(err)
 			}
+			fmt.Printf("%s: %s\n", path, est)
+			// Key the cell by file path: circuit names are optional in
+			// QASM (and may collide across files).
+			records = append(records, record(*seed, path, est))
 		}
-		return
+	} else {
+		c, err := generate(*app, *n, *steps, *iters, *rounds, *width)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := surfcomm.WriteQASM(os.Stdout, c); err != nil {
+			log.Fatal(err)
+		}
+		if *jsonPath != "" {
+			est, err := surfcomm.EstimateCircuit(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			records = append(records, record(*seed, est.Name, est))
+		}
 	}
 
-	c, err := generate(*app, *n, *steps, *iters, *rounds, *width)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := circuit.WriteQASM(os.Stdout, c); err != nil {
-		log.Fatal(err)
+	if *jsonPath != "" {
+		if err := surfcomm.WriteSweepRecordsFile(*jsonPath, records); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d records to %s", len(records), *jsonPath)
 	}
 }
 
-func generate(app string, n, steps, iters, rounds, width int) (*circuit.Circuit, error) {
+// generate builds the selected application through the validating
+// constructors, so a malformed size returns an error (exit 1) instead
+// of panicking.
+func generate(app string, n, steps, iters, rounds, width int) (*surfcomm.Circuit, error) {
 	switch strings.ToUpper(app) {
 	case "GSE":
-		return apps.GSE(apps.GSEConfig{M: n, Steps: steps}), nil
+		return surfcomm.NewGSE(surfcomm.GSEConfig{M: n, Steps: steps})
 	case "SQ":
-		return apps.SQ(apps.SQConfig{N: n, Iters: iters}), nil
+		return surfcomm.NewSQ(surfcomm.SQConfig{N: n, Iters: iters})
 	case "SHA-1", "SHA1":
-		return apps.SHA1(apps.SHA1Config{Rounds: rounds, WordWidth: width}), nil
+		return surfcomm.NewSHA1(surfcomm.SHA1Config{Rounds: rounds, WordWidth: width})
 	case "IM":
-		return apps.Ising(apps.IsingConfig{N: n, Steps: steps}, true), nil
+		return surfcomm.NewIsing(surfcomm.IsingConfig{N: n, Steps: steps}, true)
 	case "IM-SEMI":
-		return apps.Ising(apps.IsingConfig{N: n, Steps: steps}, false), nil
+		return surfcomm.NewIsing(surfcomm.IsingConfig{N: n, Steps: steps}, false)
 	case "":
-		return nil, fmt.Errorf("choose an application with -app (GSE, SQ, SHA-1, IM, IM-semi)")
+		return nil, fmt.Errorf("choose an application with -app (%s)", validApps)
 	}
-	return nil, fmt.Errorf("unknown application %q", app)
+	return nil, fmt.Errorf("unknown application %q (valid: %s)", app, validApps)
 }
 
-func printStats(path string) error {
+func fileStats(path string) (surfcomm.Estimate, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return surfcomm.Estimate{}, err
 	}
 	defer f.Close()
-	c, err := circuit.ReadQASM(f)
+	c, err := surfcomm.ReadQASM(f)
 	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return surfcomm.Estimate{}, fmt.Errorf("%s: %w", path, err)
 	}
-	est, err := resource.EstimateCircuit(c)
+	est, err := surfcomm.EstimateCircuit(c)
 	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return surfcomm.Estimate{}, fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("%s: %s\n", path, est)
-	return nil
+	return est, nil
+}
+
+// record converts a frontend estimate to the shared cell format.
+func record(seed int64, cell string, est surfcomm.Estimate) surfcomm.SweepCellResult {
+	return surfcomm.SweepCellResult{
+		Study:  "frontend",
+		Cell:   cell,
+		Seed:   seed,
+		Device: "perfect",
+		Metrics: map[string]float64{
+			"logical_qubits": float64(est.LogicalQubits),
+			"logical_ops":    float64(est.LogicalOps),
+			"t_count":        float64(est.TCount),
+			"two_qubit_ops":  float64(est.TwoQubitOps),
+			"critical_path":  float64(est.CriticalPath),
+			"parallelism":    est.Parallelism,
+		},
+	}
 }

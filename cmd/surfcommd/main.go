@@ -1,0 +1,101 @@
+// Command surfcommd is the long-running compile server: the surfcomm
+// toolchain behind an HTTP/JSON API with a digest-keyed plan cache, so
+// repeated compiles of the same (circuit, target) pair are served
+// without recomputation and concurrent identical requests compile once.
+//
+//	surfcommd -addr :8723 -cache 256 -workers 0
+//
+// Endpoints (see internal/service):
+//
+//	POST /compile   compile one circuit            {"qasm": "...", "backend": "planar", ...}
+//	POST /batch     compile a slice of requests    [{"qasm": "..."}, ...]
+//	POST /estimate  frontend characterization      {"qasm": "..."}
+//	GET  /models    reference application models
+//	GET  /healthz   liveness + cache/pool counters
+//
+// A SIGINT/SIGTERM drains in-flight requests through the pipeline's
+// ErrCanceled plumbing and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"surfcomm"
+	"surfcomm/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfcommd: ")
+	addr := flag.String("addr", ":8723", "listen address")
+	cacheSize := flag.Int("cache", service.DefaultMaxEntries, "plan cache LRU bound (0 = default, negative = disable)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	seed := flag.Int64("seed", 1, "default layout/partition seed")
+	distance := flag.Int("distance", 9, "default code distance")
+	pp := flag.Float64("pp", 1e-8, "default physical error rate")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	flag.Parse()
+
+	tc, err := surfcomm.NewToolchain(
+		surfcomm.WithSeed(*seed),
+		surfcomm.WithDistance(*distance),
+		surfcomm.WithTechnology(surfcomm.Superconducting(*pp)),
+		surfcomm.WithWorkers(*workers),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Cache-shared compiles run under the process context: one client
+	// disconnecting never cancels a compile other requests wait on,
+	// while shutdown still aborts everything through ErrCanceled.
+	svc := service.New(tc, service.Config{MaxEntries: *cacheSize, Workers: *workers, BaseContext: ctx})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(svc),
+		// Tie every request context to the process context, so a
+		// shutdown cancels in-flight compiles through ErrCanceled.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Slow-client bounds for a long-running daemon; bodies are
+		// size-capped by the handler (service.MaxBodyBytes). No write
+		// timeout: large-circuit compiles legitimately take a while
+		// and are canceled through the request context instead.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (cache %d entries, workers %d)", *addr, *cacheSize, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (drain %s)…", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	st := svc.Stats()
+	log.Printf("served %d hits / %d misses / %d deduped, %d cached plans at exit",
+		st.Hits, st.Misses, st.Deduped, st.Entries)
+}

@@ -1,0 +1,122 @@
+// Serve: the compile-service client walkthrough. By default the
+// program starts an in-process surfcommd-equivalent server (the same
+// internal/service handler the daemon mounts) and drives it end to
+// end: estimate a workload, compile it fresh (cache miss), compile it
+// again (cache hit, bit-identical), fan a three-backend batch through
+// the worker pool, and read the /healthz counters. Point -addr at a
+// running `surfcommd` to run the same walkthrough against a real
+// daemon:
+//
+//	go run ./cmd/surfcommd &
+//	go run ./examples/serve -addr http://localhost:8723
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"surfcomm"
+	"surfcomm/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "", "base URL of a running surfcommd (empty = start an in-process server)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := httptest.NewServer(service.NewHandler(service.New(tc, service.Config{})))
+		defer srv.Close()
+		base = srv.URL
+		fmt.Printf("started in-process compile service at %s\n\n", base)
+	}
+
+	// The workload travels as QASM text — the same interchange format
+	// cmd/qasm emits.
+	circ, err := surfcomm.NewGSE(surfcomm.GSEConfig{M: 8, Steps: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qasm bytes.Buffer
+	if err := surfcomm.WriteQASM(&qasm, circ); err != nil {
+		log.Fatal(err)
+	}
+	req := map[string]any{"qasm": qasm.String(), "backend": "braid"}
+
+	fmt.Println("POST /estimate")
+	var est service.EstimateResponse
+	post(base+"/estimate", map[string]any{"qasm": qasm.String()}, &est)
+	fmt.Printf("  %s: %d qubits, %d ops, parallelism %.2f\n\n", est.Name, est.LogicalQubits, est.LogicalOps, est.Parallelism)
+
+	fmt.Println("POST /compile (first request compiles)")
+	var first service.CompileResponse
+	post(base+"/compile", req, &first)
+	fmt.Printf("  cycles=%d physical_qubits=%.0f cached=%v\n\n", first.Plan.Cycles, first.Plan.PhysicalQubits, first.Cached)
+
+	fmt.Println("POST /compile (identical request is served from the cache)")
+	var second service.CompileResponse
+	post(base+"/compile", req, &second)
+	fmt.Printf("  cycles=%d cached=%v digest match=%v\n\n", second.Plan.Cycles, second.Cached, first.Digest == second.Digest)
+
+	fmt.Println("POST /batch (one circuit through every backend)")
+	var batch []service.CompileResponse
+	post(base+"/batch", []map[string]any{
+		{"qasm": qasm.String(), "backend": "braid"},
+		{"qasm": qasm.String(), "backend": "planar"},
+		{"qasm": qasm.String(), "backend": "surgery"},
+	}, &batch)
+	for _, slot := range batch {
+		if slot.Error != "" {
+			fmt.Printf("  %v\n", slot.Error)
+			continue
+		}
+		fmt.Printf("  %-8s cycles=%-8d qubits=%-10.0f cached=%v\n",
+			slot.Plan.Backend, slot.Plan.Cycles, slot.Plan.PhysicalQubits, slot.Cached)
+	}
+	fmt.Println()
+
+	fmt.Println("GET /healthz")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("  %s\n", strings.ReplaceAll(string(body), "\n", "\n  "))
+}
+
+// post sends v as JSON and decodes the reply into out, failing loudly
+// on a non-2xx status.
+func post(url string, v, out any) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		log.Fatalf("%s: %v", url, err)
+	}
+}

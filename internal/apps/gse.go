@@ -24,8 +24,8 @@ type GSEConfig struct {
 // basis-change layer overlapping the ancilla chain, which is why the
 // application is the paper's most serial workload.
 func GSE(cfg GSEConfig) *circuit.Circuit {
-	if cfg.M < 2 || cfg.Steps < 1 {
-		panic(fmt.Sprintf("apps: GSE needs M >= 2 and Steps >= 1, got %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	b := circuit.NewBuilder(fmt.Sprintf("gse_m%d_s%d", cfg.M, cfg.Steps), 1+cfg.M)
 	b.RotationTDepth = cfg.RotationTDepth

@@ -46,8 +46,8 @@ func probeSpins(n int) []int {
 // is set by the Trotter layers alone — fully inlining buys parallelism,
 // which is exactly the upward movement of the IM boundary in Figure 9.
 func IsingProgram(cfg IsingConfig) *circuit.Program {
-	if cfg.N < 2 || cfg.Steps < 1 {
-		panic(fmt.Sprintf("apps: Ising needs N >= 2 and Steps >= 1, got %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	n := cfg.N
 	probe := n // probe ancilla index

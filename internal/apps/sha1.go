@@ -55,8 +55,8 @@ func sha1K(i int) uint32 {
 // clean adder-ancilla bank shared by the in-round adds.
 func SHA1(cfg SHA1Config) *circuit.Circuit {
 	cfg = cfg.normalize()
-	if cfg.Rounds < 1 || cfg.WordWidth < 4 {
-		panic(fmt.Sprintf("apps: SHA1 needs Rounds >= 1, WordWidth >= 4, got %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	w := cfg.WordWidth
 	bank := PrefixAdderAncillas(w)

@@ -30,16 +30,12 @@ func SQOptimalIters(n int) float64 {
 // serial Toffoli ladder; the diffusion operator is the standard
 // H/X/multi-controlled-Z/X/H sandwich, again ladder-dominated.
 func SQ(cfg SQConfig) *circuit.Circuit {
-	if cfg.N < 4 || cfg.N%2 != 0 {
-		panic(fmt.Sprintf("apps: SQ needs even N >= 4, got %d", cfg.N))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	iters := cfg.Iters
 	if iters == 0 {
-		opt := SQOptimalIters(cfg.N)
-		if opt > 1<<20 {
-			panic(fmt.Sprintf("apps: SQ optimal iteration count %g too large to materialize; set Iters", opt))
-		}
-		iters = int(opt)
+		iters = int(SQOptimalIters(cfg.N))
 	}
 	n := cfg.N
 	w := n / 2

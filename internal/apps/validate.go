@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/scerr"
+)
+
+// This file is the panic-free entry into the workload generators. The
+// generators themselves (GSE, SQ, SHA1, Ising) predate the serving
+// layer and panic on malformed configs — acceptable for one-shot
+// tools, fatal for a long-running server. Each config therefore gets a
+// Validate method whose errors match scerr.ErrBadConfig, and a New*
+// constructor that validates before generating; the panicking
+// generators now fail through the same Validate, so the two entry
+// points can never drift.
+
+// Validate checks the GSE sizing; errors match scerr.ErrBadConfig.
+func (cfg GSEConfig) Validate() error {
+	if cfg.M < 2 || cfg.Steps < 1 {
+		return scerr.BadConfig("apps: GSE needs M >= 2 and Steps >= 1, got %+v", cfg)
+	}
+	if cfg.RotationTDepth < 0 {
+		return scerr.BadConfig("apps: GSE rotation T-depth must be >= 0, got %d", cfg.RotationTDepth)
+	}
+	return nil
+}
+
+// Validate checks the SQ sizing; errors match scerr.ErrBadConfig.
+func (cfg SQConfig) Validate() error {
+	if cfg.N < 4 || cfg.N%2 != 0 {
+		return scerr.BadConfig("apps: SQ needs even N >= 4, got %d", cfg.N)
+	}
+	if cfg.Iters < 0 {
+		return scerr.BadConfig("apps: SQ iterations must be >= 0, got %d", cfg.Iters)
+	}
+	if cfg.Iters == 0 {
+		if opt := SQOptimalIters(cfg.N); opt > 1<<20 {
+			return scerr.BadConfig("apps: SQ optimal iteration count %g too large to materialize; set Iters", opt)
+		}
+	}
+	if cfg.RotationTDepth < 0 {
+		return scerr.BadConfig("apps: SQ rotation T-depth must be >= 0, got %d", cfg.RotationTDepth)
+	}
+	return nil
+}
+
+// Validate checks the SHA-1 sizing (after width defaulting); errors
+// match scerr.ErrBadConfig.
+func (cfg SHA1Config) Validate() error {
+	cfg = cfg.normalize()
+	if cfg.Rounds < 1 || cfg.WordWidth < 4 {
+		return scerr.BadConfig("apps: SHA1 needs Rounds >= 1, WordWidth >= 4, got %+v", cfg)
+	}
+	return nil
+}
+
+// Validate checks the Ising sizing; errors match scerr.ErrBadConfig.
+func (cfg IsingConfig) Validate() error {
+	if cfg.N < 2 || cfg.Steps < 1 {
+		return scerr.BadConfig("apps: Ising needs N >= 2 and Steps >= 1, got %+v", cfg)
+	}
+	if cfg.RotationTDepth < 0 {
+		return scerr.BadConfig("apps: Ising rotation T-depth must be >= 0, got %d", cfg.RotationTDepth)
+	}
+	return nil
+}
+
+// NewGSE generates the Ground State Estimation workload, rejecting bad
+// configs with an error matching scerr.ErrBadConfig instead of
+// panicking.
+func NewGSE(cfg GSEConfig) (*circuit.Circuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return GSE(cfg), nil
+}
+
+// NewSQ generates the Square Root workload, rejecting bad configs with
+// an error matching scerr.ErrBadConfig instead of panicking.
+func NewSQ(cfg SQConfig) (*circuit.Circuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return SQ(cfg), nil
+}
+
+// NewSHA1 generates the SHA-1 workload, rejecting bad configs with an
+// error matching scerr.ErrBadConfig instead of panicking.
+func NewSHA1(cfg SHA1Config) (*circuit.Circuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return SHA1(cfg), nil
+}
+
+// NewIsing generates the Ising workload at the chosen inlining level,
+// rejecting bad configs with an error matching scerr.ErrBadConfig
+// instead of panicking.
+func NewIsing(cfg IsingConfig, fullyInline bool) (*circuit.Circuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return Ising(cfg, fullyInline), nil
+}

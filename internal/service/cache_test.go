@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"surfcomm"
+)
+
+// TestPanickingComputeDoesNotWedgeKey pins the singleflight's panic
+// safety: a panicking compute must re-panic in the leader (net/http
+// recovers handler panics), release any waiters with an error, and
+// leave the key retryable — never a flight that is present forever
+// with a done channel nobody closes.
+func TestPanickingComputeDoesNotWedgeKey(t *testing.T) {
+	c := newPlanCache(4)
+	ctx := context.Background()
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("leader should re-panic")
+			}
+		}()
+		c.do(ctx, "key", func() (surfcomm.Plan, error) { panic("compile exploded") })
+	}()
+
+	st := c.stats()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight = %d after panic, key is wedged", st.Inflight)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("entries = %d, panicked compile must not be cached", st.Entries)
+	}
+
+	// The key must be retryable: the next do runs compute again.
+	plan, cached, err := c.do(ctx, "key", func() (surfcomm.Plan, error) {
+		return surfcomm.Plan{Backend: "braid", Cycles: 42}, nil
+	})
+	if err != nil || cached || plan.Cycles != 42 {
+		t.Fatalf("retry after panic: plan=%+v cached=%v err=%v", plan, cached, err)
+	}
+}
+
+// TestWeightedBudgetBoundsScheduleBearingPlans pins the memory bound:
+// plans retaining large recorded schedules consume budget
+// proportionally to their size, and a plan heavier than the whole
+// budget is served but never retained.
+func TestWeightedBudgetBoundsScheduleBearingPlans(t *testing.T) {
+	heavy := func(entries int) surfcomm.Plan {
+		return surfcomm.Plan{
+			Backend: "braid",
+			Cycles:  1,
+			Braid:   &surfcomm.BraidResult{Schedule: make([]surfcomm.BraidScheduleEntry, entries)},
+		}
+	}
+	ctx := context.Background()
+
+	// Budget 4: a 512-entry schedule weighs 1+2=3, so two of them
+	// cannot coexist.
+	c := newPlanCache(4)
+	for _, key := range []string{"a", "b"} {
+		if _, _, err := c.do(ctx, key, func() (surfcomm.Plan, error) { return heavy(512), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.stats()
+	if st.Weight > 4 {
+		t.Errorf("weight %d exceeds budget 4", st.Weight)
+	}
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Errorf("entries=%d evictions=%d, want the first heavy plan evicted", st.Entries, st.Evictions)
+	}
+
+	// A plan heavier than the entire budget is never retained.
+	c = newPlanCache(2)
+	if _, _, err := c.do(ctx, "huge", func() (surfcomm.Plan, error) { return heavy(4096), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.stats(); st.Entries != 0 || st.Weight != 0 {
+		t.Errorf("oversized plan retained: %+v", st)
+	}
+	// …and the repeat is a miss that still compiles correctly.
+	plan, cached, err := c.do(ctx, "huge", func() (surfcomm.Plan, error) { return heavy(4096), nil })
+	if err != nil || cached || plan.Braid == nil {
+		t.Errorf("oversized repeat: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestWaiterSeesPanicAsError pins the waiter side: a request latched
+// onto a flight whose compute panics gets an error, not a hang or a
+// zero plan served as success.
+func TestWaiterSeesPanicAsError(t *testing.T) {
+	c := newPlanCache(4)
+	ctx := context.Background()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		defer func() { recover() }() // leader re-panics by design
+		c.do(ctx, "key", func() (surfcomm.Plan, error) {
+			close(entered)
+			<-release
+			panic("compile exploded")
+		})
+	}()
+
+	<-entered
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(ctx, "key", func() (surfcomm.Plan, error) {
+			t.Error("waiter must latch onto the flight, not recompute")
+			return surfcomm.Plan{}, nil
+		})
+		waiterErr <- err
+	}()
+
+	// Give the waiter a chance to latch, then let the leader blow up.
+	for {
+		c.mu.Lock()
+		latched := c.deduped > 0
+		c.mu.Unlock()
+		if latched {
+			break
+		}
+	}
+	close(release)
+	<-leaderDone
+
+	err := <-waiterErr
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("waiter error = %v, want compile-panicked failure", err)
+	}
+	if errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Error("a panic is not a client error")
+	}
+}

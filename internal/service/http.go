@@ -1,0 +1,256 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"surfcomm"
+	"surfcomm/internal/scerr"
+)
+
+// errBodyTooLarge classifies a request body over MaxBodyBytes; it maps
+// to 413 so clients keying retry/split behavior on the status can tell
+// "too big" from "malformed".
+var errBodyTooLarge = errors.New("service: request body exceeds the size cap")
+
+// PlanSummary is the JSON view of a compiled plan: the schedule and
+// footprint metrics without the backend-specific artifacts (schedules
+// and move lists stay server-side in the cache).
+type PlanSummary struct {
+	Backend        string  `json:"backend"`
+	Circuit        string  `json:"circuit"`
+	Distance       int     `json:"distance"`
+	Seed           int64   `json:"seed"`
+	Device         string  `json:"device"`
+	Cycles         int64   `json:"cycles"`
+	Seconds        float64 `json:"seconds"`
+	PhysicalQubits float64 `json:"physical_qubits"`
+	CommOps        int64   `json:"comm_ops"`
+}
+
+// Summarize projects a plan to its JSON view.
+func Summarize(p surfcomm.Plan) PlanSummary {
+	return PlanSummary{
+		Backend:        p.Backend,
+		Circuit:        p.Circuit,
+		Distance:       p.Distance,
+		Seed:           p.Seed,
+		Device:         p.Device,
+		Cycles:         p.Cycles,
+		Seconds:        p.Seconds,
+		PhysicalQubits: p.PhysicalQubits,
+		CommOps:        p.CommOps,
+	}
+}
+
+// CompileResponse is the /compile reply (and one /batch slot).
+type CompileResponse struct {
+	Plan *PlanSummary `json:"plan,omitempty"`
+	// Cached reports whether the plan came from the cache or a deduped
+	// in-flight compile — bit-identical to a fresh compile either way.
+	Cached bool   `json:"cached"`
+	Digest string `json:"digest,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// EstimateResponse is the /estimate reply (the Table 2 columns).
+type EstimateResponse struct {
+	Name          string  `json:"name"`
+	LogicalQubits int     `json:"logical_qubits"`
+	LogicalOps    int     `json:"logical_ops"`
+	TCount        int     `json:"t_count"`
+	TwoQubitOps   int     `json:"two_qubit_ops"`
+	CriticalPath  int     `json:"critical_path"`
+	Parallelism   float64 `json:"parallelism"`
+}
+
+// ModelResponse is one characterized application in the /models reply.
+type ModelResponse struct {
+	Name             string  `json:"name"`
+	Parallelism      float64 `json:"parallelism"`
+	SchedParallelism float64 `json:"sched_parallelism"`
+	MoveFraction     float64 `json:"move_fraction"`
+	CongestionDD     float64 `json:"congestion_dd"`
+}
+
+// HealthResponse is the /healthz reply: liveness plus the cache and
+// pool counters operators watch.
+type HealthResponse struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Workers       int        `json:"workers"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// httpStatus maps pipeline sentinel errors to HTTP statuses: bad
+// configs are the client's fault (400), unroutable devices are a valid
+// request the fabric cannot satisfy (422), cancellations mean the
+// server is going away (503), anything else is a server error.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, errBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, scerr.ErrBadConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, scerr.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, scerr.ErrUnroutable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, scerr.ErrCanceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to report
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
+}
+
+// MaxBodyBytes caps a request body: big enough for any benchmark-suite
+// QASM batch, small enough that one client cannot exhaust daemon
+// memory.
+const MaxBodyBytes = 16 << 20
+
+// MaxBatchRequests caps one /batch call; bigger workloads should be
+// split so the pool interleaves fairly between clients.
+const MaxBatchRequests = 1024
+
+// decodeJSON decodes a size-capped request body, rejecting trailing
+// garbage and unknown fields so client typos surface as 400s instead
+// of silently compiling the default target.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w (%d bytes max)", errBodyTooLarge, mbe.Limit)
+		}
+		return scerr.BadConfig("service: body: %v", err)
+	}
+	if dec.More() {
+		return scerr.BadConfig("service: body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// NewHandler mounts the serving endpoints:
+//
+//	POST /compile   one Request        -> CompileResponse
+//	POST /batch     []Request          -> []CompileResponse
+//	POST /estimate  Request (qasm)     -> EstimateResponse
+//	GET  /models    -                  -> []ModelResponse
+//	GET  /healthz   -                  -> HealthResponse
+//
+// The request context governs each caller's wait (and, with caching
+// disabled, its private compile); cache-shared compiles run under the
+// service's base context, so a dropped client never cancels work other
+// requests are latched onto while a server shutdown still aborts
+// everything through the pipeline's ErrCanceled plumbing.
+func NewHandler(s *Service) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		res, err := s.Compile(r.Context(), req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		plan := Summarize(res.Plan)
+		writeJSON(w, http.StatusOK, CompileResponse{Plan: &plan, Cached: res.Cached, Digest: res.Digest})
+	})
+
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var reqs []Request
+		if err := decodeJSON(w, r, &reqs); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if len(reqs) > MaxBatchRequests {
+			writeErr(w, scerr.BadConfig("service: batch of %d exceeds the %d-request cap; split it",
+				len(reqs), MaxBatchRequests))
+			return
+		}
+		results := s.CompileBatch(r.Context(), reqs)
+		out := make([]CompileResponse, len(results))
+		for i, res := range results {
+			out[i] = CompileResponse{Cached: res.Cached, Digest: res.Digest}
+			if res.Err != nil {
+				out[i].Error = res.Err.Error()
+				continue
+			}
+			plan := Summarize(res.Plan)
+			out[i].Plan = &plan
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		est, err := s.Estimate(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EstimateResponse{
+			Name:          est.Name,
+			LogicalQubits: est.LogicalQubits,
+			LogicalOps:    est.LogicalOps,
+			TCount:        est.TCount,
+			TwoQubitOps:   est.TwoQubitOps,
+			CriticalPath:  est.CriticalPath,
+			Parallelism:   est.Parallelism,
+		})
+	})
+
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		models, err := s.Models(r.Context())
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out := make([]ModelResponse, len(models))
+		for i, m := range models {
+			out[i] = ModelResponse{
+				Name:             m.Name,
+				Parallelism:      m.Parallelism,
+				SchedParallelism: m.SchedParallelism,
+				MoveFraction:     m.MoveFraction,
+				CongestionDD:     m.CongestionDD,
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthResponse{
+			Status:        "ok",
+			UptimeSeconds: time.Since(start).Seconds(),
+			Workers:       s.workers,
+			Cache:         s.Stats(),
+		})
+	})
+
+	return mux
+}

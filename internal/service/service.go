@@ -1,0 +1,408 @@
+// Package service is the compile-serving layer over the surfcomm
+// toolchain: a digest-keyed, LRU-bounded plan cache with singleflight
+// deduplication, a batched compile API running on the sweep worker
+// pool, and the HTTP handler cmd/surfcommd mounts. The serving access
+// pattern is the paper's toolflow inverted — many requests over few
+// distinct (circuit, target) pairs (the §7 workload suite compiled at
+// varying targets) — which is exactly where caching identical compiles
+// pays off. Cached plans are bit-identical to fresh compiles because
+// every pipeline stage derives its randomness from explicit seeds; the
+// digest-parity tests pin that property.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"surfcomm"
+	"surfcomm/internal/scerr"
+	"surfcomm/internal/sweep"
+)
+
+// DefaultMaxEntries is the LRU bound a zero Config selects.
+const DefaultMaxEntries = 256
+
+// Config sizes a Service.
+type Config struct {
+	// MaxEntries bounds the plan cache; 0 selects DefaultMaxEntries,
+	// negative disables caching entirely.
+	MaxEntries int
+	// Workers bounds the batch compile pool; 0 selects the toolchain's
+	// WithWorkers setting (which itself defaults to GOMAXPROCS).
+	Workers int
+	// BaseContext is the context cache-shared compiles run under (nil
+	// selects context.Background()). Cached compiles serve every
+	// request with the same digest, so they must outlive any one
+	// client: a request abandoning its wait never aborts the compile
+	// others are latched onto. Daemons pass their process context here
+	// so graceful shutdown still cancels in-flight compiles through
+	// the ErrCanceled plumbing.
+	BaseContext context.Context
+}
+
+// Service serves compile requests from a shared toolchain through the
+// plan cache. It is safe for concurrent use.
+type Service struct {
+	tc      *surfcomm.Toolchain
+	cache   *planCache
+	workers int
+	base    context.Context
+	// sem bounds compiles service-wide: every batch runs its own
+	// worker pool, so without a shared bound N concurrent batches
+	// would run N×workers compiles at once. Cache hits bypass it.
+	sem chan struct{}
+
+	modelsMu     sync.Mutex
+	models       []surfcomm.AppModel
+	modelsFlight *modelsFlight
+}
+
+// modelsFlight is one in-progress reference characterization that
+// concurrent /models requests latch onto.
+type modelsFlight struct {
+	done   chan struct{}
+	models []surfcomm.AppModel
+	err    error
+}
+
+// New returns a Service over the toolchain; a nil toolchain selects
+// the default (paper-baseline) toolchain.
+func New(tc *surfcomm.Toolchain, cfg Config) *Service {
+	if tc == nil {
+		tc, _ = surfcomm.NewToolchain() // zero options cannot fail
+	}
+	max := cfg.MaxEntries
+	switch {
+	case max == 0:
+		max = DefaultMaxEntries
+	case max < 0:
+		max = 0
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = tc.Workers()
+	}
+	if workers == 0 {
+		// Resolve the GOMAXPROCS sentinel so /healthz reports the real
+		// pool size instead of 0.
+		workers = runtime.GOMAXPROCS(0)
+	}
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	return &Service{
+		tc:      tc,
+		cache:   newPlanCache(max),
+		workers: workers,
+		base:    base,
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+// DeviceSpec selects a device-topology preset for a request — the
+// JSON-friendly form of the surfcomm.Device constructors.
+type DeviceSpec struct {
+	// Preset is "perfect", "random-yield", or "clustered"; empty means
+	// perfect.
+	Preset string `json:"preset"`
+	// Frac is the defect fraction (random-yield, clustered).
+	Frac float64 `json:"frac,omitempty"`
+	// Seed is the realization seed (random-yield, clustered).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// device materializes the spec; unknown presets, out-of-range defect
+// fractions, and parameters on the perfect preset all fail with errors
+// matching scerr.ErrBadConfig — a forgotten "preset" field must not
+// silently measure a perfect grid.
+func (ds *DeviceSpec) device() (*surfcomm.Device, error) {
+	if ds == nil {
+		return nil, nil
+	}
+	switch ds.Preset {
+	case "", "perfect":
+		if ds.Frac != 0 || ds.Seed != 0 {
+			return nil, scerr.BadConfig("service: device preset %q takes no frac/seed (did you mean random-yield or clustered?)",
+				ds.Preset)
+		}
+		return surfcomm.PerfectDevice(), nil
+	case "random-yield", "clustered":
+		if ds.Frac < 0 || ds.Frac >= 1 {
+			return nil, scerr.BadConfig("service: device frac %g outside [0,1)", ds.Frac)
+		}
+		if ds.Frac == 0 {
+			// Zero defects realizes the perfect grid at any seed;
+			// normalize so the alias shares the perfect cache line.
+			return surfcomm.PerfectDevice(), nil
+		}
+		if ds.Preset == "random-yield" {
+			return surfcomm.RandomYieldDevice(ds.Frac, ds.Seed), nil
+		}
+		return surfcomm.ClusteredDefectsDevice(ds.Frac, ds.Seed), nil
+	}
+	return nil, scerr.BadConfig("service: unknown device preset %q (valid: perfect, random-yield, clustered)", ds.Preset)
+}
+
+// Request is one compile request: the circuit as QASM text plus the
+// target knobs that differ from the service toolchain's defaults.
+// Omitted fields keep the toolchain's settings, so a request carrying
+// only QASM compiles at the server's configured target.
+type Request struct {
+	// QASM is the circuit in the toolchain's flat QASM dialect.
+	QASM string `json:"qasm"`
+	// Backend names the compiling backend ("braid", "planar",
+	// "surgery"); empty selects "braid".
+	Backend string `json:"backend,omitempty"`
+	// Distance overrides the code distance when positive.
+	Distance int `json:"distance,omitempty"`
+	// Policy overrides the braid policy (0–6) when non-nil.
+	Policy *int `json:"policy,omitempty"`
+	// Seed overrides the layout/partition seed when non-nil.
+	Seed *int64 `json:"seed,omitempty"`
+	// Window overrides the planar EPR look-ahead window when non-zero
+	// (-1 selects the just-in-time heuristic explicitly).
+	Window int64 `json:"window,omitempty"`
+	// PhysicalError overrides the technology's physical error rate
+	// when positive (the baseline superconducting technology at that
+	// rate).
+	PhysicalError float64 `json:"physical_error,omitempty"`
+	// Device selects the device topology the machine is realized on.
+	Device *DeviceSpec `json:"device,omitempty"`
+	// RecordSchedule captures the static schedule in the cached plan so
+	// it can be replay-validated (braid-family backends).
+	RecordSchedule bool `json:"record_schedule,omitempty"`
+}
+
+// compileKey is one resolved request: everything the compile needs,
+// plus the digest identifying it in the cache.
+type compileKey struct {
+	backend surfcomm.Backend
+	circuit *surfcomm.Circuit
+	target  surfcomm.Target
+	digest  string
+}
+
+// resolve parses and validates a request into a compileKey. The digest
+// covers the resolved target (not the raw request), the backend name,
+// and the canonical re-serialization of the parsed circuit, so two
+// textually different requests meaning the same compile share a cache
+// line.
+func (s *Service) resolve(req Request) (compileKey, error) {
+	name := req.Backend
+	if name == "" {
+		name = "braid"
+	}
+	backend, err := surfcomm.BackendByName(name)
+	if err != nil {
+		return compileKey{}, err
+	}
+	if strings.TrimSpace(req.QASM) == "" {
+		return compileKey{}, scerr.BadConfig("service: empty qasm")
+	}
+	circ, err := surfcomm.ReadQASM(strings.NewReader(req.QASM))
+	if err != nil {
+		return compileKey{}, scerr.BadConfig("service: qasm: %v", err)
+	}
+
+	if req.Distance < 0 {
+		return compileKey{}, scerr.BadConfig("service: negative distance %d", req.Distance)
+	}
+	if req.PhysicalError < 0 {
+		return compileKey{}, scerr.BadConfig("service: negative physical error rate %g", req.PhysicalError)
+	}
+	target := s.tc.Target()
+	if req.Distance > 0 {
+		target.Distance = req.Distance
+	}
+	if req.Policy != nil {
+		target.Policy = surfcomm.BraidPolicy(*req.Policy)
+	}
+	if req.Seed != nil {
+		target.Seed = *req.Seed
+	}
+	if req.Window != 0 {
+		target.Window = req.Window
+	}
+	if req.PhysicalError > 0 {
+		target.Technology = surfcomm.Superconducting(req.PhysicalError)
+	}
+	target.RecordSchedule = req.RecordSchedule
+	if req.Device != nil {
+		dev, err := req.Device.device()
+		if err != nil {
+			return compileKey{}, err
+		}
+		target.Device = dev
+	}
+
+	// Canonical circuit bytes: re-emit the parsed circuit so spacing
+	// and comments in the submitted text do not split the cache key.
+	var canon bytes.Buffer
+	if err := surfcomm.WriteQASM(&canon, circ); err != nil {
+		return compileKey{}, scerr.BadConfig("service: qasm: %v", err)
+	}
+	return compileKey{
+		backend: backend,
+		circuit: circ,
+		target:  target,
+		digest:  digest(name, canon.Bytes(), target),
+	}, nil
+}
+
+// digest fingerprints a resolved compile: backend name, every
+// plan-affecting target field (technology and device included), and
+// the canonical circuit text. SHA-256 keeps accidental collisions out
+// of the picture at any cache size.
+func digest(backend string, canonicalQASM []byte, t surfcomm.Target) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "backend=%s\n", backend)
+	fmt.Fprintf(h, "d=%d policy=%d seed=%d window=%d bw=%d local=%t record=%t\n",
+		t.Distance, int(t.Policy), t.Seed, t.Window, t.LinkBandwidth, t.LocalTOps, t.RecordSchedule)
+	fmt.Fprintf(h, "tech=%g/%g/%g/%g/%g/%g\n",
+		t.Technology.PhysicalErrorRate, t.Technology.Threshold, t.Technology.Prefactor,
+		t.Technology.Gate1Q, t.Technology.Gate2Q, t.Technology.Meas)
+	fmt.Fprintf(h, "simd=%d/%d/%d/%t\n", t.SIMD.Regions, t.SIMD.Width, t.SIMD.Seed, t.SIMD.NaiveBanks)
+	fmt.Fprintf(h, "device=%s\n", t.Device.String())
+	h.Write(canonicalQASM)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Result is one served compile: the plan, whether it came from the
+// cache (or a deduped in-flight compile), and the digest that keyed
+// it. Batch slots carry per-request failures in Err.
+//
+// The Plan's artifact pointers (Braid, SIMD, EPR and their slices) are
+// shared with the cache entry and with every other request served from
+// the same digest — treat them as read-only; mutating them would
+// corrupt what later hits are served.
+type Result struct {
+	Plan   surfcomm.Plan
+	Cached bool
+	Digest string
+	Err    error
+}
+
+// Compile serves one request through the cache: a digest hit returns
+// the cached plan, a concurrent identical compile is awaited, and a
+// miss compiles fresh and populates the cache.
+//
+// Cache-shared compiles run under the service's base context, not the
+// request's: the leader's client disconnecting must not cancel the
+// compile every deduped waiter is latched onto (and whose result the
+// cache keeps). The request context still governs the caller's wait,
+// and a pre-canceled request is rejected before any work starts; with
+// caching disabled a compile serves only its own request and stays on
+// the request context.
+func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
+	if ctx.Err() != nil {
+		err := scerr.Canceled(ctx)
+		return Result{Err: err}, err
+	}
+	key, err := s.resolve(req)
+	if err != nil {
+		return Result{Err: err}, err
+	}
+	compileCtx := s.base
+	if s.cache.max < 1 {
+		compileCtx = ctx
+	}
+	plan, cached, err := s.cache.do(ctx, key.digest, func() (surfcomm.Plan, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		return s.tc.Compile(compileCtx, key.backend, key.circuit, func(t *surfcomm.Target) { *t = key.target })
+	})
+	if err != nil {
+		return Result{Digest: key.digest, Err: err}, err
+	}
+	return Result{Plan: plan, Cached: cached, Digest: key.digest}, nil
+}
+
+// CompileBatch serves every request across the worker pool, returning
+// results in request order at any worker count. Per-request failures
+// land in their slot and never abort the batch; identical requests
+// inside one batch compile once (the singleflight path) and all report
+// the same digest. A canceled context marks unprocessed slots with
+// errors matching surfcomm.ErrCanceled.
+func (s *Service) CompileBatch(ctx context.Context, reqs []Request) []Result {
+	return sweep.MapFill(ctx, sweep.Options{Workers: s.workers}, reqs,
+		func(i int, req Request) Result {
+			res, _ := s.Compile(ctx, req)
+			return res
+		},
+		func(err error) Result { return Result{Err: err} })
+}
+
+// Estimate runs the frontend characterization (Table 2 columns) over
+// the request's circuit; only the QASM field is consulted.
+func (s *Service) Estimate(req Request) (surfcomm.Estimate, error) {
+	if strings.TrimSpace(req.QASM) == "" {
+		return surfcomm.Estimate{}, scerr.BadConfig("service: empty qasm")
+	}
+	circ, err := surfcomm.ReadQASM(strings.NewReader(req.QASM))
+	if err != nil {
+		return surfcomm.Estimate{}, scerr.BadConfig("service: qasm: %v", err)
+	}
+	return surfcomm.EstimateCircuit(circ)
+}
+
+// Models characterizes the reference application suite once and serves
+// the cached models afterwards. Concurrent cold-start requests share
+// one characterization (the compile cache's singleflight discipline):
+// the leader runs under the service base context so an abandoned
+// request cannot abort it, waiters block cancelably on their own
+// contexts, and a failed characterization is not cached, so the next
+// request retries.
+func (s *Service) Models(ctx context.Context) ([]surfcomm.AppModel, error) {
+	s.modelsMu.Lock()
+	if s.models != nil {
+		models := s.models
+		s.modelsMu.Unlock()
+		return models, nil
+	}
+	if f := s.modelsFlight; f != nil {
+		s.modelsMu.Unlock()
+		select {
+		case <-f.done:
+			return f.models, f.err
+		case <-ctx.Done():
+			return nil, scerr.Canceled(ctx)
+		}
+	}
+	f := &modelsFlight{done: make(chan struct{})}
+	s.modelsFlight = f
+	s.modelsMu.Unlock()
+
+	// Resolve the flight even if characterization panics (same wedged-
+	// key discipline as planCache.do): waiters get an error, the
+	// endpoint stays retryable, the panic continues to the caller.
+	defer func() {
+		r := recover()
+		s.modelsMu.Lock()
+		s.modelsFlight = nil
+		if r != nil {
+			f.err = fmt.Errorf("service: characterization panicked: %v", r)
+		} else if f.err == nil {
+			s.models = f.models
+		}
+		s.modelsMu.Unlock()
+		close(f.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	f.models, f.err = s.tc.Models(s.base)
+	return f.models, f.err
+}
+
+// Stats snapshots the cache counters.
+func (s *Service) Stats() CacheStats { return s.cache.stats() }
+
+// Toolchain returns the toolchain the service compiles with.
+func (s *Service) Toolchain() *surfcomm.Toolchain { return s.tc }

@@ -62,6 +62,12 @@ func (c Config) validate() error {
 	return nil
 }
 
+// Validate checks the config as a caller-supplied machine shape (after
+// zero-field defaulting); errors match scerr.ErrBadConfig. The facade
+// validates SIMD overrides at the Target boundary with this, so the
+// scheduler's internal constructors can assume sane dimensions.
+func (c Config) Validate() error { return c.withDefaults().validate() }
+
 // ConfigFor sizes the Multi-SIMD machine for a circuit: the Fig. 3a
 // four-region checkerboard, widened to the full 16-region machine for
 // large applications, with region width grown so every bank fits its

@@ -55,6 +55,32 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// MapFill evaluates the infallible fn over every item on the pool,
+// always returning one output per item: per-item failures are fn's
+// business (encoded in O), and when the pool itself aborts — a
+// canceled context stops workers from claiming cells — every slot no
+// worker ran is filled with fill(abortErr) instead of a zero value.
+// This is the batch-serving primitive: request order is preserved at
+// any worker count and nothing short of cancellation is fatal.
+func MapFill[I, O any](ctx context.Context, opt Options, items []I, fn func(i int, item I) O, fill func(err error) O) []O {
+	// processed records which slots a worker actually ran; each worker
+	// owns its index and Map drains the pool before returning, so the
+	// flags are safely read afterwards.
+	processed := make([]bool, len(items))
+	out, err := Map(ctx, opt, items, func(i int, item I) (O, error) {
+		processed[i] = true
+		return fn(i, item), nil
+	})
+	if err != nil {
+		for i := range out {
+			if !processed[i] {
+				out[i] = fill(err)
+			}
+		}
+	}
+	return out
+}
+
 // Map evaluates fn over every item on a pool of workers, returning the
 // outputs in item order. It is the primitive under all grids: cell i's
 // output lands in slot i, and on failure the error of the

@@ -109,17 +109,52 @@ type (
 	IsingConfig = apps.IsingConfig
 )
 
-// GSE generates the Ground State Estimation workload.
+// GSE generates the Ground State Estimation workload, panicking on a
+// malformed config.
+//
+// Deprecated: use NewGSE, which rejects bad configs with an error
+// matching ErrBadConfig instead of panicking. This wrapper remains for
+// callers that predate the serving layer.
 func GSE(cfg GSEConfig) *Circuit { return apps.GSE(cfg) }
 
-// SQ generates the Square Root (Grover) workload.
+// SQ generates the Square Root (Grover) workload, panicking on a
+// malformed config.
+//
+// Deprecated: use NewSQ, which rejects bad configs with an error
+// matching ErrBadConfig instead of panicking.
 func SQ(cfg SQConfig) *Circuit { return apps.SQ(cfg) }
 
-// SHA1 generates the SHA-1 decryption workload.
+// SHA1 generates the SHA-1 decryption workload, panicking on a
+// malformed config.
+//
+// Deprecated: use NewSHA1, which rejects bad configs with an error
+// matching ErrBadConfig instead of panicking.
 func SHA1(cfg SHA1Config) *Circuit { return apps.SHA1(cfg) }
 
-// Ising generates the Ising-model workload at the chosen inlining level.
+// Ising generates the Ising-model workload at the chosen inlining
+// level, panicking on a malformed config.
+//
+// Deprecated: use NewIsing, which rejects bad configs with an error
+// matching ErrBadConfig instead of panicking.
 func Ising(cfg IsingConfig, fullyInline bool) *Circuit { return apps.Ising(cfg, fullyInline) }
+
+// NewGSE generates the Ground State Estimation workload; a malformed
+// config returns an error matching ErrBadConfig.
+func NewGSE(cfg GSEConfig) (*Circuit, error) { return apps.NewGSE(cfg) }
+
+// NewSQ generates the Square Root (Grover) workload; a malformed
+// config returns an error matching ErrBadConfig.
+func NewSQ(cfg SQConfig) (*Circuit, error) { return apps.NewSQ(cfg) }
+
+// NewSHA1 generates the SHA-1 decryption workload; a malformed config
+// returns an error matching ErrBadConfig.
+func NewSHA1(cfg SHA1Config) (*Circuit, error) { return apps.NewSHA1(cfg) }
+
+// NewIsing generates the Ising-model workload at the chosen inlining
+// level; a malformed config returns an error matching ErrBadConfig.
+func NewIsing(cfg IsingConfig, fullyInline bool) (*Circuit, error) {
+	return apps.NewIsing(cfg, fullyInline)
+}
 
 // Table2Suite returns the four applications at characterization sizes.
 func Table2Suite() []Workload { return apps.Table2Suite() }

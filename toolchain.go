@@ -170,6 +170,11 @@ func (tc *Toolchain) Target() Target {
 // Seed returns the toolchain's base seed (recorded in emitted cells).
 func (tc *Toolchain) Seed() int64 { return tc.seed }
 
+// Workers returns the WithWorkers pool bound (0 = GOMAXPROCS), so
+// layers above the toolchain (the serving batch pool) can size
+// themselves consistently.
+func (tc *Toolchain) Workers() int { return tc.workers }
+
 func (tc *Toolchain) emit(ev Event) {
 	if tc.progress != nil {
 		tc.progress(ev)
