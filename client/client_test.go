@@ -1,0 +1,250 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"surfcomm/client"
+	"surfcomm/internal/service"
+)
+
+// scriptedServer replies with the scripted status codes in order (the
+// last repeats forever) and records each request's headers.
+type scriptedServer struct {
+	mu      sync.Mutex
+	script  []int
+	calls   int
+	headers []http.Header
+}
+
+func (s *scriptedServer) handler(t *testing.T) http.HandlerFunc {
+	t.Helper()
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		idx := s.calls
+		s.calls++
+		s.headers = append(s.headers, r.Header.Clone())
+		if idx >= len(s.script) {
+			idx = len(s.script) - 1
+		}
+		code := s.script[idx]
+		s.mu.Unlock()
+		if code == http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"plan":{"backend":"braid","cycles":42},"cached":false,"digest":"abc"}`))
+			return
+		}
+		if client.IsRetryable(code) {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, http.StatusText(code), code)
+	}
+}
+
+func (s *scriptedServer) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// fastRetry keeps test backoff in the milliseconds.
+func fastRetry(attempts int) client.Option {
+	return client.WithRetry(attempts, 2*time.Millisecond, 10*time.Millisecond)
+}
+
+func TestRetriesShedsThenSucceeds(t *testing.T) {
+	ss := &scriptedServer{script: []int{http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusOK}}
+	srv := httptest.NewServer(ss.handler(t))
+	defer srv.Close()
+
+	c := client.New(srv.URL, fastRetry(4), client.WithJitterSeed(1))
+	resp, err := c.Compile(context.Background(), service.Request{QASM: "OPENQASM 2.0;"})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if resp.Plan == nil || resp.Plan.Backend != "braid" || resp.Plan.Cycles != 42 {
+		t.Fatalf("resp = %+v, want plan braid/42", resp)
+	}
+	if got := ss.count(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two sheds + success)", got)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var gap time.Duration
+	var last time.Time
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		now := time.Now()
+		if calls == 2 {
+			gap = now.Sub(last)
+		}
+		last = now
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"plan":{"backend":"braid","cycles":1}}`))
+	}))
+	defer srv.Close()
+
+	// Backoff alone would retry within ~10ms; Retry-After: 1 must
+	// stretch the wait to at least a second.
+	c := client.New(srv.URL, fastRetry(3), client.WithJitterSeed(1))
+	if _, err := c.Compile(context.Background(), service.Request{QASM: "x"}); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gap < time.Second {
+		t.Fatalf("retry gap %v, want >= 1s from Retry-After", gap)
+	}
+}
+
+func TestClientErrorNotRetried(t *testing.T) {
+	ss := &scriptedServer{script: []int{http.StatusBadRequest}}
+	srv := httptest.NewServer(ss.handler(t))
+	defer srv.Close()
+
+	c := client.New(srv.URL, fastRetry(5), client.WithJitterSeed(1))
+	_, err := c.Compile(context.Background(), service.Request{QASM: ""})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if got := ss.count(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (400 is final)", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	ss := &scriptedServer{script: []int{http.StatusServiceUnavailable}}
+	srv := httptest.NewServer(ss.handler(t))
+	defer srv.Close()
+
+	c := client.New(srv.URL, fastRetry(3), client.WithJitterSeed(1))
+	_, err := c.Compile(context.Background(), service.Request{QASM: "x"})
+	var se *client.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.Code != http.StatusServiceUnavailable || se.Attempts != 3 {
+		t.Fatalf("final error %+v, want 503 after 3 attempts", se)
+	}
+	if se.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want the server's 1s carried through", se.RetryAfter)
+	}
+	if got := ss.count(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestSendsAPIKeyAndDeadlineHeaders(t *testing.T) {
+	ss := &scriptedServer{script: []int{http.StatusOK}}
+	srv := httptest.NewServer(ss.handler(t))
+	defer srv.Close()
+
+	c := client.New(srv.URL, fastRetry(1), client.WithAPIKey("tenant-a"), client.WithJitterSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Compile(ctx, service.Request{QASM: "x"}); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ss.mu.Lock()
+	h := ss.headers[0]
+	ss.mu.Unlock()
+	if got := h.Get("X-API-Key"); got != "tenant-a" {
+		t.Fatalf("X-API-Key = %q, want tenant-a", got)
+	}
+	dh := h.Get(service.DeadlineHeader)
+	if dh == "" {
+		t.Fatal("no X-Request-Deadline header despite context deadline")
+	}
+	d, err := time.ParseDuration(dh)
+	if err != nil || d <= 0 || d > 30*time.Second {
+		t.Fatalf("deadline header %q (parsed %v, err %v), want a duration within the 30s budget", dh, d, err)
+	}
+}
+
+func TestContextCancelEndsRetries(t *testing.T) {
+	ss := &scriptedServer{script: []int{http.StatusServiceUnavailable}}
+	srv := httptest.NewServer(ss.handler(t))
+	defer srv.Close()
+
+	// Retry-After of 1s per attempt against a 50ms context: the loop
+	// must give up during the first backoff, not sleep through it.
+	c := client.New(srv.URL, client.WithRetry(10, time.Millisecond, time.Millisecond), client.WithJitterSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Compile(ctx, service.Request{QASM: "x"})
+	if err == nil {
+		t.Fatal("Compile succeeded, want context-bounded failure")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v past a 50ms context", elapsed)
+	}
+	var se *client.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want the last StatusError wrapped", err)
+	}
+}
+
+func TestReadyReportsDrain(t *testing.T) {
+	draining := false
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		d := draining
+		mu.Unlock()
+		if d {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL, client.WithJitterSeed(1))
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready while serving: %v", err)
+	}
+	mu.Lock()
+	draining = true
+	mu.Unlock()
+	err := c.Ready(context.Background())
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("Ready while draining = %v, want StatusError 503", err)
+	}
+}
+
+func TestTransportErrorRetriedThenFails(t *testing.T) {
+	// A server that is already closed: every attempt is a connection
+	// error, all retryable, until attempts run out.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	c := client.New(url, fastRetry(2), client.WithJitterSeed(1))
+	_, err := c.Compile(context.Background(), service.Request{QASM: "x"})
+	if err == nil {
+		t.Fatal("Compile against closed server succeeded")
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("err = %v, want a transport error, not a StatusError", err)
+	}
+}

@@ -1,9 +1,10 @@
 // Command surfcommd is the long-running compile server: the surfcomm
-// toolchain behind an HTTP/JSON API with a digest-keyed plan cache, so
-// repeated compiles of the same (circuit, target) pair are served
-// without recomputation and concurrent identical requests compile once.
+// toolchain behind an HTTP/JSON API with a digest-keyed plan cache
+// (optionally persisted to a crash-safe disk store), admission control
+// with deadline-aware shedding, per-client rate limiting, and a
+// fault-injection harness for chaos testing.
 //
-//	surfcommd -addr :8723 -cache 256 -workers 0
+//	surfcommd -addr :8723 -cache 256 -workers 0 -store /var/lib/surfcomm/plans
 //
 // Endpoints (see internal/service):
 //
@@ -11,10 +12,14 @@
 //	POST /batch     compile a slice of requests    [{"qasm": "..."}, ...]
 //	POST /estimate  frontend characterization      {"qasm": "..."}
 //	GET  /models    reference application models
-//	GET  /healthz   liveness + cache/pool counters
+//	GET  /healthz   liveness + cache/admission/store/fault counters
+//	GET  /readyz    readiness (503 while draining or saturated)
 //
-// A SIGINT/SIGTERM drains in-flight requests through the pipeline's
-// ErrCanceled plumbing and exits cleanly.
+// A SIGINT/SIGTERM flips /readyz, stops accepting connections, and
+// drains in-flight requests for up to -shutdown-timeout; compiles
+// still running at the deadline are force-canceled through the
+// pipeline's ErrCanceled plumbing, so a wedged compile cannot hang the
+// exit. Queued disk writes are flushed before the process ends.
 package main
 
 import (
@@ -30,7 +35,9 @@ import (
 	"time"
 
 	"surfcomm"
+	"surfcomm/internal/faultinject"
 	"surfcomm/internal/service"
+	"surfcomm/internal/store"
 )
 
 func main() {
@@ -42,7 +49,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "default layout/partition seed")
 	distance := flag.Int("distance", 9, "default code distance")
 	pp := flag.Float64("pp", 1e-8, "default physical error rate")
-	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	storeDir := flag.String("store", "", "persistent plan store directory (empty = in-memory only)")
+	queueDepth := flag.Int("queue", service.DefaultQueueDepth, "compile queue bound behind the worker slots (negative = no queueing)")
+	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client burst size (0 = 2x rate)")
+	chaos := flag.String("chaos", "", "fault injection spec, e.g. compile-error=0.1,torn-write=0.2,compile-latency=50ms,seed=7")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
+		"graceful drain bound; compiles still running at the deadline are force-canceled")
 	flag.Parse()
 
 	tc, err := surfcomm.NewToolchain(
@@ -54,20 +67,50 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
-	// Cache-shared compiles run under the process context: one client
-	// disconnecting never cancels a compile other requests wait on,
-	// while shutdown still aborts everything through ErrCanceled.
-	svc := service.New(tc, service.Config{MaxEntries: *cacheSize, Workers: *workers, BaseContext: ctx})
+	var inj *faultinject.Injector
+	if *chaos != "" {
+		if inj, err = faultinject.Parse(*chaos); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("CHAOS MODE: %s", inj)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir, inj); err != nil {
+			log.Fatal(err)
+		}
+		ss := st.Stats()
+		log.Printf("plan store %s: %d entries, %d quarantined at scan", *storeDir, ss.Entries, ss.Quarantined)
+	}
+
+	// Two contexts with different jobs: sigCtx ends when the operator
+	// asks us to stop; compileCtx is the authority cache-shared compiles
+	// run under and ends only when the drain deadline forces it. Binding
+	// compiles to sigCtx would turn every SIGTERM into an instant
+	// ErrCanceled for in-flight work — the opposite of draining.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	compileCtx, forceCancel := context.WithCancel(context.Background())
+	defer forceCancel()
+
+	svc := service.New(tc, service.Config{
+		MaxEntries:  *cacheSize,
+		Workers:     *workers,
+		BaseContext: compileCtx,
+		QueueDepth:  *queueDepth,
+		RatePerSec:  *rate,
+		Burst:       *burst,
+		Store:       st,
+		Injector:    inj,
+	})
 
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: service.NewHandler(svc),
-		// Tie every request context to the process context, so a
-		// shutdown cancels in-flight compiles through ErrCanceled.
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Requests run under the compile context (not the signal
+		// context) so they survive into the drain window.
+		BaseContext: func(net.Listener) context.Context { return compileCtx },
 		// Slow-client bounds for a long-running daemon; bodies are
 		// size-capped by the handler (service.MaxBodyBytes). No write
 		// timeout: large-circuit compiles legitimately take a while
@@ -79,23 +122,50 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (cache %d entries, workers %d)", *addr, *cacheSize, *workers)
+		log.Printf("listening on %s (cache %d entries, workers %d, queue %d)",
+			*addr, *cacheSize, *workers, *queueDepth)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		log.Fatal(err)
-	case <-ctx.Done():
+	case <-sigCtx.Done():
 	}
 
-	log.Printf("shutting down (drain %s)…", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	// Graceful shutdown: flip /readyz first so load balancers stop
+	// routing here, then drain. Shutdown closes the listener and waits
+	// for in-flight requests; if the timeout passes with compiles still
+	// wedged, force-cancel them (ErrCanceled to their clients) and log
+	// what was abandoned.
+	log.Printf("shutting down (drain bound %s)…", *shutdownTimeout)
+	svc.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Fatal(err)
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+		adm := svc.AdmissionStats()
+		cs := svc.Stats()
+		log.Printf("drain deadline passed: force-canceling %d running / %d queued compiles (%d flights)",
+			adm.Running, adm.Queued, cs.Inflight)
+		forceCancel()
+		srv.Close()
 	}
-	st := svc.Stats()
-	log.Printf("served %d hits / %d misses / %d deduped, %d cached plans at exit",
-		st.Hits, st.Misses, st.Deduped, st.Entries)
+	// Flush the write-behind disk queue so the next start serves what
+	// this one compiled.
+	svc.Close()
+
+	cst := svc.Stats()
+	adm := svc.AdmissionStats()
+	log.Printf("served %d hits / %d misses / %d deduped / %d disk hits; shed %d, rate-limited %d, expired %d; %d cached plans at exit",
+		cst.Hits, cst.Misses, cst.Deduped, cst.DiskHits, adm.Shed, adm.RateLimited, adm.ExpiredInQueue, cst.Entries)
+	if ss := svc.StoreStats(); ss != nil {
+		log.Printf("plan store: %d entries, %d puts (%d failed), %d quarantined",
+			ss.Entries, ss.Puts, ss.PutErrors, ss.Quarantined)
+	}
+	if fc := svc.FaultCounts(); fc != nil {
+		log.Printf("injected faults: %v", fc)
+	}
 }

@@ -28,4 +28,10 @@ var (
 	// endpoints dead or disconnected by missing links. Every backend
 	// returns it (wrapped with %w) instead of hanging or panicking.
 	ErrUnroutable = scerr.ErrUnroutable
+	// ErrOverloaded reports a compile request shed by the serving
+	// layer's admission control or per-client rate limiting: the
+	// service is healthy but cannot take the work right now, and the
+	// request should be retried after a backoff (the HTTP layer maps it
+	// to 429/503 with an honest Retry-After).
+	ErrOverloaded = scerr.ErrOverloaded
 )

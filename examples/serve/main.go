@@ -1,11 +1,13 @@
-// Serve: the compile-service client walkthrough. By default the
-// program starts an in-process surfcommd-equivalent server (the same
-// internal/service handler the daemon mounts) and drives it end to
-// end: estimate a workload, compile it fresh (cache miss), compile it
-// again (cache hit, bit-identical), fan a three-backend batch through
-// the worker pool, and read the /healthz counters. Point -addr at a
-// running `surfcommd` to run the same walkthrough against a real
-// daemon:
+// Serve: the compile-service client walkthrough, built on the
+// surfcomm/client package (retrying HTTP client with backoff that
+// honors Retry-After). By default the program starts an in-process
+// surfcommd-equivalent server (the same internal/service handler the
+// daemon mounts) and drives it end to end: probe readiness, estimate a
+// workload, compile it fresh (cache miss), compile it again (cache
+// hit, bit-identical), fan a three-backend batch through the worker
+// pool, demonstrate the retry loop against injected compile faults,
+// and read the /healthz counters. Point -addr at a running `surfcommd`
+// to run the same walkthrough against a real daemon:
 //
 //	go run ./cmd/surfcommd &
 //	go run ./examples/serve -addr http://localhost:8723
@@ -13,16 +15,16 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
-	"strings"
+	"time"
 
 	"surfcomm"
+	"surfcomm/client"
+	"surfcomm/internal/faultinject"
 	"surfcomm/internal/service"
 )
 
@@ -32,16 +34,37 @@ func main() {
 	flag.Parse()
 
 	base := *addr
-	if base == "" {
+	inProcess := base == ""
+	var inj *faultinject.Injector
+	if inProcess {
 		tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5))
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv := httptest.NewServer(service.NewHandler(service.New(tc, service.Config{})))
+		// Arm (but don't yet fire) the chaos layer so the retry
+		// demonstration below can inject compile faults on demand.
+		inj = faultinject.New(1)
+		srv := httptest.NewServer(service.NewHandler(service.New(tc, service.Config{Injector: inj})))
 		defer srv.Close()
 		base = srv.URL
 		fmt.Printf("started in-process compile service at %s\n\n", base)
 	}
+
+	// Every request below travels through the retrying client: 429/503
+	// and transport errors back off (honoring Retry-After) and retry;
+	// other failures surface immediately.
+	cl := client.New(base,
+		client.WithAPIKey("walkthrough"),
+		client.WithRetry(4, 200*time.Millisecond, 2*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	fmt.Println("GET /readyz (is the service taking traffic?)")
+	if err := cl.Ready(ctx); err != nil {
+		log.Fatalf("  not ready: %v", err)
+	}
+	fmt.Println("  ready")
+	fmt.Println()
 
 	// The workload travels as QASM text — the same interchange format
 	// cmd/qasm emits.
@@ -53,30 +76,38 @@ func main() {
 	if err := surfcomm.WriteQASM(&qasm, circ); err != nil {
 		log.Fatal(err)
 	}
-	req := map[string]any{"qasm": qasm.String(), "backend": "braid"}
+	req := service.Request{QASM: qasm.String(), Backend: "braid"}
 
 	fmt.Println("POST /estimate")
-	var est service.EstimateResponse
-	post(base+"/estimate", map[string]any{"qasm": qasm.String()}, &est)
+	est, err := cl.Estimate(ctx, qasm.String())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  %s: %d qubits, %d ops, parallelism %.2f\n\n", est.Name, est.LogicalQubits, est.LogicalOps, est.Parallelism)
 
 	fmt.Println("POST /compile (first request compiles)")
-	var first service.CompileResponse
-	post(base+"/compile", req, &first)
+	first, err := cl.Compile(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  cycles=%d physical_qubits=%.0f cached=%v\n\n", first.Plan.Cycles, first.Plan.PhysicalQubits, first.Cached)
 
 	fmt.Println("POST /compile (identical request is served from the cache)")
-	var second service.CompileResponse
-	post(base+"/compile", req, &second)
+	second, err := cl.Compile(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  cycles=%d cached=%v digest match=%v\n\n", second.Plan.Cycles, second.Cached, first.Digest == second.Digest)
 
 	fmt.Println("POST /batch (one circuit through every backend)")
-	var batch []service.CompileResponse
-	post(base+"/batch", []map[string]any{
-		{"qasm": qasm.String(), "backend": "braid"},
-		{"qasm": qasm.String(), "backend": "planar"},
-		{"qasm": qasm.String(), "backend": "surgery"},
-	}, &batch)
+	batch, err := cl.CompileBatch(ctx, []service.Request{
+		{QASM: qasm.String(), Backend: "braid"},
+		{QASM: qasm.String(), Backend: "planar"},
+		{QASM: qasm.String(), Backend: "surgery"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, slot := range batch {
 		if slot.Error != "" {
 			fmt.Printf("  %v\n", slot.Error)
@@ -87,36 +118,37 @@ func main() {
 	}
 	fmt.Println()
 
-	fmt.Println("GET /healthz")
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		log.Fatal(err)
+	if inProcess {
+		// Chaos demonstration: fire injected compile faults with ~70%
+		// probability. Each fault answers 503 + Retry-After; the client
+		// backs off and retries until a compile lands. A distinct seed
+		// keeps this request out of the already-warm cache lines.
+		fmt.Println("POST /compile under injected faults (watch the retry loop absorb 503s)")
+		if err := inj.Set(faultinject.CompileError, 0.7); err != nil {
+			log.Fatal(err)
+		}
+		seed := int64(99)
+		chaotic, err := cl.Compile(ctx, service.Request{QASM: qasm.String(), Seed: &seed})
+		if err != nil {
+			log.Fatalf("  retries exhausted: %v", err)
+		}
+		if err := inj.Set(faultinject.CompileError, 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  survived: cycles=%d cached=%v (injected faults so far: %v)\n\n",
+			chaotic.Plan.Cycles, chaotic.Cached, inj.Counts())
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	fmt.Printf("  %s\n", strings.ReplaceAll(string(body), "\n", "\n  "))
-}
 
-// post sends v as JSON and decodes the reply into out, failing loudly
-// on a non-2xx status.
-func post(url string, v, out any) {
-	payload, err := json.Marshal(v)
+	fmt.Println("GET /healthz")
+	health, err := cl.Health(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s: %s: %s", url, resp.Status, body)
-	}
-	if err := json.Unmarshal(body, out); err != nil {
-		log.Fatalf("%s: %v", url, err)
+	fmt.Printf("  cache: %d hits / %d misses / %d deduped (%d entries)\n",
+		health.Cache.Hits, health.Cache.Misses, health.Cache.Deduped, health.Cache.Entries)
+	fmt.Printf("  admission: %d workers, queue limit %d, %d shed, %d rate-limited\n",
+		health.Admission.Workers, health.Admission.QueueLimit, health.Admission.Shed, health.Admission.RateLimited)
+	if health.Faults != nil {
+		fmt.Printf("  faults: %v\n", health.Faults)
 	}
 }

@@ -24,6 +24,11 @@ var (
 	// connected components of the defective fabric. Compiles fail fast
 	// with this instead of hanging or panicking.
 	ErrUnroutable = errors.New("surfcomm: unroutable on device")
+	// ErrOverloaded reports a request shed by admission control or a
+	// per-client rate limit: the service is healthy but cannot take the
+	// work right now. Retrying after a backoff is the correct response;
+	// the serving layer maps it to HTTP 429/503 with Retry-After.
+	ErrOverloaded = errors.New("surfcomm: overloaded")
 )
 
 // Canceled wraps the context's cause so the result matches both
@@ -47,4 +52,10 @@ func UnknownModel(format string, args ...any) error {
 // ErrUnroutable.
 func Unroutable(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUnroutable, fmt.Sprintf(format, args...))
+}
+
+// Overloaded builds a shed-this-request error that matches
+// ErrOverloaded.
+func Overloaded(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrOverloaded, fmt.Sprintf(format, args...))
 }

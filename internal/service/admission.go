@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"surfcomm/internal/scerr"
+)
+
+// DefaultQueueDepth is the compile-queue bound a zero Config selects:
+// enough to absorb bursts without letting queued work outlive any
+// reasonable client timeout.
+const DefaultQueueDepth = 64
+
+// OverloadError is a shed request: admission control or the per-client
+// rate limiter refused the work. It matches scerr.ErrOverloaded
+// (surfcomm.ErrOverloaded) via errors.Is and carries the HTTP status
+// and the honest Retry-After hint the serving layer writes.
+type OverloadError struct {
+	// Status is 429 (per-client rate limit) or 503 (service-wide
+	// admission shed).
+	Status int
+	// RetryAfter is the server's estimate of when retrying could
+	// succeed — queue drain time for sheds, token refill time for rate
+	// limits. Never zero: an honest hint beats an instant retry storm.
+	RetryAfter time.Duration
+	err        error
+}
+
+func (e *OverloadError) Error() string { return e.err.Error() }
+func (e *OverloadError) Unwrap() error { return e.err }
+
+func overload(status int, retryAfter time.Duration, format string, args ...any) *OverloadError {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return &OverloadError{Status: status, RetryAfter: retryAfter, err: scerr.Overloaded(format, args...)}
+}
+
+// admission is the bounded compile queue: slots bounds concurrent
+// compiles (the old service-wide semaphore), waiting bounds the queue
+// behind them, and an EWMA of recent compile durations prices the
+// queue so requests that cannot meet their deadline — or arrivals past
+// the queue bound — are shed immediately instead of waiting to fail.
+// Cache hits never touch it.
+type admission struct {
+	slots chan struct{}
+
+	mu         sync.Mutex
+	workers    int
+	queueLimit int
+	waiting    int
+	running    int
+	avgNanos   float64
+	shed       uint64
+	expired    uint64
+}
+
+func newAdmission(workers, queueLimit int) *admission {
+	return &admission{
+		slots:      make(chan struct{}, workers),
+		workers:    workers,
+		queueLimit: queueLimit,
+	}
+}
+
+// acquire blocks until a compile slot is free. It sheds on arrival
+// (ErrOverloaded, 503) when the queue is full or the caller's deadline
+// is provably unmeetable, and returns ErrCanceled — without ever
+// compiling — when the context expires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.waiting >= a.queueLimit {
+		a.shed++
+		retry := a.drainEstimateLocked(a.waiting)
+		queued, running := a.waiting, a.running
+		a.mu.Unlock()
+		return overload(http.StatusServiceUnavailable, retry,
+			"service: compile queue full (%d queued, %d running)", queued, running)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := a.waitEstimateLocked(); est > 0 && time.Until(dl) < est {
+			a.shed++
+			retry := a.drainEstimateLocked(a.waiting)
+			a.mu.Unlock()
+			return overload(http.StatusServiceUnavailable, retry,
+				"service: deadline %s shorter than estimated queue wait %s",
+				time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond))
+		}
+	}
+	a.waiting++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.waiting--
+		if ctx.Err() != nil {
+			// Expired between the slot becoming free and us noticing:
+			// still "expired in queue" — return the slot, don't compile.
+			a.expired++
+			a.mu.Unlock()
+			<-a.slots
+			return scerr.Canceled(ctx)
+		}
+		a.running++
+		a.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.waiting--
+		a.expired++
+		a.mu.Unlock()
+		return scerr.Canceled(ctx)
+	}
+}
+
+// release frees the slot acquire granted; elapsed > 0 feeds the
+// compile-duration EWMA that prices future admission decisions.
+func (a *admission) release(elapsed time.Duration) {
+	<-a.slots
+	a.mu.Lock()
+	a.running--
+	if elapsed > 0 {
+		const alpha = 0.2
+		if a.avgNanos == 0 {
+			a.avgNanos = float64(elapsed)
+		} else {
+			a.avgNanos = alpha*float64(elapsed) + (1-alpha)*a.avgNanos
+		}
+	}
+	a.mu.Unlock()
+}
+
+// waitEstimateLocked estimates how long a new arrival waits before its
+// own compile finishes: everything ahead of it plus itself, spread over
+// the worker slots. Zero (no history yet) disables deadline shedding —
+// never guess against the client without evidence.
+func (a *admission) waitEstimateLocked() time.Duration {
+	if a.avgNanos == 0 {
+		return 0
+	}
+	ahead := a.waiting + a.running + 1
+	return time.Duration(a.avgNanos * float64(ahead) / float64(a.workers))
+}
+
+// drainEstimateLocked estimates when a retry could find queue room.
+func (a *admission) drainEstimateLocked(queued int) time.Duration {
+	if a.avgNanos == 0 {
+		return time.Second
+	}
+	return time.Duration(a.avgNanos * float64(queued+1) / float64(a.workers))
+}
+
+// saturated reports whether a new compile would be shed right now — the
+// /readyz overload signal.
+func (a *admission) saturated() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting >= a.queueLimit && a.running >= a.workers
+}
+
+// AdmissionStats is a point-in-time snapshot of the admission queue.
+type AdmissionStats struct {
+	// Workers is the compile-slot bound; Running and Queued are the
+	// current occupancy behind and in front of it.
+	Workers int `json:"workers"`
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+	// QueueLimit is the queue bound past which arrivals are shed.
+	QueueLimit int `json:"queue_limit"`
+	// Shed counts arrivals rejected on admission (queue full or
+	// deadline unmeetable); ExpiredInQueue counts requests whose
+	// context ended while waiting — both answered without compiling.
+	Shed           uint64 `json:"shed"`
+	ExpiredInQueue uint64 `json:"expired_in_queue"`
+	// RateLimited counts requests refused by the per-client token
+	// buckets (HTTP 429).
+	RateLimited uint64 `json:"rate_limited"`
+	// AvgCompileMillis is the EWMA compile duration pricing the queue.
+	AvgCompileMillis float64 `json:"avg_compile_ms"`
+}
+
+func (a *admission) stats(rateLimited uint64) AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Workers:          a.workers,
+		Running:          a.running,
+		Queued:           a.waiting,
+		QueueLimit:       a.queueLimit,
+		Shed:             a.shed,
+		ExpiredInQueue:   a.expired,
+		RateLimited:      rateLimited,
+		AvgCompileMillis: a.avgNanos / 1e6,
+	}
+}

@@ -1,0 +1,341 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"surfcomm"
+	"surfcomm/internal/faultinject"
+	"surfcomm/internal/service"
+)
+
+// seededReq returns a request whose digest differs per seed, so
+// concurrent requests cannot dedupe through the singleflight and every
+// one of them must pass admission.
+func seededReq(qasm string, seed int64) service.Request {
+	return service.Request{QASM: qasm, Seed: &seed}
+}
+
+// TestQueueBoundSheds is the admission-control acceptance test: with
+// one worker slot and a queue of one, a burst of distinct compiles must
+// split into admitted work and immediate ErrOverloaded sheds — nobody
+// waits unboundedly, nobody errors any other way — and the shed
+// counter must account for every rejection.
+func TestQueueBoundSheds(t *testing.T) {
+	qasm := testQASM(t)
+	inj := faultinject.New(1)
+	inj.SetLatency(300 * time.Millisecond) // hold the slot so the burst piles up
+	svc := newService(t, service.Config{Workers: 1, QueueDepth: 1, Injector: inj})
+
+	const burst = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = svc.Compile(context.Background(), seededReq(qasm, int64(i)))
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	var ok, shed int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, surfcomm.ErrOverloaded):
+			shed++
+			var oe *service.OverloadError
+			if !errors.As(err, &oe) {
+				t.Fatalf("request %d: shed error %v is not an OverloadError", i, err)
+			}
+			if oe.Status != http.StatusServiceUnavailable {
+				t.Fatalf("request %d: shed status %d, want 503", i, oe.Status)
+			}
+			if oe.RetryAfter < time.Second {
+				t.Fatalf("request %d: RetryAfter %v, want >= 1s floor", i, oe.RetryAfter)
+			}
+		default:
+			t.Fatalf("request %d: unexpected error %v", i, err)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("burst split ok=%d shed=%d, want both nonzero", ok, shed)
+	}
+	stats := svc.AdmissionStats()
+	if stats.Shed != uint64(shed) {
+		t.Fatalf("Shed counter = %d, want %d", stats.Shed, shed)
+	}
+	if stats.Queued != 0 || stats.Running != 0 {
+		t.Fatalf("queue not drained after burst: %+v", stats)
+	}
+	if stats.QueueLimit != 1 || stats.Workers != 1 {
+		t.Fatalf("bounds = %+v, want workers=1 queue_limit=1", stats)
+	}
+}
+
+// TestExpiredInQueueAnswersWithoutCompiling pins the satellite contract
+// for queued deadlines: a request whose context expires while waiting
+// for a slot returns ErrCanceled (503 at the HTTP layer) and never
+// compiles.
+func TestExpiredInQueueAnswersWithoutCompiling(t *testing.T) {
+	qasm := testQASM(t)
+	inj := faultinject.New(1)
+	inj.SetLatency(400 * time.Millisecond)
+	svc := newService(t, service.Config{Workers: 1, QueueDepth: 4, Injector: inj})
+
+	// Occupy the only worker slot.
+	holderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Compile(context.Background(), seededReq(qasm, 1))
+		holderDone <- err
+	}()
+	// Wait until the holder is actually running.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.AdmissionStats().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder compile never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := svc.Compile(ctx, seededReq(qasm, 2))
+	if !errors.Is(err, surfcomm.ErrCanceled) {
+		t.Fatalf("queued-past-deadline error = %v, want ErrCanceled", err)
+	}
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder compile: %v", err)
+	}
+	stats := svc.AdmissionStats()
+	if stats.ExpiredInQueue != 1 {
+		t.Fatalf("ExpiredInQueue = %d, want 1", stats.ExpiredInQueue)
+	}
+}
+
+// TestDeadlineShedOnArrival pins deadline-aware admission: once the
+// EWMA knows compiles take ~latency, a request with a far shorter
+// deadline is shed on arrival as a typed 503 OverloadError instead of
+// queueing to fail.
+func TestDeadlineShedOnArrival(t *testing.T) {
+	qasm := testQASM(t)
+	inj := faultinject.New(1)
+	inj.SetLatency(100 * time.Millisecond)
+	svc := newService(t, service.Config{Workers: 1, Injector: inj})
+
+	// Prime the EWMA: one successful compile observes >= 100ms.
+	if _, err := svc.Compile(context.Background(), seededReq(qasm, 1)); err != nil {
+		t.Fatalf("priming compile: %v", err)
+	}
+	if avg := svc.AdmissionStats().AvgCompileMillis; avg < 100 {
+		t.Fatalf("EWMA %vms after a 100ms-latency compile, want >= 100", avg)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := svc.Compile(ctx, seededReq(qasm, 2))
+	var oe *service.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("short-deadline error = %v, want OverloadError", err)
+	}
+	if oe.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", oe.Status)
+	}
+	if !errors.Is(err, surfcomm.ErrOverloaded) {
+		t.Fatalf("error %v does not match ErrOverloaded", err)
+	}
+	if svc.AdmissionStats().Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", svc.AdmissionStats().Shed)
+	}
+}
+
+// TestRateLimiterFairness is the satellite -race test: client A
+// hammering past its token bucket collects 429s with Retry-After while
+// client B's independent bucket keeps answering 200 — one tenant
+// cannot starve another.
+func TestRateLimiterFairness(t *testing.T) {
+	qasm := testQASM(t)
+	svc := newService(t, service.Config{RatePerSec: 0.5, Burst: 2})
+	// Precompile so HTTP requests are cache hits: the limiter sits in
+	// front of the cache, so hits still spend tokens, but the test never
+	// waits on real compiles.
+	if _, err := svc.Compile(context.Background(), service.Request{QASM: qasm}); err != nil {
+		t.Fatalf("precompile: %v", err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	post := func(apiKey string) (int, http.Header) {
+		payload, _ := json.Marshal(service.Request{QASM: qasm})
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/compile", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-API-Key", apiKey)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+
+	// Client A burns its burst of 2 concurrently, then keeps hammering.
+	const hammer = 8
+	codes := make([]int, hammer)
+	headers := make([]http.Header, hammer)
+	var wg sync.WaitGroup
+	for i := 0; i < hammer; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], headers[i] = post("client-a")
+		}(i)
+	}
+	wg.Wait()
+
+	var okA, limitedA int
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			okA++
+		case http.StatusTooManyRequests:
+			limitedA++
+			if headers[i].Get("Retry-After") == "" {
+				t.Fatalf("429 reply %d missing Retry-After", i)
+			}
+		default:
+			t.Fatalf("client A request %d: status %d", i, code)
+		}
+	}
+	if okA != 2 || limitedA != hammer-2 {
+		t.Fatalf("client A: ok=%d limited=%d, want burst of 2 then %d limited", okA, limitedA, hammer-2)
+	}
+
+	// Client B, untouched bucket: still served.
+	if code, _ := post("client-b"); code != http.StatusOK {
+		t.Fatalf("client B status %d while A is limited, want 200", code)
+	}
+	if rl := svc.AdmissionStats().RateLimited; rl != uint64(limitedA) {
+		t.Fatalf("RateLimited counter = %d, want %d", rl, limitedA)
+	}
+}
+
+// TestHTTPShedCarriesRetryAfter drives the queue bound through the
+// HTTP layer: shed responses must be 503 with a Retry-After header
+// while admitted requests succeed.
+func TestHTTPShedCarriesRetryAfter(t *testing.T) {
+	qasm := testQASM(t)
+	inj := faultinject.New(1)
+	inj.SetLatency(300 * time.Millisecond)
+	svc := newService(t, service.Config{Workers: 1, QueueDepth: 1, Injector: inj})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	const burst = 6
+	type reply struct {
+		code       int
+		retryAfter string
+	}
+	replies := make([]reply, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload, _ := json.Marshal(seededReq(qasm, int64(i)))
+			resp, err := http.Post(srv.URL+"/compile", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			replies[i] = reply{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, r := range replies {
+		switch r.code {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+			if r.retryAfter == "" {
+				t.Fatalf("shed reply %d missing Retry-After", i)
+			}
+		default:
+			t.Fatalf("reply %d: status %d", i, r.code)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("burst split ok=%d shed=%d, want both nonzero", ok, shed)
+	}
+}
+
+// TestInjectedCompileErrorIs503 pins the chaos contract: an injected
+// compile fault is a retryable 503 (a deliberate shed in the smoke
+// test's accounting), never a 500, and never poisons the cache.
+func TestInjectedCompileErrorIs503(t *testing.T) {
+	qasm := testQASM(t)
+	inj := faultinject.New(1)
+	if err := inj.Set(faultinject.CompileError, 1); err != nil {
+		t.Fatal(err)
+	}
+	svc := newService(t, service.Config{Injector: inj})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	payload, _ := json.Marshal(service.Request{QASM: qasm})
+	resp, err := http.Post(srv.URL+"/compile", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("injected-fault status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected-fault reply missing Retry-After")
+	}
+
+	// Disarm: the error must not have been cached.
+	if err := inj.Set(faultinject.CompileError, 0); err != nil {
+		t.Fatal(err)
+	}
+	payload, _ = json.Marshal(service.Request{QASM: qasm})
+	resp, err = http.Post(srv.URL+"/compile", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr service.CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || cr.Cached {
+		t.Fatalf("post-disarm compile: status %d cached=%v, want fresh 200", resp.StatusCode, cr.Cached)
+	}
+	counts := svc.FaultCounts()
+	if counts[string(faultinject.CompileError)] != 1 {
+		t.Fatalf("fault counts = %v, want one compile-error", counts)
+	}
+}

@@ -22,6 +22,11 @@ import (
 // from explicit seeds, so serving a cached Plan is bit-identical to
 // recompiling (pinned by the digest-parity tests).
 type planCache struct {
+	// disk is the optional crash-safe persistence layer under the LRU:
+	// read-through on a miss (before compiling), write-behind on a
+	// fresh compile. Nil when the service has no store.
+	disk *diskLayer
+
 	mu          sync.Mutex
 	max         int // weight budget (see planWeight)
 	totalWeight int
@@ -80,11 +85,12 @@ func newPlanCache(max int) *planCache {
 // do returns the plan for key, computing it at most once across
 // concurrent callers: a present key is a hit, an in-flight key blocks
 // on the existing compile (a dedup, reported as cached), and an absent
-// key runs compute. The wait is cancelable through ctx; abandoning a
-// wait never aborts the underlying compile, which still lands in the
-// cache for future requests (compute must not be bound to any single
-// waiter's context — the Service runs it under its base context).
-func (c *planCache) do(ctx context.Context, key string, compute func() (surfcomm.Plan, error)) (plan surfcomm.Plan, cached bool, err error) {
+// key consults the disk layer (when persist allows) before running
+// compute. The wait is cancelable through ctx; abandoning a wait never
+// aborts the underlying compile, which still lands in the cache for
+// future requests (compute must not be bound to any single waiter's
+// context — the Service runs it under its base context).
+func (c *planCache) do(ctx context.Context, key string, persist bool, compute func() (surfcomm.Plan, error)) (plan surfcomm.Plan, cached bool, err error) {
 	if c.max < 1 {
 		p, err := compute()
 		return p, false, err
@@ -109,7 +115,6 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (surfcomm
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
-	c.misses++
 	c.mu.Unlock()
 
 	// The flight must be resolved even if compute panics (the compile
@@ -133,7 +138,23 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (surfcomm
 			panic(r)
 		}
 	}()
+	// Read-through: a plan another run (or replica) already compiled is
+	// served from disk as a hit and promoted into the LRU by the
+	// resolution above. The store verifies checksums on read, so a torn
+	// or corrupt entry surfaces here as a plain miss.
+	if persist {
+		if p, ok := c.disk.load(key); ok {
+			f.plan = p
+			return f.plan, true, nil
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
 	f.plan, f.err = compute()
+	if f.err == nil && persist {
+		c.disk.save(key, f.plan)
+	}
 	return f.plan, false, f.err
 }
 
@@ -171,10 +192,13 @@ type CacheStats struct {
 	// cached plan carries recorded schedules).
 	Weight int `json:"weight"`
 	// Hits are requests answered from a cached plan; Misses compiled
-	// fresh; Deduped latched onto a concurrent identical compile.
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Deduped uint64 `json:"deduped"`
+	// fresh; Deduped latched onto a concurrent identical compile;
+	// DiskHits were read through from the persistent plan store (also
+	// served as cached).
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Deduped  uint64 `json:"deduped"`
+	DiskHits uint64 `json:"disk_hits"`
 	// Evictions counts plans dropped past the LRU bound.
 	Evictions uint64 `json:"evictions"`
 	// Inflight is the number of compiles running right now.
@@ -183,6 +207,7 @@ type CacheStats struct {
 
 // stats snapshots the counters.
 func (c *planCache) stats() CacheStats {
+	diskHits := c.disk.hits()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
@@ -192,6 +217,7 @@ func (c *planCache) stats() CacheStats {
 		Hits:       c.hits,
 		Misses:     c.misses,
 		Deduped:    c.deduped,
+		DiskHits:   diskHits,
 		Evictions:  c.evictions,
 		Inflight:   len(c.flights),
 	}

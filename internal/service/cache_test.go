@@ -24,7 +24,7 @@ func TestPanickingComputeDoesNotWedgeKey(t *testing.T) {
 				t.Fatal("leader should re-panic")
 			}
 		}()
-		c.do(ctx, "key", func() (surfcomm.Plan, error) { panic("compile exploded") })
+		c.do(ctx, "key", true, func() (surfcomm.Plan, error) { panic("compile exploded") })
 	}()
 
 	st := c.stats()
@@ -36,7 +36,7 @@ func TestPanickingComputeDoesNotWedgeKey(t *testing.T) {
 	}
 
 	// The key must be retryable: the next do runs compute again.
-	plan, cached, err := c.do(ctx, "key", func() (surfcomm.Plan, error) {
+	plan, cached, err := c.do(ctx, "key", true, func() (surfcomm.Plan, error) {
 		return surfcomm.Plan{Backend: "braid", Cycles: 42}, nil
 	})
 	if err != nil || cached || plan.Cycles != 42 {
@@ -62,7 +62,7 @@ func TestWeightedBudgetBoundsScheduleBearingPlans(t *testing.T) {
 	// cannot coexist.
 	c := newPlanCache(4)
 	for _, key := range []string{"a", "b"} {
-		if _, _, err := c.do(ctx, key, func() (surfcomm.Plan, error) { return heavy(512), nil }); err != nil {
+		if _, _, err := c.do(ctx, key, true, func() (surfcomm.Plan, error) { return heavy(512), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -76,14 +76,14 @@ func TestWeightedBudgetBoundsScheduleBearingPlans(t *testing.T) {
 
 	// A plan heavier than the entire budget is never retained.
 	c = newPlanCache(2)
-	if _, _, err := c.do(ctx, "huge", func() (surfcomm.Plan, error) { return heavy(4096), nil }); err != nil {
+	if _, _, err := c.do(ctx, "huge", true, func() (surfcomm.Plan, error) { return heavy(4096), nil }); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.stats(); st.Entries != 0 || st.Weight != 0 {
 		t.Errorf("oversized plan retained: %+v", st)
 	}
 	// …and the repeat is a miss that still compiles correctly.
-	plan, cached, err := c.do(ctx, "huge", func() (surfcomm.Plan, error) { return heavy(4096), nil })
+	plan, cached, err := c.do(ctx, "huge", true, func() (surfcomm.Plan, error) { return heavy(4096), nil })
 	if err != nil || cached || plan.Braid == nil {
 		t.Errorf("oversized repeat: cached=%v err=%v", cached, err)
 	}
@@ -102,7 +102,7 @@ func TestWaiterSeesPanicAsError(t *testing.T) {
 	go func() {
 		defer close(leaderDone)
 		defer func() { recover() }() // leader re-panics by design
-		c.do(ctx, "key", func() (surfcomm.Plan, error) {
+		c.do(ctx, "key", true, func() (surfcomm.Plan, error) {
 			close(entered)
 			<-release
 			panic("compile exploded")
@@ -112,7 +112,7 @@ func TestWaiterSeesPanicAsError(t *testing.T) {
 	<-entered
 	waiterErr := make(chan error, 1)
 	go func() {
-		_, _, err := c.do(ctx, "key", func() (surfcomm.Plan, error) {
+		_, _, err := c.do(ctx, "key", true, func() (surfcomm.Plan, error) {
 			t.Error("waiter must latch onto the flight, not recompute")
 			return surfcomm.Plan{}, nil
 		})

@@ -1,14 +1,18 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"surfcomm"
+	"surfcomm/internal/faultinject"
 	"surfcomm/internal/scerr"
+	"surfcomm/internal/store"
 )
 
 // errBodyTooLarge classifies a request body over MaxBodyBytes; it maps
@@ -76,21 +80,32 @@ type ModelResponse struct {
 	CongestionDD     float64 `json:"congestion_dd"`
 }
 
-// HealthResponse is the /healthz reply: liveness plus the cache and
-// pool counters operators watch.
+// HealthResponse is the /healthz reply: liveness plus the cache,
+// admission, store, and chaos counters operators watch. /healthz is
+// pure liveness — it answers 200 even while draining or overloaded;
+// /readyz is the routing signal.
 type HealthResponse struct {
-	Status        string     `json:"status"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Workers       int        `json:"workers"`
-	Cache         CacheStats `json:"cache"`
+	Status        string            `json:"status"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Workers       int               `json:"workers"`
+	Draining      bool              `json:"draining"`
+	Cache         CacheStats        `json:"cache"`
+	Admission     AdmissionStats    `json:"admission"`
+	Store         *store.Stats      `json:"store,omitempty"`
+	Faults        map[string]uint64 `json:"faults,omitempty"`
 }
 
 // httpStatus maps pipeline sentinel errors to HTTP statuses: bad
 // configs are the client's fault (400), unroutable devices are a valid
-// request the fabric cannot satisfy (422), cancellations mean the
-// server is going away (503), anything else is a server error.
+// request the fabric cannot satisfy (422), cancellations and shed or
+// chaos-failed requests are retryable server conditions (503 — typed
+// OverloadErrors refine rate limits to 429), anything else is a server
+// error.
 func httpStatus(err error) int {
+	var oe *OverloadError
 	switch {
+	case errors.As(err, &oe):
+		return oe.Status
 	case errors.Is(err, errBodyTooLarge):
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, scerr.ErrBadConfig):
@@ -99,7 +114,9 @@ func httpStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, scerr.ErrUnroutable):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, scerr.ErrCanceled):
+	case errors.Is(err, scerr.ErrCanceled),
+		errors.Is(err, scerr.ErrOverloaded),
+		errors.Is(err, faultinject.ErrInjected):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
@@ -114,7 +131,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
+	status := httpStatus(err)
+	// Every retryable refusal carries an honest Retry-After: typed
+	// overload errors know their queue-drain / token-refill estimate;
+	// other 503s (shutdown, injected faults) suggest an immediate-ish
+	// retry against another replica.
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
+	} else if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// retryAfterSeconds rounds a hint up to whole seconds (the header's
+// granularity), minimum 1 — "Retry-After: 0" is an invitation to storm.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // MaxBodyBytes caps a request body: big enough for any benchmark-suite
@@ -145,24 +183,65 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// DeadlineHeader is the request header carrying the client's compile
+// deadline: a Go duration ("1.5s") or an absolute RFC 3339 instant.
+// The handler rederives it as a context deadline, so it is honored
+// end-to-end — shed on arrival when the queue cannot meet it, answered
+// 503 without compiling when it expires in the queue, and canceled
+// mid-compile through the ErrCanceled plumbing when it passes.
+const DeadlineHeader = "X-Request-Deadline"
+
+// withRequestDeadline installs the DeadlineHeader as a context
+// deadline; malformed values are a 400, not a silent infinite budget.
+func withRequestDeadline(w http.ResponseWriter, r *http.Request) (*http.Request, context.CancelFunc, bool) {
+	hv := r.Header.Get(DeadlineHeader)
+	if hv == "" {
+		return r, func() {}, true
+	}
+	if d, err := time.ParseDuration(hv); err == nil && d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		return r.WithContext(ctx), cancel, true
+	}
+	if t, err := time.Parse(time.RFC3339Nano, hv); err == nil {
+		ctx, cancel := context.WithDeadline(r.Context(), t)
+		return r.WithContext(ctx), cancel, true
+	}
+	writeErr(w, scerr.BadConfig("service: bad %s %q (want a positive Go duration or an RFC 3339 time)",
+		DeadlineHeader, hv))
+	return nil, nil, false
+}
+
 // NewHandler mounts the serving endpoints:
 //
 //	POST /compile   one Request        -> CompileResponse
 //	POST /batch     []Request          -> []CompileResponse
 //	POST /estimate  Request (qasm)     -> EstimateResponse
 //	GET  /models    -                  -> []ModelResponse
-//	GET  /healthz   -                  -> HealthResponse
+//	GET  /healthz   -                  -> HealthResponse (liveness; always 200)
+//	GET  /readyz    -                  -> 200 ready / 503 draining or overloaded
 //
-// The request context governs each caller's wait (and, with caching
-// disabled, its private compile); cache-shared compiles run under the
-// service's base context, so a dropped client never cancels work other
-// requests are latched onto while a server shutdown still aborts
-// everything through the pipeline's ErrCanceled plumbing.
+// The compile endpoints sit behind the service's per-client rate
+// limiter (keyed by ClientKey; a batch costs its slot count) and honor
+// the X-Request-Deadline header. The request context governs each
+// caller's wait (and, with caching disabled, its private compile);
+// cache-shared compiles run under the service's base context, so a
+// dropped client never cancels work other requests are latched onto
+// while a server shutdown still aborts everything through the
+// pipeline's ErrCanceled plumbing.
 func NewHandler(s *Service) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.AllowClient(ClientKey(r), 1); err != nil {
+			writeErr(w, err)
+			return
+		}
+		r, cancel, ok := withRequestDeadline(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
 		var req Request
 		if err := decodeJSON(w, r, &req); err != nil {
 			writeErr(w, err)
@@ -178,6 +257,11 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		r, cancel, ok := withRequestDeadline(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
 		var reqs []Request
 		if err := decodeJSON(w, r, &reqs); err != nil {
 			writeErr(w, err)
@@ -186,6 +270,12 @@ func NewHandler(s *Service) http.Handler {
 		if len(reqs) > MaxBatchRequests {
 			writeErr(w, scerr.BadConfig("service: batch of %d exceeds the %d-request cap; split it",
 				len(reqs), MaxBatchRequests))
+			return
+		}
+		// A batch spends one token per slot: batching amortizes HTTP
+		// overhead, not a client's fair share of the compile pool.
+		if err := s.AllowClient(ClientKey(r), len(reqs)); err != nil {
+			writeErr(w, err)
 			return
 		}
 		results := s.CompileBatch(r.Context(), reqs)
@@ -203,6 +293,10 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.AllowClient(ClientKey(r), 1); err != nil {
+			writeErr(w, err)
+			return
+		}
 		var req Request
 		if err := decodeJSON(w, r, &req); err != nil {
 			writeErr(w, err)
@@ -244,12 +338,27 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, reason := s.Ready()
 		writeJSON(w, http.StatusOK, HealthResponse{
 			Status:        "ok",
 			UptimeSeconds: time.Since(start).Seconds(),
 			Workers:       s.workers,
+			Draining:      reason == "draining",
 			Cache:         s.Stats(),
+			Admission:     s.AdmissionStats(),
+			Store:         s.StoreStats(),
+			Faults:        s.FaultCounts(),
 		})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := s.Ready()
+		if !ready {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": reason})
 	})
 
 	return mux

@@ -248,3 +248,113 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Errorf("GET /compile status = %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestReadyzFlipsOnDrain pins the probe split over HTTP: /readyz
+// answers 200 while serving and 503 with Retry-After once the service
+// drains, while /healthz keeps reporting liveness (with the drain
+// flag) throughout.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	svc := newService(t, service.Config{})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz while serving = %d, want 200", resp.StatusCode)
+	}
+
+	svc.Drain()
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/readyz 503 missing Retry-After")
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200 (liveness != readiness)", resp.StatusCode)
+	}
+	var health service.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Draining {
+		t.Fatal("/healthz does not report draining")
+	}
+	if health.Admission.Workers < 1 || health.Admission.QueueLimit != service.DefaultQueueDepth {
+		t.Fatalf("admission snapshot = %+v, want workers >= 1, default queue limit", health.Admission)
+	}
+}
+
+// TestMalformedDeadlineHeaderIs400 pins the header contract: a
+// deadline the server cannot parse is the client's error, answered
+// before any compile work.
+func TestMalformedDeadlineHeaderIs400(t *testing.T) {
+	srv := newTestServer(t)
+	payload, err := json.Marshal(service.Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"soon", "-5s", "2006-13-45T99:99:99Z"} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/compile", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(service.DeadlineHeader, bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestDeadlineHeaderHonored pins the happy path: a generous duration
+// deadline passes through and the request still compiles.
+func TestDeadlineHeaderHonored(t *testing.T) {
+	srv := newTestServer(t)
+	payload, err := json.Marshal(service.Request{QASM: testQASM(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/compile", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.DeadlineHeader, "30s")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var cr service.CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Plan == nil {
+		t.Fatal("no plan in response")
+	}
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the per-client map so an attacker rotating API
+// keys cannot grow daemon memory; past it, the sweep drops the stalest
+// full buckets (a full bucket loses nothing by being forgotten).
+const maxBuckets = 4096
+
+// rateLimiter is a per-client token-bucket map: each client refills at
+// rate tokens/second up to burst. Fairness is the point — one client
+// hammering the service drains only its own bucket, never another
+// client's admission.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	limited uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns nil when rate <= 0 (limiting disabled); a nil
+// limiter allows everything.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends cost tokens from key's bucket, reporting whether the
+// request may proceed and, when not, how long until enough tokens
+// refill. Nil-safe: a nil limiter always allows.
+func (l *rateLimiter) allow(key string, cost float64, now time.Time) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		dt := now.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens += dt * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	l.limited++
+	wait := time.Duration((cost - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// sweepLocked evicts buckets that have been idle long enough to be
+// full again — forgetting them loses no state a fresh bucket wouldn't
+// have. Callers hold l.mu.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// rateLimitedCount snapshots the refusal counter. Nil-safe.
+func (l *rateLimiter) rateLimitedCount() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limited
+}
+
+// ClientKey identifies the client a request's rate-limit bucket is
+// keyed by: the X-API-Key header when present (one tenant, many
+// machines), otherwise the remote host (one bucket per source address).
+func ClientKey(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return "key:" + key
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"sync"
+
+	"surfcomm"
+	"surfcomm/internal/store"
+)
+
+// storedPlan is the portable on-disk projection of a Plan: the schedule
+// and footprint metrics the serving API returns. Backend-specific
+// artifacts (recorded braid schedules, SIMD move lists, EPR traces) are
+// deliberately not persisted — they are replay/debug payloads, not
+// serving state — so requests compiled with record_schedule bypass the
+// disk layer entirely rather than resurface artifact-less.
+//
+// Field order is load-bearing: encoding/json emits struct fields in
+// declaration order, which (with Go's shortest-float formatting) makes
+// the encoding deterministic — a recompiled plan persists
+// byte-identically, the property the crash-recovery tests pin.
+type storedPlan struct {
+	Backend        string  `json:"backend"`
+	Circuit        string  `json:"circuit"`
+	Distance       int     `json:"distance"`
+	Seed           int64   `json:"seed"`
+	Device         string  `json:"device"`
+	Cycles         int64   `json:"cycles"`
+	Seconds        float64 `json:"seconds"`
+	PhysicalQubits float64 `json:"physical_qubits"`
+	CommOps        int64   `json:"comm_ops"`
+}
+
+func encodePlan(p surfcomm.Plan) ([]byte, error) {
+	return json.Marshal(storedPlan{
+		Backend:        p.Backend,
+		Circuit:        p.Circuit,
+		Distance:       p.Distance,
+		Seed:           p.Seed,
+		Device:         p.Device,
+		Cycles:         p.Cycles,
+		Seconds:        p.Seconds,
+		PhysicalQubits: p.PhysicalQubits,
+		CommOps:        p.CommOps,
+	})
+}
+
+func decodePlan(data []byte) (surfcomm.Plan, error) {
+	var sp storedPlan
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return surfcomm.Plan{}, fmt.Errorf("service: stored plan: %w", err)
+	}
+	if sp.Backend == "" || sp.Cycles <= 0 {
+		return surfcomm.Plan{}, fmt.Errorf("service: stored plan: missing backend/cycles")
+	}
+	return surfcomm.Plan{
+		Backend:        sp.Backend,
+		Circuit:        sp.Circuit,
+		Distance:       sp.Distance,
+		Seed:           sp.Seed,
+		Device:         sp.Device,
+		Cycles:         sp.Cycles,
+		Seconds:        sp.Seconds,
+		PhysicalQubits: sp.PhysicalQubits,
+		CommOps:        sp.CommOps,
+	}, nil
+}
+
+// diskLayer wires a store.Store under the in-memory LRU: read-through
+// on misses (a disk hit is served as cached and promoted into the LRU)
+// and write-behind on fresh compiles (the requester never waits on
+// disk; a failed write logs and costs only a future recompile). The
+// store's checksum discipline guarantees load never returns a corrupt
+// plan — torn entries are quarantined and read as misses.
+type diskLayer struct {
+	st *store.Store
+
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	closed   bool
+	diskHits uint64
+}
+
+func newDiskLayer(st *store.Store) *diskLayer {
+	if st == nil {
+		return nil
+	}
+	return &diskLayer{st: st}
+}
+
+// load reads through to disk; nil-safe.
+func (d *diskLayer) load(digest string) (surfcomm.Plan, bool) {
+	if d == nil {
+		return surfcomm.Plan{}, false
+	}
+	payload, ok := d.st.Get(digest)
+	if !ok {
+		return surfcomm.Plan{}, false
+	}
+	plan, err := decodePlan(payload)
+	if err != nil {
+		// Checksum-valid but semantically unusable (e.g. written by an
+		// incompatible future version): treat as a miss and recompile.
+		log.Printf("service: store entry %.12s… undecodable (%v); recompiling", digest, err)
+		return surfcomm.Plan{}, false
+	}
+	d.mu.Lock()
+	d.diskHits++
+	d.mu.Unlock()
+	return plan, true
+}
+
+// save persists a plan asynchronously (write-behind); nil-safe. Saves
+// after close are dropped — shutdown flushes what was queued, it does
+// not accept new work.
+func (d *diskLayer) save(digest string, p surfcomm.Plan) {
+	if d == nil {
+		return
+	}
+	payload, err := encodePlan(p)
+	if err != nil {
+		log.Printf("service: encode plan %.12s…: %v", digest, err)
+		return
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.wg.Add(1)
+	d.mu.Unlock()
+	go func() {
+		defer d.wg.Done()
+		if err := d.st.Put(digest, payload); err != nil {
+			log.Printf("service: persist plan %.12s…: %v", digest, err)
+		}
+	}()
+}
+
+// close flushes queued writes and stops accepting new ones; nil-safe.
+func (d *diskLayer) close() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// hits snapshots the disk-hit counter; nil-safe.
+func (d *diskLayer) hits() uint64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.diskHits
+}
+
+// storeStats snapshots the underlying store's counters; nil when no
+// store is configured.
+func (d *diskLayer) storeStats() *store.Stats {
+	if d == nil {
+		return nil
+	}
+	st := d.st.Stats()
+	return &st
+}

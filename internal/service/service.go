@@ -19,9 +19,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"surfcomm"
+	"surfcomm/internal/faultinject"
 	"surfcomm/internal/scerr"
+	"surfcomm/internal/store"
 	"surfcomm/internal/sweep"
 )
 
@@ -44,6 +48,27 @@ type Config struct {
 	// so graceful shutdown still cancels in-flight compiles through
 	// the ErrCanceled plumbing.
 	BaseContext context.Context
+	// QueueDepth bounds the compile queue behind the worker slots:
+	// arrivals past it (or whose deadline the queue provably cannot
+	// meet) are shed immediately with ErrOverloaded instead of waiting
+	// to fail. 0 selects DefaultQueueDepth; negative allows no queueing
+	// at all (shed whenever every slot is busy).
+	QueueDepth int
+	// RatePerSec enables per-client token-bucket rate limiting at that
+	// refill rate (0 disables); Burst is the bucket size (0 selects
+	// 2×RatePerSec, minimum 1). Clients are keyed by ClientKey.
+	RatePerSec float64
+	Burst      int
+	// Store is the crash-safe disk plan store layered under the LRU:
+	// read-through on misses, write-behind on fresh compiles, so a
+	// restarted daemon (or a replica sharing the directory) serves warm
+	// hits. Nil disables persistence. Persistence requires caching
+	// (MaxEntries >= 0).
+	Store *store.Store
+	// Injector arms the chaos layer (compile latency/error injection);
+	// nil injects nothing. The store's write faults are armed on the
+	// store itself at Open.
+	Injector *faultinject.Injector
 }
 
 // Service serves compile requests from a shared toolchain through the
@@ -53,10 +78,14 @@ type Service struct {
 	cache   *planCache
 	workers int
 	base    context.Context
-	// sem bounds compiles service-wide: every batch runs its own
-	// worker pool, so without a shared bound N concurrent batches
-	// would run N×workers compiles at once. Cache hits bypass it.
-	sem chan struct{}
+	// adm bounds compiles service-wide (worker slots + a bounded,
+	// deadline-priced queue): every batch runs its own worker pool, so
+	// without a shared bound N concurrent batches would run N×workers
+	// compiles at once. Cache hits bypass it.
+	adm      *admission
+	limiter  *rateLimiter
+	inj      *faultinject.Injector
+	draining atomic.Bool
 
 	modelsMu     sync.Mutex
 	models       []surfcomm.AppModel
@@ -97,12 +126,25 @@ func New(tc *surfcomm.Toolchain, cfg Config) *Service {
 	if base == nil {
 		base = context.Background()
 	}
+	queue := cfg.QueueDepth
+	switch {
+	case queue == 0:
+		queue = DefaultQueueDepth
+	case queue < 0:
+		queue = 0
+	}
+	cache := newPlanCache(max)
+	if max > 0 {
+		cache.disk = newDiskLayer(cfg.Store)
+	}
 	return &Service{
 		tc:      tc,
-		cache:   newPlanCache(max),
+		cache:   cache,
 		workers: workers,
 		base:    base,
-		sem:     make(chan struct{}, workers),
+		adm:     newAdmission(workers, queue),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst),
+		inj:     cfg.Injector,
 	}
 }
 
@@ -290,16 +332,22 @@ type Result struct {
 }
 
 // Compile serves one request through the cache: a digest hit returns
-// the cached plan, a concurrent identical compile is awaited, and a
-// miss compiles fresh and populates the cache.
+// the cached plan, a concurrent identical compile is awaited, a miss
+// reads through to the disk store, and only then does a compile run —
+// behind admission control (bounded queue, deadline-aware shedding
+// with ErrOverloaded, request contexts that expire in the queue
+// answered without compiling).
 //
 // Cache-shared compiles run under the service's base context, not the
 // request's: the leader's client disconnecting must not cancel the
 // compile every deduped waiter is latched onto (and whose result the
-// cache keeps). The request context still governs the caller's wait,
-// and a pre-canceled request is rejected before any work starts; with
-// caching disabled a compile serves only its own request and stays on
-// the request context.
+// cache keeps). A request deadline (the HTTP layer's
+// X-Request-Deadline, or any context deadline) is honored end-to-end:
+// it is re-derived onto the base context, so the compile itself aborts
+// with ErrCanceled when the deadline passes. The request context still
+// governs the caller's wait, and a pre-canceled request is rejected
+// before any work starts; with caching disabled a compile serves only
+// its own request and stays on the request context.
 func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
 	if ctx.Err() != nil {
 		err := scerr.Canceled(ctx)
@@ -309,14 +357,47 @@ func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
 	if err != nil {
 		return Result{Err: err}, err
 	}
+	// Recorded-schedule plans carry artifacts the disk store does not
+	// persist; keep them out of the disk layer so a disk hit never
+	// serves an artifact-less plan for a request that asked for them.
+	persist := !key.target.RecordSchedule
 	compileCtx := s.base
+	cancel := func() {}
 	if s.cache.max < 1 {
 		compileCtx = ctx
+	} else if dl, ok := ctx.Deadline(); ok {
+		// Propagate the request deadline into the shared compile while
+		// keeping shutdown authority with the base context. A waiter
+		// with a longer deadline latched onto this flight loses the
+		// race, but the error is never cached, so its retry recompiles.
+		compileCtx, cancel = context.WithDeadline(s.base, dl)
 	}
-	plan, cached, err := s.cache.do(ctx, key.digest, func() (surfcomm.Plan, error) {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		return s.tc.Compile(compileCtx, key.backend, key.circuit, func(t *surfcomm.Target) { *t = key.target })
+	defer cancel()
+	plan, cached, err := s.cache.do(ctx, key.digest, persist, func() (surfcomm.Plan, error) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return surfcomm.Plan{}, err
+		}
+		start := time.Now()
+		observed := time.Duration(0)
+		defer func() { s.adm.release(observed) }()
+		if d := s.inj.CompileDelay(); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-compileCtx.Done():
+				return surfcomm.Plan{}, scerr.Canceled(compileCtx)
+			}
+		}
+		if s.inj.Fire(faultinject.CompileError) {
+			return surfcomm.Plan{}, fmt.Errorf("%w: compile of %.12s…", faultinject.ErrInjected, key.digest)
+		}
+		p, err := s.tc.Compile(compileCtx, key.backend, key.circuit, func(t *surfcomm.Target) { *t = key.target })
+		if err == nil {
+			// Only successful compiles feed the queue-pricing EWMA:
+			// injected/aborted compiles would teach admission the wrong
+			// service time.
+			observed = time.Since(start)
+		}
+		return p, err
 	})
 	if err != nil {
 		return Result{Digest: key.digest, Err: err}, err
@@ -403,6 +484,56 @@ func (s *Service) Models(ctx context.Context) ([]surfcomm.AppModel, error) {
 
 // Stats snapshots the cache counters.
 func (s *Service) Stats() CacheStats { return s.cache.stats() }
+
+// AdmissionStats snapshots the admission queue and rate-limit counters.
+func (s *Service) AdmissionStats() AdmissionStats {
+	return s.adm.stats(s.limiter.rateLimitedCount())
+}
+
+// StoreStats snapshots the persistent plan store's counters; nil when
+// no store is configured.
+func (s *Service) StoreStats() *store.Stats { return s.cache.disk.storeStats() }
+
+// FaultCounts snapshots how often each injected fault fired; nil when
+// chaos is off.
+func (s *Service) FaultCounts() map[string]uint64 { return s.inj.Counts() }
+
+// AllowClient spends one token from the client's rate-limit bucket
+// (cost scales for batches), returning an *OverloadError (429,
+// Retry-After set) when the bucket is empty. A service without rate
+// limiting allows everything.
+func (s *Service) AllowClient(key string, cost int) error {
+	ok, wait := s.limiter.allow(key, float64(cost), time.Now())
+	if ok {
+		return nil
+	}
+	return overload(429, wait, "service: client %q over its rate limit", key)
+}
+
+// Drain flips the service to not-ready: /readyz answers 503 so load
+// balancers stop routing here, while in-flight (and even new) requests
+// are still served until the listener actually closes. Draining is the
+// first step of graceful shutdown.
+func (s *Service) Drain() { s.draining.Store(true) }
+
+// Ready reports whether the service should receive new traffic, with
+// the reason when not: "draining" during shutdown, "overloaded" while
+// the compile queue is saturated (a new compile would be shed).
+func (s *Service) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.adm.saturated() {
+		return false, "overloaded"
+	}
+	return true, "ready"
+}
+
+// Close flushes the write-behind queue to the disk store and stops
+// accepting new persistence work. It does not close the store itself
+// (the daemon that opened it owns it) and the service keeps serving
+// from memory afterwards.
+func (s *Service) Close() { s.cache.disk.close() }
 
 // Toolchain returns the toolchain the service compiles with.
 func (s *Service) Toolchain() *surfcomm.Toolchain { return s.tc }

@@ -1,0 +1,224 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"surfcomm/internal/faultinject"
+	"surfcomm/internal/store"
+)
+
+// digestFor builds a syntactically valid cache digest from a short tag.
+func digestFor(tag string) string {
+	d := strings.Repeat("0", 64-len(tag)) + tag
+	return strings.ToLower(d)
+}
+
+func openT(t *testing.T, dir string, inj *faultinject.Injector) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t, t.TempDir(), nil)
+	digest := digestFor("abc123")
+	payload := []byte(`{"backend":"braid","cycles":42}`)
+	if err := s.Put(digest, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(digest)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	if _, ok := s.Get(digestFor("def456")); ok {
+		t.Error("absent digest reported a hit")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInvalidDigestRejected(t *testing.T) {
+	s := openT(t, t.TempDir(), nil)
+	for _, bad := range []string{"", "short", strings.Repeat("g", 64), "../../etc/passwd", strings.Repeat("A", 64)} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid digest", bad)
+		}
+		if _, ok := s.Get(bad); ok {
+			t.Errorf("Get(%q) hit on an invalid digest", bad)
+		}
+	}
+}
+
+// TestEntriesSurviveReopen pins the restart contract: a second Open on
+// the same directory serves everything the first one wrote.
+func TestEntriesSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openT(t, dir, nil)
+	digest := digestFor("5eed")
+	payload := []byte("plan-bytes")
+	if err := s1.Put(digest, payload); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, nil)
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", s2.Len())
+	}
+	got, ok := s2.Get(digest)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+}
+
+// TestTornWriteQuarantinedOnReopen is the crash-recovery satellite at
+// the store layer: a torn write reports success, the reopen scan
+// quarantines it instead of crashing, and a clean re-Put of the same
+// digest lands byte-identical to an untouched control store.
+func TestTornWriteQuarantinedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1)
+	if err := inj.Set(faultinject.TornWrite, 1); err != nil {
+		t.Fatal(err)
+	}
+	s1 := openT(t, dir, inj)
+	digest := digestFor("dead")
+	payload := []byte(`{"backend":"braid","cycles":4242,"seconds":0.001}`)
+	if err := s1.Put(digest, payload); err != nil {
+		t.Fatalf("torn write must still report success (the crash is after the ack): %v", err)
+	}
+
+	// The reopen scan must quarantine the torn entry, not crash on it
+	// (and must never serve it).
+	s2 := openT(t, dir, nil)
+	if st := s2.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("reopen stats = %+v, want 1 quarantined, 0 entries", st)
+	}
+	if _, ok := s2.Get(digest); ok {
+		t.Fatal("torn entry served after reopen")
+	}
+	// The quarantined bytes are preserved for postmortems.
+	quarantined, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("quarantine dir = %v, %v; want the torn entry", quarantined, err)
+	}
+
+	// A recompile (deterministic payload) repopulates byte-identically:
+	// the healed entry equals a control store's entry for the same
+	// payload, byte for byte.
+	if err := s2.Put(digest, payload); err != nil {
+		t.Fatal(err)
+	}
+	control := openT(t, t.TempDir(), nil)
+	if err := control.Put(digest, payload); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := os.ReadFile(filepath.Join(dir, "plans", digest+".plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(control.Dir(), "plans", digest+".plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, want) {
+		t.Error("healed entry is not byte-identical to a clean write of the same payload")
+	}
+	if got, ok := s2.Get(digest); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("healed Get = %q, %v", got, ok)
+	}
+}
+
+// TestCorruptPayloadQuarantinedOnRead flips one payload byte on disk
+// and asserts the checksum catches it at read time.
+func TestCorruptPayloadQuarantinedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	digest := digestFor("c0ffee")
+	if err := s.Put(digest, []byte("payload-under-test")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "plans", digest+".plan")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(digest); ok {
+		t.Fatal("bit-flipped entry served")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry still in the live namespace")
+	}
+}
+
+// TestForeignFilesQuarantinedAtOpen pins the never-crash-at-startup
+// rule for junk in plans/.
+func TestForeignFilesQuarantinedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	openT(t, dir, nil) // create layout
+	junk := filepath.Join(dir, "plans", "README.txt")
+	if err := os.WriteFile(junk, []byte("not a plan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, nil)
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want the junk file quarantined", st)
+	}
+}
+
+// TestInjectedWriteErrorIsCleanFailure pins the write-behind contract:
+// a failed Put surfaces as ErrInjected, leaves no live entry, and the
+// store keeps serving.
+func TestInjectedWriteErrorIsCleanFailure(t *testing.T) {
+	inj := faultinject.New(1)
+	if err := inj.Set(faultinject.StoreWriteError, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, t.TempDir(), inj)
+	digest := digestFor("beef")
+	err := s.Put(digest, []byte("x"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Put error = %v, want ErrInjected", err)
+	}
+	if _, ok := s.Get(digest); ok {
+		t.Error("failed Put left a live entry")
+	}
+	if st := s.Stats(); st.PutErrors != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestAbandonedTempFilesCleared pins Open's tmp/ cleanup: a write
+// killed before its rename leaves a temp file that must be dropped, not
+// surfaced.
+func TestAbandonedTempFilesCleared(t *testing.T) {
+	dir := t.TempDir()
+	openT(t, dir, nil)
+	stray := filepath.Join(dir, "tmp", digestFor("ab")+"-12345")
+	if err := os.WriteFile(stray, []byte("half a wri"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, nil)
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("abandoned temp file survived Open")
+	}
+}
