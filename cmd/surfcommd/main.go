@@ -11,6 +11,7 @@
 //	POST /compile   compile one circuit            {"qasm": "...", "backend": "planar", ...}
 //	POST /batch     compile a slice of requests    [{"qasm": "..."}, ...]
 //	POST /estimate  frontend characterization      {"qasm": "..."}
+//	POST /decode    streaming syndrome decoding    NDJSON full-duplex, see internal/service/decode.go
 //	GET  /models    reference application models
 //	GET  /healthz   liveness + cache/admission/store/fault counters
 //	GET  /readyz    readiness (503 while draining or saturated)

@@ -47,6 +47,8 @@ func main() {
 	fig9 := flag.Bool("fig9", false, "Figure 9: crossover boundaries")
 	epr := flag.Bool("epr", false, "§8.1: EPR window sweep")
 	dec := flag.Bool("decoder", false, "§2.3: Monte Carlo error-model validation grid (opt-in)")
+	decStrategy := flag.String("decoder-strategy", "", "decoding strategy for -decoder: mwpm or unionfind (default mwpm)")
+	decode := flag.Bool("decode", false, "decoder strategy benchmark: parity + work-op crossover for mwpm vs unionfind (opt-in)")
 	yield := flag.Bool("yield", false, "communication-yield study: braid compiles on defective devices (opt-in)")
 	defectFrac := flag.String("defect-frac", "", "comma-separated defect fractions for -yield (default 0,0.02,0.05)")
 	yieldApp := flag.String("yield-app", "GSE", "application for the -yield study")
@@ -57,7 +59,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-cell results to this JSON file (e.g. BENCH_sweep.json)")
 	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
 	flag.Parse()
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec && !*yield
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec && !*yield && !*decode
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -66,6 +68,9 @@ func main() {
 		surfcomm.WithSeed(*seed),
 		surfcomm.WithWorkers(*workers),
 		surfcomm.WithTechnology(surfcomm.Superconducting(*pp)),
+	}
+	if *decStrategy != "" {
+		opts = append(opts, surfcomm.WithDecoderStrategy(*decStrategy))
 	}
 	if *progress {
 		opts = append(opts, surfcomm.WithProgress(func(ev surfcomm.Event) {
@@ -119,6 +124,11 @@ func main() {
 	}
 	if *dec {
 		if err := runDecoder(ctx, tc, &records); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *decode {
+		if err := runDecodeBench(ctx, *seed, *workers, &records); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -299,7 +309,11 @@ func runDecoder(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm
 		return err
 	}
 	*records = append(*records, surfcomm.SweepDecoderRecords(cells)...)
-	fmt.Println("\n§2.3: Monte Carlo error-model validation (logical rate per decode round)")
+	strategy := surfcomm.DecoderStrategyMWPM
+	if len(cells) > 0 && cells[0].Strategy != "" {
+		strategy = cells[0].Strategy
+	}
+	fmt.Printf("\n§2.3: Monte Carlo error-model validation (logical rate per decode round, %s)\n", strategy)
 	fmt.Println(strings.Repeat("-", 56))
 	fmt.Printf("%-6s %10s %10s %12s %10s\n", "d", "p", "failures", "trials", "p_L")
 	for _, c := range cells {
@@ -307,6 +321,85 @@ func runDecoder(ctx context.Context, tc *surfcomm.Toolchain, records *[]surfcomm
 			c.Distance, c.PhysicalRate, c.Failures, c.Trials, c.LogicalRate)
 	}
 	fmt.Println("Paper: below threshold, each distance step suppresses the logical rate.")
+	return nil
+}
+
+// runDecodeBench runs the decoder-strategy comparison behind
+// BENCH_decode.json: parity cells at small distances (same per-cell
+// seeds for both strategies, so the failure counts are directly
+// comparable) plus a work-op curve at p=0.08 out to d=17, from which
+// the union-find crossover distance is derived. Work-ops — not wall
+// clock — are recorded so the artifact is byte-identical on any
+// machine.
+func runDecodeBench(ctx context.Context, seed int64, workers int, records *[]surfcomm.SweepCellResult) error {
+	parityDistances := []int{3, 5, 7}
+	parityRates := []float64{0.03, 0.05, 0.08}
+	const parityTrials = 400
+	crossDistances := []int{9, 13, 17}
+	crossRates := []float64{0.08}
+	const crossTrials = 60
+
+	// ops[strategy][cell label] = workops/trial at p=0.08, keyed by d.
+	ops := map[string]map[int]float64{}
+	strategies := []string{surfcomm.DecoderStrategyMWPM, surfcomm.DecoderStrategyUnionFind}
+	fmt.Println("\nDecoder strategy benchmark: mwpm vs unionfind")
+	fmt.Println(strings.Repeat("-", 72))
+	fmt.Printf("%-10s %-6s %10s %10s %12s %14s\n", "strategy", "d", "p", "failures", "trials", "workops/trial")
+	for _, name := range strategies {
+		tc, err := surfcomm.NewToolchain(
+			surfcomm.WithSeed(seed),
+			surfcomm.WithWorkers(workers),
+			surfcomm.WithDecoderStrategy(name),
+		)
+		if err != nil {
+			return err
+		}
+		cells, err := tc.DecoderGrid(ctx, parityDistances, parityRates, parityTrials)
+		if err != nil {
+			return err
+		}
+		cross, err := tc.DecoderGrid(ctx, crossDistances, crossRates, crossTrials)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, cross...)
+		*records = append(*records, surfcomm.SweepDecodeBenchRecords("decode", cells)...)
+		ops[name] = map[int]float64{}
+		for _, c := range cells {
+			perTrial := float64(c.WorkOps) / float64(c.Trials)
+			if c.PhysicalRate == 0.08 {
+				ops[name][c.Distance] = perTrial
+			}
+			fmt.Printf("%-10s %-6d %10.2f %10d %12d %14.1f\n",
+				name, c.Distance, c.PhysicalRate, c.Failures, c.Trials, perTrial)
+		}
+	}
+
+	// Crossover: the smallest distance from which union-find stays
+	// cheaper than the matcher for every larger measured distance.
+	curve := append(append([]int{}, parityDistances...), crossDistances...)
+	crossover := -1
+	for i := len(curve) - 1; i >= 0; i-- {
+		d := curve[i]
+		if ops[surfcomm.DecoderStrategyUnionFind][d] < ops[surfcomm.DecoderStrategyMWPM][d] {
+			crossover = d
+		} else {
+			break
+		}
+	}
+	*records = append(*records, surfcomm.SweepCellResult{
+		Study:    "decode",
+		Cell:     "crossover/p=8.00e-02",
+		Seed:     seed,
+		Metrics:  map[string]float64{"crossover_distance": float64(crossover)},
+		Device:   "perfect",
+		Strategy: surfcomm.DecoderStrategyUnionFind,
+	})
+	if crossover >= 0 {
+		fmt.Printf("crossover: unionfind cheaper than mwpm from d=%d on (p=0.08, work-ops/trial)\n", crossover)
+	} else {
+		fmt.Println("crossover: mwpm cheaper across the measured range (p=0.08)")
+	}
 	return nil
 }
 

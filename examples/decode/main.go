@@ -1,0 +1,150 @@
+// Decode: the streaming /decode client walkthrough. The program opens
+// a real-time decode session against the compile daemon, streams
+// deterministic seeded syndrome rounds, prints every decoded window's
+// correction as the server answers it, and verifies the cumulative
+// streamed corrections clear the final syndrome. All printed fields
+// are deterministic for a fixed seed and strategy (wall-clock decode
+// latency is deliberately omitted), so the output doubles as the CI
+// decode-smoke golden transcript. Point -addr at a running daemon or
+// let the program start an in-process one:
+//
+//	go run ./cmd/surfcommd &
+//	go run ./examples/decode -addr http://localhost:8723
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"surfcomm"
+	"surfcomm/client"
+	"surfcomm/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "", "base URL of a running surfcommd (empty = start an in-process server)")
+	strategy := flag.String("strategy", surfcomm.DecoderStrategyUnionFind, "decoding strategy (mwpm or unionfind)")
+	d := flag.Int("d", 5, "code distance")
+	window := flag.Int("window", 3, "rounds per decode window")
+	rounds := flag.Int("rounds", 9, "syndrome rounds to stream")
+	p := flag.Float64("p", 0.02, "per-round data-qubit error probability")
+	seed := flag.Int64("seed", 23, "error-sampling seed")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := httptest.NewServer(service.NewHandler(service.New(tc, service.Config{})))
+		defer srv.Close()
+		base = srv.URL
+	}
+	cl := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The client keeps a local copy of the lattice so it can sample
+	// errors, measure syndromes, and audit the streamed corrections.
+	l, err := surfcomm.NewDecoderLattice(*d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("POST /decode: d=%d window=%d strategy=%s\n", *d, *window, *strategy)
+	ds, err := cl.DecodeStream(ctx, service.DecodeStart{
+		Distance: *d, Window: *window, Strategy: *strategy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+	ack := ds.Ack()
+	fmt.Printf("ack: checks=%d qubits=%d\n", ack.Checks, ack.Qubits)
+
+	// Stream: each round accumulates fresh data errors on top of the
+	// surviving ones, exactly what repeated stabilizer measurement sees.
+	rng := rand.New(rand.NewSource(*seed))
+	errs := l.NewErrorPattern()
+	for r := 0; r < *rounds; r++ {
+		for q := range errs {
+			if rng.Float64() < *p {
+				errs[q] = !errs[q]
+			}
+		}
+		if err := ds.Send(l.Syndrome(errs)); err != nil {
+			log.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if err := ds.CloseSend(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drain window results as the server answers them. Corrections are
+	// cumulative across windows: XOR-ing them all should cancel every
+	// error the stream accumulated (up to a stabilizer loop).
+	cumulative := l.NewErrorPattern()
+	for {
+		res, err := ds.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("window %d: rounds=%d defects=%d vented=%v correction=%s\n",
+			res.Window, res.Rounds, res.Defects, res.Vented, res.Correction)
+		corr, err := ds.Correction(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for q, hot := range corr {
+			if hot {
+				cumulative[q] = !cumulative[q]
+			}
+		}
+	}
+	sum, ok := ds.Summary()
+	if !ok {
+		log.Fatal("stream ended without a summary")
+	}
+	fmt.Printf("summary: windows=%d rounds=%d vents=%d workops=%d kept_up=%v\n",
+		sum.Windows, sum.Rounds, sum.Vents, sum.WorkOps, sum.KeptUp)
+
+	residual := l.NewErrorPattern()
+	for q := range residual {
+		residual[q] = errs[q] != cumulative[q]
+	}
+	clear := true
+	for _, hot := range l.Syndrome(residual) {
+		if hot {
+			clear = false
+		}
+	}
+	fmt.Printf("cumulative correction clears final syndrome: %v\n", clear)
+
+	// The session's worker slot frees in the handler's deferred cleanup,
+	// which can land a beat after the client reads the summary — poll
+	// the health endpoint until the active count settles.
+	var health service.HealthResponse
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if health, err = cl.Health(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if health.Decode.Active == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("healthz decode counters: sessions=%d windows=%d rounds=%d active=%d\n",
+		health.Decode.Sessions, health.Decode.Windows, health.Decode.Rounds, health.Decode.Active)
+}

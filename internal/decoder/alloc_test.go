@@ -12,7 +12,7 @@ import (
 func TestTrialZeroAlloc(t *testing.T) {
 	l := lattice(t, 7)
 	rng := rand.New(rand.NewSource(3))
-	sc := l.newTrialScratch()
+	sc := l.newTrialScratch(nil)
 
 	draws := make([]bool, l.DataQubits())
 	for i := range draws {

@@ -43,10 +43,11 @@ type Lattice struct {
 	d int
 }
 
-// NewLattice returns a distance-d lattice; d must be odd and ≥ 3.
+// NewLattice returns a distance-d lattice; d must be odd and ≥ 3 (the
+// error matches scerr.ErrBadConfig).
 func NewLattice(d int) (*Lattice, error) {
 	if d < 3 || d%2 == 0 {
-		return nil, fmt.Errorf("decoder: distance must be odd and >= 3, got %d", d)
+		return nil, scerr.BadConfig("decoder: distance must be odd and >= 3, got %d", d)
 	}
 	return &Lattice{d: d}, nil
 }
@@ -170,10 +171,13 @@ type cand struct{ a, b, w int }
 
 // matchScratch holds the reusable candidate/matched/pairs buffers of
 // the greedy + 2-opt matcher, so steady-state matching never allocates.
+// ops counts cumulative weight evaluations (candidate generation plus
+// 2-opt probes) — the matcher's deterministic work measure.
 type matchScratch struct {
 	cands   []cand
 	matched []bool
 	pairs   [][2]int
+	ops     uint64
 }
 
 // matchPairs pairs n defects greedily by ascending weight under dist,
@@ -192,6 +196,7 @@ func (ms *matchScratch) matchPairs(n int, dist func(a, b int) int) [][2]int {
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			ms.cands = append(ms.cands, cand{a, b, dist(a, b)})
+			ms.ops++
 		}
 	}
 	slices.SortFunc(ms.cands, func(x, y cand) int {
@@ -224,6 +229,7 @@ func (ms *matchScratch) matchPairs(n int, dist func(a, b int) int) [][2]int {
 			for j := i + 1; j < len(pairs); j++ {
 				a0, a1 := pairs[i][0], pairs[i][1]
 				b0, b1 := pairs[j][0], pairs[j][1]
+				ms.ops += 4
 				cur := dist(a0, a1) + dist(b0, b1)
 				if alt := dist(a0, b0) + dist(a1, b1); alt < cur {
 					pairs[i] = [2]int{a0, b0}
@@ -231,6 +237,7 @@ func (ms *matchScratch) matchPairs(n int, dist func(a, b int) int) [][2]int {
 					improved = true
 					continue
 				}
+				ms.ops += 2
 				if alt := dist(a0, b1) + dist(a1, b0); alt < cur {
 					pairs[i] = [2]int{a0, b1}
 					pairs[j] = [2]int{a1, b0}
@@ -311,16 +318,42 @@ func (l *Lattice) LogicalFailure(err, correction ErrorPattern) bool {
 	return vertWind || horzWind
 }
 
+// Config tunes a Monte Carlo harness: the worker pool and the decoding
+// strategy. The zero value is valid (GOMAXPROCS workers, MWPM).
+type Config struct {
+	// Workers bounds the decoding worker pool; 0 selects GOMAXPROCS,
+	// 1 forces serial decoding. Negative counts are rejected by
+	// Validate — they used to silently select GOMAXPROCS.
+	Workers int
+	// Strategy selects the decoding algorithm; nil selects MWPM.
+	Strategy Strategy
+}
+
+// Validate rejects nonsensical configurations with an error matching
+// scerr.ErrBadConfig.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return scerr.BadConfig("decoder: negative worker count %d", c.Workers)
+	}
+	return nil
+}
+
+// strategy returns the configured strategy, defaulting to MWPM.
+func (c Config) strategy() Strategy {
+	if c.Strategy == nil {
+		return MWPM()
+	}
+	return c.Strategy
+}
+
 // MonteCarlo estimates the logical X-error rate per decode round for
 // independent physical error rate p over the given number of trials.
-// Trials decode in parallel (see Workers); the random stream and the
-// failure count are identical to a serial run at any worker count.
+// Trials decode in parallel (see Config.Workers); the random stream and
+// the failure count are identical to a serial run at any worker count.
 type MonteCarlo struct {
 	Lattice *Lattice
 	Rng     *rand.Rand
-	// Workers bounds the decoding worker pool; <= 0 selects GOMAXPROCS,
-	// 1 forces serial decoding.
-	Workers int
+	Config
 }
 
 // Result summarizes a Monte Carlo run.
@@ -330,25 +363,33 @@ type Result struct {
 	Trials       int
 	Failures     int
 	LogicalRate  float64
+	// WorkOps is the summed Solver.WorkOps over all trials — the
+	// strategy's deterministic work measure, identical at any worker
+	// count.
+	WorkOps uint64
 }
 
 // trialScratch is one worker's reusable decode state: error/correction
-// patterns, syndrome buffers, the defect list, and the matcher scratch.
-// With it, a steady-state trial allocates nothing.
+// patterns, syndrome buffers, and the strategy's solver (which owns the
+// matching/cluster scratch). With it, a steady-state trial allocates
+// nothing.
 type trialScratch struct {
-	match      matchScratch
+	solver     Solver
 	errs       ErrorPattern
 	correction ErrorPattern
 	combined   ErrorPattern
 	syndrome   []bool
 	meas       []bool
 	prev       []bool
-	defects    []defect
-	stDefects  []spacetimeDefect
+	changes    []bool
 }
 
-func (l *Lattice) newTrialScratch() *trialScratch {
+func (l *Lattice) newTrialScratch(s Strategy) *trialScratch {
+	if s == nil {
+		s = MWPM()
+	}
 	return &trialScratch{
+		solver:     s.NewSolver(l),
 		errs:       l.NewErrorPattern(),
 		correction: l.NewErrorPattern(),
 		combined:   l.NewErrorPattern(),
@@ -365,21 +406,8 @@ func (l *Lattice) newTrialScratch() *trialScratch {
 func (l *Lattice) mcTrial(sc *trialScratch, draws []bool) (bool, error) {
 	copy(sc.errs, draws)
 	l.syndromeInto(sc.syndrome, sc.errs)
-	sc.defects = sc.defects[:0]
-	for i, hot := range sc.syndrome {
-		if hot {
-			sc.defects = append(sc.defects, defect{r: i / l.d, c: i % l.d})
-		}
-	}
-	if len(sc.defects)%2 != 0 {
-		return false, fmt.Errorf("decoder: odd defect count %d (corrupted syndrome)", len(sc.defects))
-	}
-	pairs := sc.match.matchPairs(len(sc.defects), func(a, b int) int {
-		return l.torusDist(sc.defects[a], sc.defects[b])
-	})
-	clear(sc.correction)
-	for _, p := range pairs {
-		l.flipGeodesic(sc.correction, sc.defects[p[0]], sc.defects[p[1]])
+	if err := sc.solver.Decode(sc.correction, sc.syndrome); err != nil {
+		return false, err
 	}
 	// Invariant: correction must clear the syndrome.
 	for q := range sc.combined {
@@ -388,7 +416,7 @@ func (l *Lattice) mcTrial(sc *trialScratch, draws []bool) (bool, error) {
 	l.syndromeInto(sc.syndrome, sc.combined)
 	for i, hot := range sc.syndrome {
 		if hot {
-			panic(fmt.Sprintf("decoder: residual defect at plaquette %d — matching broke the syndrome", i))
+			panic(fmt.Sprintf("decoder: residual defect at plaquette %d — the solver broke the syndrome", i))
 		}
 	}
 	return l.LogicalFailure(sc.errs, sc.correction), nil
@@ -400,18 +428,28 @@ func (mc *MonteCarlo) Run(p float64, trials int) (Result, error) {
 }
 
 // RunContext is Run with cooperative cancellation, polled between trial
-// batches; an aborted run returns an error matching scerr.ErrCanceled.
+// batches; an aborted run returns an error matching scerr.ErrCanceled,
+// and a nonsensical configuration one matching scerr.ErrBadConfig.
 func (mc *MonteCarlo) RunContext(ctx context.Context, p float64, trials int) (Result, error) {
+	if mc.Lattice == nil {
+		return Result{}, scerr.BadConfig("decoder: nil lattice")
+	}
+	if mc.Rng == nil {
+		return Result{}, scerr.BadConfig("decoder: nil random source")
+	}
+	if err := mc.Config.Validate(); err != nil {
+		return Result{}, err
+	}
 	if p < 0 || p > 1 {
-		return Result{}, fmt.Errorf("decoder: physical rate %g outside [0,1]", p)
+		return Result{}, scerr.BadConfig("decoder: physical rate %g outside [0,1]", p)
 	}
 	if trials < 1 {
-		return Result{}, fmt.Errorf("decoder: need at least one trial")
+		return Result{}, scerr.BadConfig("decoder: need at least one trial, got %d", trials)
 	}
 	l := mc.Lattice
 	res := Result{Distance: l.Distance(), PhysicalRate: p, Trials: trials}
 	stride := l.DataQubits()
-	failures, err := runTrialBatches(ctx, l, mc.Workers, trials, stride,
+	failures, ops, err := runTrialBatches(ctx, l, mc.Workers, mc.strategy(), trials, stride,
 		func(draws []bool) {
 			for i := range draws {
 				draws[i] = mc.Rng.Float64() < p
@@ -422,6 +460,7 @@ func (mc *MonteCarlo) RunContext(ctx context.Context, p float64, trials int) (Re
 		return Result{}, err
 	}
 	res.Failures = failures
+	res.WorkOps = ops
 	res.LogicalRate = float64(res.Failures) / float64(res.Trials)
 	return res, nil
 }
@@ -435,9 +474,11 @@ const batchTrials = 1024
 // the Rng stream matches a serial run), then decodes each batch across
 // the worker pool with per-worker scratch. The failure count is a sum
 // of independent per-trial outcomes, so it is identical at any worker
-// count; errors surface from the lowest-indexed failing trial.
-func runTrialBatches(ctx context.Context, l *Lattice, workers, trials, stride int,
-	gen func(draws []bool), trial func(*Lattice, *trialScratch, []bool) (bool, error)) (int, error) {
+// count — and so is the summed work-op count, since each trial's ops
+// depend only on its own draws; errors surface from the lowest-indexed
+// failing trial.
+func runTrialBatches(ctx context.Context, l *Lattice, workers int, strategy Strategy, trials, stride int,
+	gen func(draws []bool), trial func(*Lattice, *trialScratch, []bool) (bool, error)) (int, uint64, error) {
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -454,7 +495,7 @@ func runTrialBatches(ctx context.Context, l *Lattice, workers, trials, stride in
 	errs := make([]error, batch)
 	scratch := make([]*trialScratch, workers)
 	for w := range scratch {
-		scratch[w] = l.newTrialScratch()
+		scratch[w] = l.newTrialScratch(strategy)
 	}
 	failures := 0
 	done := ctx.Done()
@@ -462,7 +503,7 @@ func runTrialBatches(ctx context.Context, l *Lattice, workers, trials, stride in
 		if done != nil {
 			select {
 			case <-done:
-				return 0, scerr.Canceled(ctx)
+				return 0, 0, scerr.Canceled(ctx)
 			default:
 			}
 		}
@@ -499,12 +540,16 @@ func runTrialBatches(ctx context.Context, l *Lattice, workers, trials, stride in
 		}
 		for t := 0; t < n; t++ {
 			if errs[t] != nil {
-				return 0, errs[t]
+				return 0, 0, errs[t]
 			}
 			if fails[t] {
 				failures++
 			}
 		}
 	}
-	return failures, nil
+	var ops uint64
+	for _, sc := range scratch {
+		ops += sc.solver.WorkOps()
+	}
+	return failures, ops, nil
 }

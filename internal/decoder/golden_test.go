@@ -26,7 +26,7 @@ func TestGoldenMonteCarloFailures(t *testing.T) {
 	for _, c := range cases {
 		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 			l := lattice(t, c.d)
-			mc := &MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(c.seed)), Workers: workers}
+			mc := &MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(c.seed)), Config: Config{Workers: workers}}
 			r, err := mc.Run(c.p, c.trials)
 			if err != nil {
 				t.Fatal(err)
@@ -54,7 +54,7 @@ func TestGoldenHistoryFailures(t *testing.T) {
 	for _, c := range cases {
 		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 			l := lattice(t, c.d)
-			mc := &HistoryMonteCarlo{Lattice: l, Rounds: c.rounds, Rng: rand.New(rand.NewSource(c.seed)), Workers: workers}
+			mc := &HistoryMonteCarlo{Lattice: l, Rounds: c.rounds, Rng: rand.New(rand.NewSource(c.seed)), Config: Config{Workers: workers}}
 			r, err := mc.Run(c.p, c.q, c.trials)
 			if err != nil {
 				t.Fatal(err)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+
+	"surfcomm/internal/scerr"
 )
 
 // Syndrome-history decoding (paper §2.3): real syndrome measurements
@@ -32,9 +34,7 @@ type HistoryMonteCarlo struct {
 	Lattice *Lattice
 	Rounds  int
 	Rng     *rand.Rand
-	// Workers bounds the decoding worker pool; <= 0 selects GOMAXPROCS,
-	// 1 forces serial decoding.
-	Workers int
+	Config
 }
 
 // Run samples, decodes the space-time volume, and counts logical
@@ -44,16 +44,26 @@ func (mc *HistoryMonteCarlo) Run(p, q float64, trials int) (Result, error) {
 }
 
 // RunContext is Run with cooperative cancellation, polled between trial
-// batches; an aborted run returns an error matching scerr.ErrCanceled.
+// batches; an aborted run returns an error matching scerr.ErrCanceled,
+// and a nonsensical configuration one matching scerr.ErrBadConfig.
 func (mc *HistoryMonteCarlo) RunContext(ctx context.Context, p, q float64, trials int) (Result, error) {
+	if mc.Lattice == nil {
+		return Result{}, scerr.BadConfig("decoder: nil lattice")
+	}
+	if mc.Rng == nil {
+		return Result{}, scerr.BadConfig("decoder: nil random source")
+	}
+	if err := mc.Config.Validate(); err != nil {
+		return Result{}, err
+	}
 	if p < 0 || p > 1 || q < 0 || q > 1 {
-		return Result{}, fmt.Errorf("decoder: rates (%g, %g) outside [0,1]", p, q)
+		return Result{}, scerr.BadConfig("decoder: rates (%g, %g) outside [0,1]", p, q)
 	}
 	if trials < 1 {
-		return Result{}, fmt.Errorf("decoder: need at least one trial")
+		return Result{}, scerr.BadConfig("decoder: need at least one trial, got %d", trials)
 	}
 	if mc.Rounds < 1 {
-		return Result{}, fmt.Errorf("decoder: need at least one round")
+		return Result{}, scerr.BadConfig("decoder: need at least one round, got %d", mc.Rounds)
 	}
 	l := mc.Lattice
 	res := Result{Distance: l.Distance(), PhysicalRate: p, Trials: trials}
@@ -62,7 +72,7 @@ func (mc *HistoryMonteCarlo) RunContext(ctx context.Context, p, q float64, trial
 	// the Rng: per round, nq data-flip draws, then (for every round but
 	// the perfectly-measured last) checks measurement-flip draws.
 	stride := rounds*nq + (rounds-1)*checks
-	failures, err := runTrialBatches(ctx, l, mc.Workers, trials, stride,
+	failures, ops, err := runTrialBatches(ctx, l, mc.Workers, mc.strategy(), trials, stride,
 		func(draws []bool) {
 			pos := 0
 			for t := 0; t < rounds; t++ {
@@ -85,17 +95,22 @@ func (mc *HistoryMonteCarlo) RunContext(ctx context.Context, p, q float64, trial
 		return Result{}, err
 	}
 	res.Failures = failures
+	res.WorkOps = ops
 	res.LogicalRate = float64(res.Failures) / float64(res.Trials)
 	return res, nil
 }
 
-// historyTrial replays one pregenerated syndrome history and decodes
-// its space-time volume.
+// historyTrial replays one pregenerated syndrome history, extracts the
+// round-to-round syndrome changes, and hands the space-time volume to
+// the solver.
 func (l *Lattice) historyTrial(sc *trialScratch, rounds int, draws []bool) (bool, error) {
 	nq, checks := l.DataQubits(), l.Checks()
 	clear(sc.errs) // cumulative data errors
 	clear(sc.prev)
-	sc.stDefects = sc.stDefects[:0]
+	if cap(sc.changes) < rounds*checks {
+		sc.changes = make([]bool, rounds*checks)
+	}
+	sc.changes = sc.changes[:rounds*checks]
 	pos := 0
 	for t := 0; t < rounds; t++ {
 		for qb := 0; qb < nq; qb++ {
@@ -114,16 +129,13 @@ func (l *Lattice) historyTrial(sc *trialScratch, rounds int, draws []bool) (bool
 			pos += checks
 		}
 		for i := range sc.meas {
-			if sc.meas[i] != sc.prev[i] {
-				sc.stDefects = append(sc.stDefects, spacetimeDefect{
-					t: t,
-					d: defect{r: i / l.d, c: i % l.d},
-				})
-			}
+			sc.changes[t*checks+i] = sc.meas[i] != sc.prev[i]
 		}
 		sc.meas, sc.prev = sc.prev, sc.meas
 	}
-	l.decodeSpacetimeInto(sc)
+	if err := sc.solver.DecodeHistory(sc.correction, sc.changes, rounds); err != nil {
+		return false, err
+	}
 
 	for qb := range sc.combined {
 		sc.combined[qb] = sc.errs[qb] != sc.correction[qb]
@@ -135,29 +147,4 @@ func (l *Lattice) historyTrial(sc *trialScratch, rounds int, draws []bool) (bool
 		}
 	}
 	return l.LogicalFailure(sc.errs, sc.correction), nil
-}
-
-// decodeSpacetimeInto matches sc.stDefects in the space-time metric
-// (torus Manhattan + time separation) and projects each pair's spatial
-// displacement onto data corrections in sc.correction. Candidate
-// ordering uses the same total (weight, defect indices) key as the
-// single-round matcher.
-func (l *Lattice) decodeSpacetimeInto(sc *trialScratch) {
-	clear(sc.correction)
-	if len(sc.stDefects) == 0 {
-		return
-	}
-	defects := sc.stDefects
-	pairs := sc.match.matchPairs(len(defects), func(a, b int) int {
-		dt := defects[a].t - defects[b].t
-		if dt < 0 {
-			dt = -dt
-		}
-		return l.torusDist(defects[a].d, defects[b].d) + dt
-	})
-	for _, pr := range pairs {
-		// The spatial projection carries the data correction; the time
-		// component is measurement-error bookkeeping.
-		l.flipGeodesic(sc.correction, defects[pr[0]].d, defects[pr[1]].d)
-	}
 }

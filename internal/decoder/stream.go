@@ -1,0 +1,143 @@
+package decoder
+
+import "surfcomm/internal/scerr"
+
+// WindowDecoder is the streaming face of the space-time decoder: the
+// caller pushes syndrome rounds as the hardware measures them, and
+// every `window` rounds the accumulated change volume decodes as one
+// space-time batch. The change bits at a window seam diff against the
+// last round of the previous window (carried over in prev), so a defect
+// pair straddling a seam still produces one change in each window —
+// windows decode independently but the stream loses no defects.
+//
+// A WindowDecoder is NOT safe for concurrent use; each streaming
+// session owns one. In steady state (after the first window) pushing
+// and decoding allocate nothing.
+type WindowDecoder struct {
+	l       *Lattice
+	solver  Solver
+	window  int
+	checks  int
+	prev    []bool
+	changes []bool
+	filled  int
+
+	rounds     int // total rounds pushed
+	windows    int // total windows decoded
+	vents      int // windows that needed the parity vent
+	correction ErrorPattern
+	defects    int // change bits in the last decoded window
+}
+
+// NewWindowDecoder builds a streaming decoder for the lattice: every
+// `window` pushed rounds decode as one space-time volume using the
+// given strategy (nil selects MWPM).
+func NewWindowDecoder(l *Lattice, window int, s Strategy) (*WindowDecoder, error) {
+	if l == nil {
+		return nil, scerr.BadConfig("decoder: nil lattice")
+	}
+	if window < 1 {
+		return nil, scerr.BadConfig("decoder: window must be >= 1, got %d", window)
+	}
+	if s == nil {
+		s = MWPM()
+	}
+	checks := l.Checks()
+	return &WindowDecoder{
+		l:          l,
+		solver:     s.NewSolver(l),
+		window:     window,
+		checks:     checks,
+		prev:       make([]bool, checks),
+		changes:    make([]bool, window*checks),
+		correction: l.NewErrorPattern(),
+	}, nil
+}
+
+// PushRound feeds one measured syndrome (length Checks). When the
+// pushed round fills the window, the window decodes and PushRound
+// reports decoded=true: Correction and Defects then describe the
+// freshly decoded window until the next decode.
+func (w *WindowDecoder) PushRound(syndrome []bool) (decoded bool, err error) {
+	if len(syndrome) != w.checks {
+		return false, scerr.BadConfig("decoder: syndrome length %d != %d checks", len(syndrome), w.checks)
+	}
+	base := w.filled * w.checks
+	for i, hot := range syndrome {
+		w.changes[base+i] = hot != w.prev[i]
+	}
+	copy(w.prev, syndrome)
+	w.filled++
+	w.rounds++
+	if w.filled < w.window {
+		return false, nil
+	}
+	return true, w.decode()
+}
+
+// Flush decodes a partially filled final window (fewer rounds than the
+// declared window size, e.g. at end of stream). It reports whether
+// anything was decoded; an empty buffer is a no-op.
+func (w *WindowDecoder) Flush() (decoded bool, err error) {
+	if w.filled == 0 {
+		return false, nil
+	}
+	return true, w.decode()
+}
+
+func (w *WindowDecoder) decode() error {
+	rounds := w.filled
+	w.filled = 0
+	vol := w.changes[:rounds*w.checks]
+	w.defects = 0
+	for _, hot := range vol {
+		if hot {
+			w.defects++
+		}
+	}
+	// Parity vent: a measurement error straddling a window seam leaves
+	// this window one defect short of its partner (the pair lands in
+	// the next window), so the change volume has odd parity — which a
+	// closed volume cannot decode. Venting flips the change bit of
+	// check 0 in the window's last round: the stray defect pairs with
+	// the vent now, and when its partner arrives the next window vents
+	// identically, so the two vent corrections cancel cumulatively up
+	// to a stabilizer loop (identity on the code space).
+	if w.defects%2 != 0 {
+		vent := (rounds - 1) * w.checks
+		w.changes[vent] = !w.changes[vent]
+		if w.changes[vent] {
+			w.defects++
+		} else {
+			w.defects--
+		}
+		w.vents++
+	}
+	if err := w.solver.DecodeHistory(w.correction, vol, rounds); err != nil {
+		return err
+	}
+	w.windows++
+	return nil
+}
+
+// Correction returns the data correction of the last decoded window.
+// The slice is reused by the next decode; copy it to retain it.
+func (w *WindowDecoder) Correction() ErrorPattern { return w.correction }
+
+// Defects returns the space-time defect count of the last decoded
+// window.
+func (w *WindowDecoder) Defects() int { return w.defects }
+
+// Rounds returns the total number of rounds pushed.
+func (w *WindowDecoder) Rounds() int { return w.rounds }
+
+// Windows returns the total number of windows decoded.
+func (w *WindowDecoder) Windows() int { return w.windows }
+
+// Vents returns how many decoded windows needed the parity vent (see
+// decode) — nonzero only when measurement errors straddle window
+// seams.
+func (w *WindowDecoder) Vents() int { return w.vents }
+
+// WorkOps returns the solver's cumulative work-op count.
+func (w *WindowDecoder) WorkOps() uint64 { return w.solver.WorkOps() }

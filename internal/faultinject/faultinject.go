@@ -39,10 +39,13 @@ const (
 	// reporting success — the on-disk entry is corrupt and must be
 	// caught by checksum verification, never served.
 	TornWrite Point = "torn-write"
+	// DecodeError sheds a /decode streaming session at admission with
+	// ErrInjected (503) before it occupies a worker slot.
+	DecodeError Point = "decode-error"
 )
 
 // Points lists every probability-gated injection site.
-func Points() []Point { return []Point{CompileError, StoreWriteError, TornWrite} }
+func Points() []Point { return []Point{CompileError, StoreWriteError, TornWrite, DecodeError} }
 
 // ErrInjected is the root of every injected failure; layers wrap it
 // with %w so tests (and the HTTP status mapper) can classify a fault as

@@ -73,6 +73,16 @@ func newAdmission(workers, queueLimit int) *admission {
 func (a *admission) acquire(ctx context.Context) error {
 	a.mu.Lock()
 	if a.waiting >= a.queueLimit {
+		// Queue full — but a full queue with a free slot is not overload
+		// (zero-depth queues would otherwise shed everything): grab a
+		// slot without waiting, shed only when that fails too.
+		select {
+		case a.slots <- struct{}{}:
+			a.running++
+			a.mu.Unlock()
+			return nil
+		default:
+		}
 		a.shed++
 		retry := a.drainEstimateLocked(a.waiting)
 		queued, running := a.waiting, a.running

@@ -91,6 +91,7 @@ type HealthResponse struct {
 	Draining      bool              `json:"draining"`
 	Cache         CacheStats        `json:"cache"`
 	Admission     AdmissionStats    `json:"admission"`
+	Decode        DecodeStats       `json:"decode"`
 	Store         *store.Stats      `json:"store,omitempty"`
 	Faults        map[string]uint64 `json:"faults,omitempty"`
 }
@@ -215,6 +216,7 @@ func withRequestDeadline(w http.ResponseWriter, r *http.Request) (*http.Request,
 //
 //	POST /compile   one Request        -> CompileResponse
 //	POST /batch     []Request          -> []CompileResponse
+//	POST /decode    NDJSON stream      -> NDJSON stream (see decode.go)
 //	POST /estimate  Request (qasm)     -> EstimateResponse
 //	GET  /models    -                  -> []ModelResponse
 //	GET  /healthz   -                  -> HealthResponse (liveness; always 200)
@@ -318,6 +320,8 @@ func NewHandler(s *Service) http.Handler {
 		})
 	})
 
+	mux.HandleFunc("POST /decode", handleDecode(s))
+
 	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
 		models, err := s.Models(r.Context())
 		if err != nil {
@@ -346,6 +350,7 @@ func NewHandler(s *Service) http.Handler {
 			Draining:      reason == "draining",
 			Cache:         s.Stats(),
 			Admission:     s.AdmissionStats(),
+			Decode:        s.DecodeStats(),
 			Store:         s.StoreStats(),
 			Faults:        s.FaultCounts(),
 		})

@@ -85,6 +85,7 @@ type Service struct {
 	adm      *admission
 	limiter  *rateLimiter
 	inj      *faultinject.Injector
+	dec      decodeCounters
 	draining atomic.Bool
 
 	modelsMu     sync.Mutex

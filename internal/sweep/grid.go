@@ -130,6 +130,14 @@ type DecoderCell struct {
 	Seed        int64
 	Failures    int
 	LogicalRate float64
+	// Strategy names the decoding strategy the cell ran under; empty
+	// means the default (MWPM), keeping pre-strategy records
+	// byte-identical.
+	Strategy string
+	// WorkOps is the cell's summed deterministic decode work (see
+	// decoder.Result.WorkOps) — the machine-independent cost measure
+	// the crossover study compares across strategies.
+	WorkOps uint64
 }
 
 // DecoderGrid measures the logical error rate across the (distance ×
@@ -137,8 +145,10 @@ type DecoderCell struct {
 // boundary studies. Each cell derives its seed deterministically from
 // the base seed and its index, runs its Monte Carlo serially (the grid
 // itself fans across the worker pool), and is bit-identical at any
-// worker count.
-func DecoderGrid(ctx context.Context, opt Options, distances []int, rates []float64, trials int) ([]DecoderCell, error) {
+// worker count. A nil strategy selects the default (MWPM) and leaves
+// the per-cell Strategy field empty, keeping pre-strategy records
+// byte-identical.
+func DecoderGrid(ctx context.Context, opt Options, distances []int, rates []float64, trials int, strategy decoder.Strategy) ([]DecoderCell, error) {
 	type cell struct {
 		d    int
 		rate float64
@@ -149,13 +159,21 @@ func DecoderGrid(ctx context.Context, opt Options, distances []int, rates []floa
 			cells = append(cells, cell{d, r})
 		}
 	}
+	name := ""
+	if strategy != nil {
+		name = strategy.Name()
+	}
 	return Map(ctx, opt, cells, func(i int, c cell) (DecoderCell, error) {
 		seed := opt.Seed + int64(i)
 		l, err := decoder.NewLattice(c.d)
 		if err != nil {
 			return DecoderCell{}, err
 		}
-		mc := &decoder.MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(seed)), Workers: 1}
+		mc := &decoder.MonteCarlo{
+			Lattice: l,
+			Rng:     rand.New(rand.NewSource(seed)),
+			Config:  decoder.Config{Workers: 1, Strategy: strategy},
+		}
 		r, err := mc.RunContext(ctx, c.rate, trials)
 		if err != nil {
 			return DecoderCell{}, err
@@ -167,6 +185,8 @@ func DecoderGrid(ctx context.Context, opt Options, distances []int, rates []floa
 			Seed:         seed,
 			Failures:     r.Failures,
 			LogicalRate:  r.LogicalRate,
+			Strategy:     name,
+			WorkOps:      r.WorkOps,
 		}, nil
 	})
 }

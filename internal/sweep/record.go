@@ -23,9 +23,14 @@ type CellResult struct {
 	Metrics map[string]float64 `json:"metrics"`
 	// Device names the topology the cell ran on (preset + defect
 	// fraction + realization seed), so records from different
-	// topologies are distinguishable. It serializes last: pre-device
-	// records gain a byte-compatible `"device": "perfect"` suffix.
+	// topologies are distinguishable. It serializes last among the
+	// always-present fields: pre-device records gain a byte-compatible
+	// `"device": "perfect"` suffix.
 	Device string `json:"device"`
+	// Strategy names the decoding strategy for decoder/decode-study
+	// cells. It is omitted when empty, so records predating the
+	// strategy field (implicitly MWPM) stay byte-identical.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // WriteRecords serializes cells as indented JSON. Encoding is stable:
@@ -151,14 +156,46 @@ func DecoderRecords(cells []DecoderCell) []CellResult {
 	out := make([]CellResult, 0, len(cells))
 	for _, c := range cells {
 		out = append(out, CellResult{
-			Study:  "decoder",
-			Device: device.PresetPerfect,
-			Cell:   fmt.Sprintf("d=%d/p=%.2e", c.Distance, c.PhysicalRate),
-			Seed:   c.Seed,
+			Study:    "decoder",
+			Device:   device.PresetPerfect,
+			Strategy: c.Strategy,
+			Cell:     fmt.Sprintf("d=%d/p=%.2e", c.Distance, c.PhysicalRate),
+			Seed:     c.Seed,
 			Metrics: map[string]float64{
 				"failures":     float64(c.Failures),
 				"logical_rate": c.LogicalRate,
 				"trials":       float64(c.Trials),
+			},
+		})
+	}
+	return out
+}
+
+// DecodeBenchRecords converts a strategy-comparison grid (the
+// BENCH_decode.json study) to cell results: unlike DecoderRecords it
+// names the strategy in every cell and records the deterministic
+// work-op count — the machine-independent wall-clock proxy the
+// crossover analysis compares (work-ops per trial, not seconds, so the
+// artifact reproduces bit-identically on any machine).
+func DecodeBenchRecords(study string, cells []DecoderCell) []CellResult {
+	out := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		strategy := c.Strategy
+		if strategy == "" {
+			strategy = "mwpm"
+		}
+		out = append(out, CellResult{
+			Study:    study,
+			Device:   device.PresetPerfect,
+			Strategy: strategy,
+			Cell:     fmt.Sprintf("d=%d/p=%.2e/%s", c.Distance, c.PhysicalRate, strategy),
+			Seed:     c.Seed,
+			Metrics: map[string]float64{
+				"failures":          float64(c.Failures),
+				"logical_rate":      c.LogicalRate,
+				"trials":            float64(c.Trials),
+				"workops":           float64(c.WorkOps),
+				"workops_per_trial": float64(c.WorkOps) / float64(c.Trials),
 			},
 		})
 	}

@@ -105,6 +105,28 @@ func WithSeed(s int64) ToolchainOption {
 	}
 }
 
+// WithDecoderStrategy selects the decoding algorithm behind
+// MeasureLogicalErrorRate and DecoderGrid by name: "mwpm" (the
+// matching-based default) or "unionfind" (the almost-linear-time
+// union-find decoder). Unknown names fail with ErrBadConfig listing
+// the registered strategies; the empty name keeps the default.
+func WithDecoderStrategy(name string) ToolchainOption {
+	return func(tc *Toolchain) error {
+		if name == "" || name == decoder.StrategyMWPM {
+			// Explicit default: leave the strategy nil so records stay
+			// byte-identical to pre-strategy runs.
+			tc.decodeStrategy = nil
+			return nil
+		}
+		s, err := decoder.StrategyByName(name)
+		if err != nil {
+			return err
+		}
+		tc.decodeStrategy = s
+		return nil
+	}
+}
+
 // WithProgress installs a progress callback. Events are delivered
 // serialized (never concurrently), in completion order.
 func WithProgress(fn func(Event)) ToolchainOption {
@@ -128,13 +150,14 @@ func WithProgress(fn func(Event)) ToolchainOption {
 //	)
 //	plan, err := tc.Compile(ctx, surfcomm.BraidBackend{}, circ)
 type Toolchain struct {
-	distance int
-	tech     Technology
-	policy   BraidPolicy
-	workers  int
-	seed     int64
-	device   *Device
-	progress func(Event)
+	distance       int
+	tech           Technology
+	policy         BraidPolicy
+	workers        int
+	seed           int64
+	device         *Device
+	decodeStrategy decoder.Strategy
+	progress       func(Event)
 }
 
 // NewToolchain builds a Toolchain from functional options; option
@@ -366,7 +389,11 @@ func (tc *Toolchain) MeasureLogicalErrorRate(ctx context.Context, d int, p float
 	if err != nil {
 		return DecoderResult{}, err
 	}
-	mc := &decoder.MonteCarlo{Lattice: l, Rng: rand.New(rand.NewSource(tc.seed)), Workers: tc.workers}
+	mc := &decoder.MonteCarlo{
+		Lattice: l,
+		Rng:     rand.New(rand.NewSource(tc.seed)),
+		Config:  decoder.Config{Workers: tc.workers, Strategy: tc.decodeStrategy},
+	}
 	res, err := mc.RunContext(ctx, p, trials)
 	if err != nil {
 		return DecoderResult{}, fmt.Errorf("toolchain: %w", err)
@@ -385,7 +412,7 @@ func (tc *Toolchain) DecoderGrid(ctx context.Context, distances []int, rates []f
 			return fmt.Sprintf("d=%d/p=%.2e", distances[i/len(rates)], rates[i%len(rates)])
 		}
 	}
-	return sweep.DecoderGrid(ctx, tc.sweepOpts("decoder", label), distances, rates, trials)
+	return sweep.DecoderGrid(ctx, tc.sweepOpts("decoder", label), distances, rates, trials, tc.decodeStrategy)
 }
 
 // YieldGrid runs the communication-yield study: the braid backend
