@@ -276,11 +276,29 @@ func (c *Client) send(ctx context.Context, method, path string, payload []byte, 
 		Attempts: attempt,
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-			serr.RetryAfter = time.Duration(secs) * time.Second
-		}
+		serr.RetryAfter = parseRetryAfter(ra, time.Now())
 	}
 	return serr, nil, nil
+}
+
+// parseRetryAfter reads both RFC 7231 Retry-After forms: delta-seconds
+// ("3") and HTTP-date ("Fri, 08 Aug 2026 17:30:00 GMT" — what real
+// proxies and CDNs in front of the fleet rewrite the header to).
+// Unparseable values and dates already in the past yield zero, which
+// the retry loop treats as "no server hint".
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(ra); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // backoff computes the attempt's exponential delay with full jitter in

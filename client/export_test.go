@@ -1,0 +1,5 @@
+package client
+
+// ParseRetryAfter exposes the Retry-After parser to the external test
+// package.
+var ParseRetryAfter = parseRetryAfter

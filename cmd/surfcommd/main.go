@@ -55,6 +55,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst size (0 = 2x rate)")
 	chaos := flag.String("chaos", "", "fault injection spec, e.g. compile-error=0.1,torn-write=0.2,compile-latency=50ms,seed=7")
+	trustForwarded := flag.Bool("trust-forwarded", false,
+		"trust X-Forwarded-For for rate-limit client identity (only behind surfrouter or another overwriting proxy)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"graceful drain bound; compiles still running at the deadline are force-canceled")
 	flag.Parse()
@@ -104,6 +106,11 @@ func main() {
 		Burst:       *burst,
 		Store:       st,
 		Injector:    inj,
+
+		// Off by default: a replica reachable directly must not let
+		// clients pick their own rate-limit identity. surfrouter
+		// overwrites the header, so behind it the flag is safe.
+		TrustForwardedFor: *trustForwarded,
 	})
 
 	srv := &http.Server{

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestBenchServeStructure drift-guards the committed BENCH_serve.json:
+// the file must strictly match the Report schema (unknown or renamed
+// fields fail the decode) and satisfy the run's internal invariants.
+// Latency and throughput *values* are deliberately not asserted — they
+// belong to the machine that produced the artifact; only the structure
+// is contract.
+func TestBenchServeStructure(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("committed artifact missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_serve.json no longer matches the surfload Report schema: %v", err)
+	}
+
+	if rep.Schema != "surfload/1" {
+		t.Errorf("schema = %q, want surfload/1", rep.Schema)
+	}
+	if rep.Workload.Requests <= 0 || rep.Workload.Concurrency <= 0 || rep.Workload.Circuits <= 0 {
+		t.Errorf("workload spec not positive: %+v", rep.Workload)
+	}
+	if rep.Workload.ZipfS <= 1 {
+		t.Errorf("zipf_s = %g, must exceed 1", rep.Workload.ZipfS)
+	}
+
+	// Every scheduled request is accounted for, one way or another.
+	answered := 0
+	for code, n := range rep.StatusCounts {
+		c, err := strconv.Atoi(code)
+		if err != nil || c < 100 || c > 599 {
+			t.Errorf("status_counts key %q is not an HTTP status", code)
+		}
+		if n <= 0 {
+			t.Errorf("status_counts[%s] = %d", code, n)
+		}
+		answered += n
+	}
+	if total := answered + rep.TransportErrors; total != rep.Workload.Requests {
+		t.Errorf("status counts (%d) + transport errors (%d) != requests (%d)",
+			answered, rep.TransportErrors, rep.Workload.Requests)
+	}
+
+	// Percentiles are recorded, not asserted — but they must at least
+	// be ordered and present.
+	l := rep.LatencyMs
+	if l.P50 <= 0 || l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max {
+		t.Errorf("latency percentiles malformed: %+v", l)
+	}
+	if rep.CachedFrac < 0 || rep.CachedFrac > 1 {
+		t.Errorf("cached_frac = %g out of [0,1]", rep.CachedFrac)
+	}
+
+	// The committed artifact is a router run: per-replica balance and
+	// router counters must be present, and the balance must cover the
+	// answered requests.
+	if len(rep.ReplicaBalance) < 2 {
+		t.Errorf("replica_balance = %v, want a multi-replica run", rep.ReplicaBalance)
+	}
+	balanced := 0
+	for name, n := range rep.ReplicaBalance {
+		if n <= 0 {
+			t.Errorf("replica_balance[%s] = %d", name, n)
+		}
+		balanced += n
+	}
+	if balanced != answered {
+		t.Errorf("replica_balance sums to %d, %d requests were answered", balanced, answered)
+	}
+	if rep.Router == nil {
+		t.Error("router counter delta missing from a router-targeted run")
+	} else if rep.Router.Forwarded == 0 {
+		t.Error("router forwarded counter is zero")
+	}
+}

@@ -1,0 +1,325 @@
+// Command surfload is a deterministic load generator for surfcommd and
+// surfrouter: it replays a seeded, Zipf-skewed mix of compile and
+// estimate requests against a target and reports latency percentiles,
+// an error breakdown, the client-observed cache-hit fraction, and —
+// behind a router — the per-replica balance of the keyspace.
+//
+//	surfload -target http://127.0.0.1:8700 -requests 400 -concurrency 8 -seed 1 -o BENCH_serve.json
+//
+// Determinism: the request *schedule* (which circuit, which backend,
+// which endpoint, in what order) is a pure function of -seed and the
+// workload flags, so two runs against equivalent fleets exercise the
+// same keyspace in the same order. Zipf popularity mirrors production
+// compile traffic: a few hot circuits dominate, so a digest-sharded
+// fleet shows high cache-hit fractions while the tail still spreads
+// load across replicas.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"surfcomm"
+	"surfcomm/internal/cluster"
+	"surfcomm/internal/service"
+)
+
+// workItem is one scheduled request: a pre-marshaled body for a fixed
+// endpoint.
+type workItem struct {
+	path string // "/compile" or "/estimate"
+	body []byte
+}
+
+// outcome is one measured request.
+type outcome struct {
+	status  int // 0 = transport error
+	latency time.Duration
+	cached  bool
+	isHit   bool // 200 /compile with a parsed cached flag
+	replica string
+}
+
+// corpus builds n distinct circuits (alternating GSE and Ising
+// families, sizes growing with the index) and pre-marshals one compile
+// request per circuit, alternating braid and planar backends.
+func corpus(n int) ([][]byte, error) {
+	bodies := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		var (
+			circ *surfcomm.Circuit
+			err  error
+		)
+		if i%2 == 0 {
+			circ, err = surfcomm.NewGSE(surfcomm.GSEConfig{M: 4 + i, Steps: 2})
+		} else {
+			circ, err = surfcomm.NewIsing(surfcomm.IsingConfig{N: 4 + i, Steps: 2}, false)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("circuit %d: %w", i, err)
+		}
+		var buf bytes.Buffer
+		if err := surfcomm.WriteQASM(&buf, circ); err != nil {
+			return nil, fmt.Errorf("circuit %d: %w", i, err)
+		}
+		backend := "braid"
+		if i%2 == 1 {
+			backend = "planar"
+		}
+		body, err := json.Marshal(service.Request{QASM: buf.String(), Backend: backend})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// schedule generates the deterministic request sequence: circuit
+// indices drawn from a seeded Zipf over the corpus, endpoint drawn
+// from the estimate fraction.
+func schedule(bodies [][]byte, requests int, seed int64, zipfS, estimateFrac float64) []workItem {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(bodies)-1))
+	items := make([]workItem, requests)
+	for i := range items {
+		idx := int(zipf.Uint64())
+		path := "/compile"
+		if rng.Float64() < estimateFrac {
+			path = "/estimate"
+		}
+		items[i] = workItem{path: path, body: bodies[idx]}
+	}
+	return items
+}
+
+// scrapeHealth fetches the target's /healthz as loose JSON; both
+// surfcommd and surfrouter shapes are handled by the caller.
+func scrapeHealth(client *http.Client, target string) map[string]json.RawMessage {
+	resp, err := client.Get(target + "/healthz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m) != nil {
+		return nil
+	}
+	return m
+}
+
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfload: ")
+	target := flag.String("target", "http://127.0.0.1:8700", "base URL of a surfrouter or surfcommd")
+	requests := flag.Int("requests", 400, "total requests to send")
+	concurrency := flag.Int("concurrency", 8, "in-flight request bound")
+	rps := flag.Float64("rps", 0, "paced request rate (0 = closed loop: as fast as concurrency allows)")
+	seed := flag.Int64("seed", 1, "workload schedule seed")
+	circuits := flag.Int("circuits", 8, "distinct circuits in the corpus")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf skew of circuit popularity (>1; larger = hotter head)")
+	estimateFrac := flag.Float64("estimate-frac", 0.15, "fraction of requests sent to /estimate instead of /compile")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+	if *requests <= 0 || *concurrency <= 0 || *circuits <= 0 {
+		log.Fatal("-requests, -concurrency, and -circuits must be positive")
+	}
+
+	bodies, err := corpus(*circuits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items := schedule(bodies, *requests, *seed, *zipfS, *estimateFrac)
+
+	client := &http.Client{Timeout: *timeout}
+	before := scrapeHealth(client, *target)
+
+	work := make(chan workItem)
+	outcomes := make([]outcome, 0, len(items))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range work {
+				o := doOne(client, *target, item)
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	if *rps > 0 {
+		interval := time.Duration(float64(time.Second) / *rps)
+		ticker := time.NewTicker(interval)
+		for _, item := range items {
+			<-ticker.C
+			work <- item
+		}
+		ticker.Stop()
+	} else {
+		for _, item := range items {
+			work <- item
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := scrapeHealth(client, *target)
+	report := buildReport(*target, WorkloadSpec{
+		Requests:     *requests,
+		Concurrency:  *concurrency,
+		TargetRPS:    *rps,
+		Seed:         *seed,
+		Circuits:     *circuits,
+		ZipfS:        *zipfS,
+		EstimateFrac: *estimateFrac,
+	}, outcomes, elapsed, before, after)
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc) //nolint:errcheck
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d requests in %.2fs: p50 %.1fms p99 %.1fms, statuses %v, cached %.0f%%",
+		*requests, elapsed.Seconds(), report.LatencyMs.P50, report.LatencyMs.P99,
+		report.StatusCounts, report.CachedFrac*100)
+}
+
+// doOne sends one scheduled request and measures it.
+func doOne(client *http.Client, target string, item workItem) outcome {
+	start := time.Now()
+	resp, err := client.Post(target+item.path, "application/json", bytes.NewReader(item.body))
+	o := outcome{latency: time.Since(start)}
+	if err != nil {
+		return o
+	}
+	defer resp.Body.Close()
+	o.status = resp.StatusCode
+	o.replica = resp.Header.Get(cluster.ReplicaHeader)
+	if item.path == "/compile" && resp.StatusCode == http.StatusOK {
+		var cr struct {
+			Cached bool `json:"cached"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&cr) == nil {
+			o.isHit = true
+			o.cached = cr.Cached
+		}
+	} else {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+	}
+	return o
+}
+
+func buildReport(target string, spec WorkloadSpec, outcomes []outcome, elapsed time.Duration,
+	before, after map[string]json.RawMessage) Report {
+	rep := Report{
+		Schema:          "surfload/1",
+		Target:          target,
+		Workload:        spec,
+		DurationSeconds: elapsed.Seconds(),
+		StatusCounts:    map[string]int{},
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(len(outcomes)) / elapsed.Seconds()
+	}
+	var lats []time.Duration
+	balance := map[string]int{}
+	compiles, cachedHits := 0, 0
+	for _, o := range outcomes {
+		lats = append(lats, o.latency)
+		if o.status == 0 {
+			rep.TransportErrors++
+		} else {
+			rep.StatusCounts[strconv.Itoa(o.status)]++
+		}
+		if o.replica != "" {
+			balance[o.replica]++
+		}
+		if o.isHit {
+			compiles++
+			if o.cached {
+				cachedHits++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.LatencyMs = LatencyStats{
+		P50: percentileMs(lats, 0.50),
+		P90: percentileMs(lats, 0.90),
+		P99: percentileMs(lats, 0.99),
+	}
+	if n := len(lats); n > 0 {
+		rep.LatencyMs.Max = float64(lats[n-1]) / float64(time.Millisecond)
+	}
+	if compiles > 0 {
+		rep.CachedFrac = float64(cachedHits) / float64(compiles)
+	}
+	if len(balance) > 0 {
+		rep.ReplicaBalance = balance
+	}
+
+	// Target-side counter deltas, shape-sniffed from /healthz: a
+	// surfcommd exposes "cache", a surfrouter exposes "forwarded".
+	if before != nil && after != nil {
+		if _, ok := after["cache"]; ok {
+			var b, a CacheDelta
+			if json.Unmarshal(before["cache"], &b) == nil && json.Unmarshal(after["cache"], &a) == nil {
+				rep.Cache = &CacheDelta{
+					Hits:     a.Hits - b.Hits,
+					Misses:   a.Misses - b.Misses,
+					Deduped:  a.Deduped - b.Deduped,
+					DiskHits: a.DiskHits - b.DiskHits,
+				}
+			}
+		} else if _, ok := after["forwarded"]; ok {
+			var b, a RouterDelta
+			bb, _ := json.Marshal(before) //nolint:errcheck
+			ab, _ := json.Marshal(after)  //nolint:errcheck
+			if json.Unmarshal(bb, &b) == nil && json.Unmarshal(ab, &a) == nil {
+				rep.Router = &RouterDelta{
+					Forwarded: a.Forwarded - b.Forwarded,
+					Failovers: a.Failovers - b.Failovers,
+					Hedges:    a.Hedges - b.Hedges,
+					Refused:   a.Refused - b.Refused,
+				}
+			}
+		}
+	}
+	return rep
+}

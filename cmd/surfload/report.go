@@ -1,0 +1,75 @@
+package main
+
+// The surfload report schema. BENCH_serve.json at the repo root is one
+// committed run of this tool; its *structure* is drift-guarded by
+// bench_guard_test.go (strict unmarshal into these types), while the
+// latency and throughput *values* are recorded, not asserted — they
+// are whatever the machine that produced them measured.
+
+// Report is the full surfload output.
+type Report struct {
+	Schema   string       `json:"schema"` // "surfload/1"
+	Target   string       `json:"target"`
+	Workload WorkloadSpec `json:"workload"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+
+	LatencyMs LatencyStats `json:"latency_ms"`
+
+	// StatusCounts maps HTTP status ("200", "429", "503", …) to count;
+	// TransportErrors are requests that never produced a status.
+	StatusCounts    map[string]int `json:"status_counts"`
+	TransportErrors int            `json:"transport_errors"`
+
+	// CachedFrac is the fraction of 200 compile replies served from a
+	// cache (client-observed via the "cached" field).
+	CachedFrac float64 `json:"cached_frac"`
+
+	// ReplicaBalance counts responses per X-Surfcomm-Replica value —
+	// empty when the target is a bare replica (no router in front).
+	ReplicaBalance map[string]int `json:"replica_balance,omitempty"`
+
+	// Cache is the target's own cache-counter delta over the run, when
+	// the target is a single replica whose /healthz exposes one.
+	Cache *CacheDelta `json:"cache,omitempty"`
+	// Router is the router-counter delta over the run, when the target
+	// is a surfrouter.
+	Router *RouterDelta `json:"router,omitempty"`
+}
+
+// WorkloadSpec records the deterministic inputs that produced the run.
+type WorkloadSpec struct {
+	Requests     int     `json:"requests"`
+	Concurrency  int     `json:"concurrency"`
+	TargetRPS    float64 `json:"target_rps"` // 0 = closed loop
+	Seed         int64   `json:"seed"`
+	Circuits     int     `json:"circuits"`
+	ZipfS        float64 `json:"zipf_s"`
+	EstimateFrac float64 `json:"estimate_frac"`
+}
+
+// LatencyStats are request-latency percentiles in milliseconds.
+type LatencyStats struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// CacheDelta is the served replica's cache movement during the run.
+type CacheDelta struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Deduped  uint64 `json:"deduped"`
+	DiskHits uint64 `json:"disk_hits"`
+}
+
+// RouterDelta is the router's robustness-counter movement during the
+// run.
+type RouterDelta struct {
+	Forwarded uint64 `json:"forwarded"`
+	Failovers uint64 `json:"failovers"`
+	Hedges    uint64 `json:"hedges"`
+	Refused   uint64 `json:"refused"`
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int
+
+const (
+	// Closed: the replica is healthy; requests flow normally.
+	Closed BreakerState = iota
+	// Open: the replica has failed repeatedly; requests are refused
+	// locally until the cooldown elapses.
+	Open
+	// HalfOpen: cooldown elapsed; one trial request (or probe) is in
+	// flight to decide between Closed and Open.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-replica circuit breaker fed by two signals: live
+// request outcomes (connection failures and 5xx from proxied traffic)
+// and the active prober's /readyz verdicts. Both call the same
+// Success/Failure entry points, so a replica that stops serving is
+// opened by whichever signal notices first, and a recovered replica is
+// re-closed by the prober without waiting for a user request to gamble
+// on it.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while Closed
+	openedAt  time.Time // when the breaker last tripped
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+}
+
+// DefaultFailThreshold and DefaultCooldown tune how fast a replica is
+// ejected and how long before it is re-tried. Three strikes is fast
+// enough that a crashed replica stops absorbing retries within one
+// probe interval; two seconds of cooldown keeps a flapping replica from
+// oscillating in and out of rotation faster than its store can warm.
+const (
+	DefaultFailThreshold = 3
+	DefaultCooldown      = 2 * time.Second
+)
+
+// NewBreaker builds a Closed breaker. Zero threshold/cooldown select
+// the defaults.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultFailThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may be sent to this replica now.
+// While Open it returns false until the cooldown elapses, then flips to
+// HalfOpen and admits exactly the caller's request as the trial.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Success records a healthy outcome (2xx/4xx reply or passing probe).
+// In HalfOpen it closes the breaker; in Closed it clears the strike
+// count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+}
+
+// Failure records an unhealthy outcome (connection error, 5xx, failed
+// probe). HalfOpen trips straight back to Open — the trial failed;
+// Closed trips once the consecutive-failure threshold is reached.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.now()
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = Open
+			b.openedAt = b.now()
+			b.failures = 0
+		}
+	case Open:
+		// Late failures from in-flight requests; already open.
+	}
+}
+
+// State returns the current state, applying the Open→HalfOpen cooldown
+// transition so observers never see a stale Open past its cooldown.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// RetryAfter returns how long until an Open breaker would admit a
+// trial, or zero if it already would.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	if d := b.cooldown - b.now().Sub(b.openedAt); d > 0 {
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,116 @@
+// Package cluster is the fleet-serving tier over surfcommd: a
+// consistent-hash router that shards compile requests across replicas
+// by plan digest, with active health probing, per-replica circuit
+// breakers, bounded failover, and optional request hedging. The paper's
+// toolflow is embarrassingly shardable — every compile is keyed by a
+// content digest — but per-request compile cost is wildly heterogeneous
+// (circuit size × distance × device defects), so the fleet must
+// tolerate slow and dead replicas, not merely spread load: that
+// robustness, not the hashing, is this package's reason to exist.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a rendezvous (highest-random-weight) hash over a fixed
+// replica set. Rendezvous hashing gives the two properties the plan
+// keyspace needs with no virtual-node tuning: every key has a full
+// preference order over replicas (the natural failover sequence), and
+// removing a replica remaps only the keys it owned — the survivors'
+// slices, and therefore their warm caches and disk stores, are
+// untouched.
+type Ring struct {
+	names []string
+}
+
+// NewRing builds a ring over the replica names (order-insensitive;
+// duplicates collapse).
+func NewRing(names []string) *Ring {
+	seen := make(map[string]struct{}, len(names))
+	uniq := make([]string, 0, len(names))
+	for _, n := range names {
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	return &Ring{names: uniq}
+}
+
+// Len returns the replica count.
+func (r *Ring) Len() int { return len(r.names) }
+
+// Names returns the replicas in stable (sorted) order.
+func (r *Ring) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// score is the rendezvous weight of (replica, key): FNV-64a over
+// key+"\0"+name, finished with a splitmix64 avalanche. The key goes
+// first and the finalizer is not optional: FNV differences introduced
+// in the leading bytes propagate as a *constant* offset for equal-length
+// suffixes, so hashing name-first makes the pairwise ordering of two
+// replicas nearly constant across all same-length keys — one replica
+// can end up owning almost nothing. The avalanche decorrelates the
+// orderings per key.
+func score(name, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return splitmix64(h.Sum64())
+}
+
+// splitmix64 is the finalizer from the SplitMix64 generator: a cheap
+// full-avalanche bijection on 64-bit words.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Owner returns the replica that owns key — the head of Ranked(key).
+// Empty rings own nothing ("").
+func (r *Ring) Owner(key string) string {
+	best, bestScore := "", uint64(0)
+	for _, n := range r.names {
+		if s := score(n, key); best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// Ranked returns every replica ordered by descending rendezvous score
+// for key: the owner first, then the failover sequence. The order is a
+// pure function of (replicas, key) — every router instance computes the
+// same preference list, and removing the owner promotes exactly the
+// second-ranked replica without disturbing any other key's order.
+func (r *Ring) Ranked(key string) []string {
+	type ranked struct {
+		name  string
+		score uint64
+	}
+	rs := make([]ranked, len(r.names))
+	for i, n := range r.names {
+		rs[i] = ranked{n, score(n, key)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].name < rs[j].name
+	})
+	out := make([]string, len(rs))
+	for i, x := range rs {
+		out[i] = x.name
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRingOwnerStability pins the consistent-hashing property that
+// justifies sharding at all: removing one replica remaps only the keys
+// it owned — every other key keeps its owner, so the survivors' caches
+// stay hot.
+func TestRingOwnerStability(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	full := NewRing(names)
+	const keys = 2000
+	owners := make([]string, keys)
+	for i := range owners {
+		owners[i] = full.Owner(fmt.Sprintf("digest-%04d", i))
+	}
+
+	for drop := range names {
+		var survivors []string
+		survivors = append(survivors, names[:drop]...)
+		survivors = append(survivors, names[drop+1:]...)
+		small := NewRing(survivors)
+		moved, owned := 0, 0
+		for i := range owners {
+			key := fmt.Sprintf("digest-%04d", i)
+			if owners[i] == names[drop] {
+				owned++
+				continue // this key had to move
+			}
+			if small.Owner(key) != owners[i] {
+				moved++
+			}
+		}
+		if moved != 0 {
+			t.Errorf("dropping %q moved %d keys it did not own", names[drop], moved)
+		}
+		if owned == 0 {
+			t.Errorf("replica %q owned no keys out of %d — ring is unbalanced", names[drop], keys)
+		}
+	}
+}
+
+// TestRingRankedIsPermutationWithOwnerFirst checks Ranked's contract:
+// a full permutation headed by Owner, stable across calls.
+func TestRingRankedIsPermutationWithOwnerFirst(t *testing.T) {
+	r := NewRing([]string{"x", "y", "z"})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		ranked := r.Ranked(key)
+		if len(ranked) != 3 {
+			t.Fatalf("Ranked(%q) = %v, want 3 entries", key, ranked)
+		}
+		if ranked[0] != r.Owner(key) {
+			t.Fatalf("Ranked(%q)[0] = %q != Owner %q", key, ranked[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range ranked {
+			if seen[n] {
+				t.Fatalf("Ranked(%q) repeats %q", key, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingBalance: rendezvous hashing should spread a synthetic digest
+// population roughly evenly — no replica with fewer than half or more
+// than double its fair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"r0", "r1", "r2"})
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("%x", i*2654435761))]++
+	}
+	fair := keys / 3
+	for name, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("replica %s owns %d of %d keys (fair share %d)", name, n, keys, fair)
+		}
+	}
+}
+
+// TestBreakerLifecycle drives Closed→Open→HalfOpen→Closed and
+// HalfOpen→Open with a fake clock.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, 2*time.Second)
+	b.now = func() time.Time { return now }
+
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker must be Closed and allowing")
+	}
+	// Two failures: still closed (threshold 3).
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want Closed", b.State())
+	}
+	// A success clears the strike count.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after threshold failures = %v, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Open breaker inside cooldown must refuse")
+	}
+	if ra := b.RetryAfter(); ra != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", ra)
+	}
+
+	// Cooldown elapses: the next caller is the HalfOpen trial.
+	now = now.Add(2 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want HalfOpen", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker must admit the trial request")
+	}
+	// Trial fails: straight back to Open, new cooldown window.
+	b.Failure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed trial must re-open the breaker")
+	}
+
+	// Second trial succeeds: Closed again.
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second trial refused")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful trial = %v, want Closed", b.State())
+	}
+	// And a single failure no longer trips it (counter was reset).
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("one failure after recovery tripped the breaker")
+	}
+}
+
+// TestBreakerDefaults: zero config selects the documented defaults.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.threshold != DefaultFailThreshold || b.cooldown != DefaultCooldown {
+		t.Fatalf("defaults = (%d, %v), want (%d, %v)",
+			b.threshold, b.cooldown, DefaultFailThreshold, DefaultCooldown)
+	}
+}
+
+// TestSamplerPercentiles sanity-checks the latency window.
+func TestSamplerPercentiles(t *testing.T) {
+	s := newSampler(100)
+	if _, n := s.Percentile(0.5); n != 0 {
+		t.Fatal("empty sampler reported samples")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50, n := s.Percentile(0.50)
+	if n != 100 {
+		t.Fatalf("samples = %d, want 100", n)
+	}
+	if p50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", p50)
+	}
+	p99, _ := s.Percentile(0.99)
+	if p99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", p99)
+	}
+	// Ring wraps: after 50 more samples of 1s, the window holds the
+	// newest 100.
+	for i := 0; i < 50; i++ {
+		s.Observe(time.Second)
+	}
+	p99, _ = s.Percentile(0.99)
+	if p99 != time.Second {
+		t.Fatalf("p99 after wrap = %v, want 1s", p99)
+	}
+}

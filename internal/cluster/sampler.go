@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// sampler is a fixed-size ring of recent request latencies. The router
+// feeds it every successful forward and reads percentiles from it for
+// two purposes: the hedge trigger (fire a second attempt once a request
+// outlives the observed pXX) and the /healthz p50/p99 report.
+type sampler struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int // live entries (== len(buf) once full)
+}
+
+func newSampler(size int) *sampler {
+	if size <= 0 {
+		size = 512
+	}
+	return &sampler{buf: make([]time.Duration, size)}
+}
+
+func (s *sampler) Observe(d time.Duration) {
+	s.mu.Lock()
+	s.buf[s.next] = d
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) of the live window and
+// the number of samples it was computed from (0 means "no data yet").
+func (s *sampler) Percentile(p float64) (time.Duration, int) {
+	s.mu.Lock()
+	live := make([]time.Duration, s.n)
+	copy(live, s.buf[:s.n])
+	s.mu.Unlock()
+	if len(live) == 0 {
+		return 0, 0
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	idx := int(p*float64(len(live))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(live) {
+		idx = len(live) - 1
+	}
+	return live[idx], len(live)
+}

@@ -388,7 +388,7 @@ func handleDecode(s *Service) http.HandlerFunc {
 		// ignorable.)
 		rc := http.NewResponseController(w)
 		rc.EnableFullDuplex() //nolint:errcheck // see comment
-		if err := s.AllowClient(ClientKey(r), 1); err != nil {
+		if err := s.AllowClient(s.ClientKeyFor(r), 1); err != nil {
 			writeErr(w, err)
 			return
 		}

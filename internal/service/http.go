@@ -215,6 +215,8 @@ func withRequestDeadline(w http.ResponseWriter, r *http.Request) (*http.Request,
 // NewHandler mounts the serving endpoints:
 //
 //	POST /compile   one Request        -> CompileResponse
+//	                (Accept: application/x-ndjson streams stage events
+//	                 then the final CompileResponse — see stream.go)
 //	POST /batch     []Request          -> []CompileResponse
 //	POST /decode    NDJSON stream      -> NDJSON stream (see decode.go)
 //	POST /estimate  Request (qasm)     -> EstimateResponse
@@ -235,7 +237,7 @@ func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.AllowClient(ClientKey(r), 1); err != nil {
+		if err := s.AllowClient(s.ClientKeyFor(r), 1); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -247,6 +249,10 @@ func NewHandler(s *Service) http.Handler {
 		var req Request
 		if err := decodeJSON(w, r, &req); err != nil {
 			writeErr(w, err)
+			return
+		}
+		if wantsNDJSON(r) {
+			streamCompile(s, w, r, req)
 			return
 		}
 		res, err := s.Compile(r.Context(), req)
@@ -276,7 +282,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		// A batch spends one token per slot: batching amortizes HTTP
 		// overhead, not a client's fair share of the compile pool.
-		if err := s.AllowClient(ClientKey(r), len(reqs)); err != nil {
+		if err := s.AllowClient(s.ClientKeyFor(r), len(reqs)); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -295,7 +301,7 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.AllowClient(ClientKey(r), 1); err != nil {
+		if err := s.AllowClient(s.ClientKeyFor(r), 1); err != nil {
 			writeErr(w, err)
 			return
 		}

@@ -3,9 +3,16 @@ package service
 import (
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
+
+// ForwardedForHeader carries the original client address across the
+// routing tier. surfrouter overwrites it (never appends to an inbound
+// value) with the connecting client's host, so a replica configured
+// with TrustForwardedFor sees exactly one trustworthy hop.
+const ForwardedForHeader = "X-Forwarded-For"
 
 // maxBuckets bounds the per-client map so an attacker rotating API
 // keys cannot grow daemon memory; past it, the sweep drops the stalest
@@ -118,4 +125,27 @@ func ClientKey(r *http.Request) string {
 		return "addr:" + r.RemoteAddr
 	}
 	return "addr:" + host
+}
+
+// ClientKeyFor is the service-aware ClientKey: an API key always wins
+// (the tenant identity survives any number of proxy hops), then — only
+// when the service trusts its fronting proxy — the last X-Forwarded-For
+// hop, then the remote address. Untrusted services ignore the header
+// entirely: anyone can send X-Forwarded-For, and honoring it unasked
+// would let one client mint unlimited rate-limit buckets.
+func (s *Service) ClientKeyFor(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return "key:" + key
+	}
+	if s.trustForwarded {
+		if xff := r.Header.Get(ForwardedForHeader); xff != "" {
+			// The rightmost element is the hop appended by the nearest
+			// (trusted) proxy; anything left of it is client-supplied.
+			parts := strings.Split(xff, ",")
+			if host := strings.TrimSpace(parts[len(parts)-1]); host != "" {
+				return "fwd:" + host
+			}
+		}
+	}
+	return ClientKey(r)
 }

@@ -1,0 +1,110 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"surfcomm/internal/service"
+)
+
+// postXFF sends a /compile with an X-Forwarded-For header and returns
+// the status. Every request in these tests arrives from the same
+// httptest connection pool — i.e. the same remote address, exactly like
+// a fleet fronted by one router.
+func postXFF(t *testing.T, url, qasm, xff string) int {
+	t.Helper()
+	payload, _ := json.Marshal(service.Request{QASM: qasm})
+	req, err := http.NewRequest(http.MethodPost, url+"/compile", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if xff != "" {
+		req.Header.Set(service.ForwardedForHeader, xff)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestForwardedForTrusted pins the routed-fleet mode: with
+// TrustForwardedFor set, distinct forwarded clients behind one proxy
+// address get distinct token buckets — one hot client exhausts only its
+// own budget while its neighbors keep being served.
+func TestForwardedForTrusted(t *testing.T) {
+	qasm := testQASM(t)
+	svc := newService(t, service.Config{RatePerSec: 0.5, Burst: 2, TrustForwardedFor: true})
+	if _, err := svc.Compile(context.Background(), service.Request{QASM: qasm}); err != nil {
+		t.Fatalf("precompile: %v", err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	// Client 10.0.0.1 burns its burst of 2, then is limited.
+	var ok, limited int
+	for i := 0; i < 5; i++ {
+		switch code := postXFF(t, srv.URL, qasm, "10.0.0.1"); code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			limited++
+		default:
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if ok != 2 || limited != 3 {
+		t.Fatalf("client 10.0.0.1: ok=%d limited=%d, want 2/3", ok, limited)
+	}
+	// A different forwarded client over the same proxy connection still
+	// has a full bucket.
+	if code := postXFF(t, srv.URL, qasm, "10.0.0.2"); code != http.StatusOK {
+		t.Fatalf("client 10.0.0.2 status %d while 10.0.0.1 is limited, want 200", code)
+	}
+	// Client-prefixed spoof chains collapse to the trusted rightmost hop:
+	// "evil, 10.0.0.2" is still 10.0.0.2's bucket (now down to 1 token).
+	if code := postXFF(t, srv.URL, qasm, "evil-spoof, 10.0.0.2"); code != http.StatusOK {
+		t.Fatalf("chained XFF status %d, want 200 from 10.0.0.2's bucket", code)
+	}
+	if code := postXFF(t, srv.URL, qasm, "10.0.0.2"); code != http.StatusTooManyRequests {
+		t.Fatalf("client 10.0.0.2 fourth request status %d, want 429 (bucket shared across chain forms)", code)
+	}
+}
+
+// TestForwardedForUntrusted pins the default: without
+// TrustForwardedFor, the header is ignored — rotating X-Forwarded-For
+// values must not mint fresh buckets, or any client could sidestep the
+// limiter with one header per request.
+func TestForwardedForUntrusted(t *testing.T) {
+	qasm := testQASM(t)
+	svc := newService(t, service.Config{RatePerSec: 0.5, Burst: 2})
+	if _, err := svc.Compile(context.Background(), service.Request{QASM: qasm}); err != nil {
+		t.Fatalf("precompile: %v", err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+
+	var ok, limited int
+	addrs := []string{"10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.5"}
+	for i, a := range addrs {
+		switch code := postXFF(t, srv.URL, qasm, a); code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			limited++
+		default:
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if ok != 2 || limited != 3 {
+		t.Fatalf("rotating XFF: ok=%d limited=%d, want the shared remote-addr bucket (2/3)", ok, limited)
+	}
+}

@@ -59,6 +59,14 @@ type Config struct {
 	// 2×RatePerSec, minimum 1). Clients are keyed by ClientKey.
 	RatePerSec float64
 	Burst      int
+	// TrustForwardedFor keys per-client rate limiting on the last
+	// X-Forwarded-For hop instead of the connection's remote address.
+	// Only enable it when every connection reaches this daemon through a
+	// trusted proxy that overwrites the header (surfrouter does): behind
+	// a router every connection shares the router's address, so without
+	// this one router consumes the whole fleet's token budget — and with
+	// it an untrusted client could spoof arbitrary identities.
+	TrustForwardedFor bool
 	// Store is the crash-safe disk plan store layered under the LRU:
 	// read-through on misses, write-behind on fresh compiles, so a
 	// restarted daemon (or a replica sharing the directory) serves warm
@@ -82,11 +90,12 @@ type Service struct {
 	// deadline-priced queue): every batch runs its own worker pool, so
 	// without a shared bound N concurrent batches would run N×workers
 	// compiles at once. Cache hits bypass it.
-	adm      *admission
-	limiter  *rateLimiter
-	inj      *faultinject.Injector
-	dec      decodeCounters
-	draining atomic.Bool
+	adm            *admission
+	limiter        *rateLimiter
+	trustForwarded bool
+	inj            *faultinject.Injector
+	dec            decodeCounters
+	draining       atomic.Bool
 
 	modelsMu     sync.Mutex
 	models       []surfcomm.AppModel
@@ -139,13 +148,14 @@ func New(tc *surfcomm.Toolchain, cfg Config) *Service {
 		cache.disk = newDiskLayer(cfg.Store)
 	}
 	return &Service{
-		tc:      tc,
-		cache:   cache,
-		workers: workers,
-		base:    base,
-		adm:     newAdmission(workers, queue),
-		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst),
-		inj:     cfg.Injector,
+		tc:             tc,
+		cache:          cache,
+		workers:        workers,
+		base:           base,
+		adm:            newAdmission(workers, queue),
+		limiter:        newRateLimiter(cfg.RatePerSec, cfg.Burst),
+		trustForwarded: cfg.TrustForwardedFor,
+		inj:            cfg.Injector,
 	}
 }
 
@@ -317,6 +327,48 @@ func digest(backend string, canonicalQASM []byte, t surfcomm.Target) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// RoutingKey fingerprints a request for consistent-hash routing across
+// a replica fleet: requests that would resolve to the same compile on
+// any replica share a key, so each shard's LRU and disk store stay hot
+// for their slice of the keyspace. It canonicalizes the circuit exactly
+// like resolve (whitespace and comments don't split shards) but hashes
+// the raw request knobs rather than a resolved target — the router
+// doesn't know each replica's defaults, and it doesn't need to: the key
+// only has to be consistent, not equal to the replica's cache digest.
+// Malformed requests fail with errors matching scerr.ErrBadConfig so a
+// router can answer 400 without spending a replica's time.
+func RoutingKey(req Request) (string, error) {
+	if strings.TrimSpace(req.QASM) == "" {
+		return "", scerr.BadConfig("service: empty qasm")
+	}
+	circ, err := surfcomm.ReadQASM(strings.NewReader(req.QASM))
+	if err != nil {
+		return "", scerr.BadConfig("service: qasm: %v", err)
+	}
+	var canon bytes.Buffer
+	if err := surfcomm.WriteQASM(&canon, circ); err != nil {
+		return "", scerr.BadConfig("service: qasm: %v", err)
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = "braid"
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "route/1 backend=%s d=%d window=%d pe=%g record=%t\n",
+		backend, req.Distance, req.Window, req.PhysicalError, req.RecordSchedule)
+	if req.Policy != nil {
+		fmt.Fprintf(h, "policy=%d\n", *req.Policy)
+	}
+	if req.Seed != nil {
+		fmt.Fprintf(h, "seed=%d\n", *req.Seed)
+	}
+	if req.Device != nil {
+		fmt.Fprintf(h, "device=%s/%g/%d\n", req.Device.Preset, req.Device.Frac, req.Device.Seed)
+	}
+	h.Write(canon.Bytes())
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // Result is one served compile: the plan, whether it came from the
 // cache (or a deduped in-flight compile), and the digest that keyed
 // it. Batch slots carry per-request failures in Err.
@@ -350,6 +402,14 @@ type Result struct {
 // before any work starts; with caching disabled a compile serves only
 // its own request and stays on the request context.
 func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
+	return s.compile(ctx, req, nil)
+}
+
+// compile is Compile with an optional stage-event emitter (nil for the
+// plain path). Events fire on the caller's goroutine, in order: the
+// emitter only ever observes this request's own progress — a deduped
+// request reports "deduped", not the leader's compile stages.
+func (s *Service) compile(ctx context.Context, req Request, emit func(StageEvent)) (Result, error) {
 	if ctx.Err() != nil {
 		err := scerr.Canceled(ctx)
 		return Result{Err: err}, err
@@ -357,6 +417,9 @@ func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
 	key, err := s.resolve(req)
 	if err != nil {
 		return Result{Err: err}, err
+	}
+	if emit != nil {
+		emit(StageEvent{Stage: StageResolved, Digest: key.digest, Backend: key.backend.Name()})
 	}
 	// Recorded-schedule plans carry artifacts the disk store does not
 	// persist; keep them out of the disk layer so a disk hit never
@@ -375,6 +438,9 @@ func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
 	}
 	defer cancel()
 	plan, cached, err := s.cache.do(ctx, key.digest, persist, func() (surfcomm.Plan, error) {
+		if emit != nil {
+			emit(StageEvent{Stage: StageQueued})
+		}
 		if err := s.adm.acquire(ctx); err != nil {
 			return surfcomm.Plan{}, err
 		}
@@ -391,7 +457,18 @@ func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
 		if s.inj.Fire(faultinject.CompileError) {
 			return surfcomm.Plan{}, fmt.Errorf("%w: compile of %.12s…", faultinject.ErrInjected, key.digest)
 		}
-		p, err := s.tc.Compile(compileCtx, key.backend, key.circuit, func(t *surfcomm.Target) { *t = key.target })
+		tc := s.tc
+		if emit != nil {
+			emit(StageEvent{Stage: StageCompiling, Backend: key.backend.Name()})
+			// The per-request progress clone forwards the toolchain's own
+			// compile events into this request's stream; the shared
+			// toolchain (and whatever observer it was built with) is
+			// untouched.
+			tc = s.tc.CloneWithProgress(func(ev surfcomm.Event) {
+				emit(StageEvent{Stage: "toolchain/" + ev.Stage, Backend: ev.Backend, Cell: ev.Cell})
+			})
+		}
+		p, err := tc.Compile(compileCtx, key.backend, key.circuit, func(t *surfcomm.Target) { *t = key.target })
 		if err == nil {
 			// Only successful compiles feed the queue-pricing EWMA:
 			// injected/aborted compiles would teach admission the wrong
@@ -400,6 +477,11 @@ func (s *Service) Compile(ctx context.Context, req Request) (Result, error) {
 		}
 		return p, err
 	})
+	if emit != nil && cached {
+		// LRU hit, deduped flight, or disk read-through — all served
+		// without compiling for this request.
+		emit(StageEvent{Stage: StageCached})
+	}
 	if err != nil {
 		return Result{Digest: key.digest, Err: err}, err
 	}

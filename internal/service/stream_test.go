@@ -1,0 +1,183 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"surfcomm/internal/faultinject"
+	"surfcomm/internal/service"
+)
+
+// streamLines POSTs a /compile with the NDJSON accept header and
+// returns the decoded stream: the stage names in order, the final
+// response line (raw), and the HTTP status.
+func streamLines(t *testing.T, url string, body []byte) (stages []string, final map[string]json.RawMessage, status int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/compile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", service.NDJSONContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, resp.StatusCode
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != service.NDJSONContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, service.NDJSONContentType)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		if rawStage, ok := obj["stage"]; ok {
+			var stage string
+			json.Unmarshal(rawStage, &stage) //nolint:errcheck
+			stages = append(stages, stage)
+			continue
+		}
+		if final != nil {
+			t.Fatalf("two final lines in one stream (second: %s)", line)
+		}
+		final = obj
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return stages, final, resp.StatusCode
+}
+
+// TestCompileStreamStagesThenPlan pins the NDJSON contract: a cold
+// compile streams resolved → queued → compiling → toolchain/compile and
+// ends with the exact CompileResponse the plain path would return; the
+// identical repeat streams resolved → cached.
+func TestCompileStreamStagesThenPlan(t *testing.T) {
+	qasm := testQASM(t)
+	svc := newService(t, service.Config{})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+	body, _ := json.Marshal(service.Request{QASM: qasm})
+
+	stages, final, status := streamLines(t, srv.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	want := []string{service.StageResolved, service.StageQueued, service.StageCompiling, "toolchain/compile"}
+	if strings.Join(stages, ",") != strings.Join(want, ",") {
+		t.Fatalf("cold stream stages = %v, want %v", stages, want)
+	}
+	if final == nil {
+		t.Fatal("stream ended without a final line")
+	}
+	var cached bool
+	json.Unmarshal(final["cached"], &cached) //nolint:errcheck
+	if cached {
+		t.Fatal("cold compile reported cached")
+	}
+	var digest string
+	json.Unmarshal(final["digest"], &digest) //nolint:errcheck
+
+	// The streamed plan must byte-match the plain endpoint's reply.
+	resp, err := http.Post(srv.URL+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain struct {
+		Plan   json.RawMessage `json:"plan"`
+		Cached bool            `json:"cached"`
+		Digest string          `json:"digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !plain.Cached || plain.Digest != digest {
+		t.Fatalf("plain repeat: cached=%v digest=%s, want cached hit of %s", plain.Cached, plain.Digest, digest)
+	}
+	var planCompact, streamCompact bytes.Buffer
+	json.Compact(&planCompact, plain.Plan)      //nolint:errcheck
+	json.Compact(&streamCompact, final["plan"]) //nolint:errcheck
+	if planCompact.String() != streamCompact.String() {
+		t.Fatalf("streamed plan %s != plain plan %s", streamCompact.String(), planCompact.String())
+	}
+
+	// Identical repeat over the stream: no queue, no compile — just
+	// resolved then cached, and a cached final line.
+	stages, final, status = streamLines(t, srv.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("repeat status = %d", status)
+	}
+	wantHit := []string{service.StageResolved, service.StageCached}
+	if strings.Join(stages, ",") != strings.Join(wantHit, ",") {
+		t.Fatalf("hit stream stages = %v, want %v", stages, wantHit)
+	}
+	json.Unmarshal(final["cached"], &cached) //nolint:errcheck
+	if !cached {
+		t.Fatal("repeat stream not served cached")
+	}
+}
+
+// TestCompileStreamBadRequestIsPlainHTTP pins the pre-commit contract:
+// failures before the first stage line (malformed QASM here) answer
+// with the ordinary HTTP status, not a 200 stream.
+func TestCompileStreamBadRequestIsPlainHTTP(t *testing.T) {
+	svc := newService(t, service.Config{})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+	body, _ := json.Marshal(service.Request{QASM: "qubits banana"})
+	_, _, status := streamLines(t, srv.URL, body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+}
+
+// TestCompileStreamMidStreamError pins the post-commit contract: once
+// stages are on the wire, a failing compile ends the stream with an
+// in-band error line carrying the status a plain request would have
+// received (503 for injected chaos), never a dangling half-stream.
+func TestCompileStreamMidStreamError(t *testing.T) {
+	qasm := testQASM(t)
+	inj, err := faultinject.Parse("compile-error=1.0,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newService(t, service.Config{Injector: inj})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	defer srv.Close()
+	body, _ := json.Marshal(service.Request{QASM: qasm})
+
+	stages, final, status := streamLines(t, srv.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (stream already committed)", status)
+	}
+	// The injected fault fires as the slot is claimed, before any real
+	// compile work — so the stream commits through "queued" and then
+	// reports the failure in-band.
+	want := []string{service.StageResolved, service.StageQueued}
+	if strings.Join(stages, ",") != strings.Join(want, ",") {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	if final == nil {
+		t.Fatal("no final error line")
+	}
+	var errMsg string
+	var errStatus int
+	json.Unmarshal(final["error"], &errMsg)     //nolint:errcheck
+	json.Unmarshal(final["status"], &errStatus) //nolint:errcheck
+	if errMsg == "" || errStatus != http.StatusServiceUnavailable {
+		t.Fatalf("final line error=%q status=%d, want injected-fault 503", errMsg, errStatus)
+	}
+}

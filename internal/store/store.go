@@ -274,9 +274,13 @@ func (s *Store) readVerified(digest string) ([]byte, error) {
 }
 
 // quarantineLocked moves a live file into quarantine/ (falling back to
-// removal if the rename fails) and counts it. Callers may hold s.mu;
-// the method only touches the counter under its own discipline — it
-// must be called with s.mu held or before the store is shared.
+// removal if the rename fails) and counts it — but only when this call
+// is the one that actually took the file out of the live namespace.
+// Concurrent readers of the same corrupt entry all fail verification
+// and all land here; the losers find the source already gone and must
+// not count it again (one corrupt entry is one quarantine, not one per
+// in-flight reader). Callers must hold s.mu or own the store
+// exclusively (Open's scan).
 func (s *Store) quarantineLocked(name string) {
 	src := filepath.Join(s.root, plansDir, name)
 	dst := filepath.Join(s.root, quarantineDir, name)
@@ -287,7 +291,12 @@ func (s *Store) quarantineLocked(name string) {
 		dst = filepath.Join(s.root, quarantineDir, fmt.Sprintf("%s.%d", name, i))
 	}
 	if err := os.Rename(src, dst); err != nil {
-		os.Remove(src) //nolint:errcheck // already in a salvage path
+		if os.IsNotExist(err) {
+			return // a concurrent reader already quarantined it
+		}
+		if rmErr := os.Remove(src); rmErr != nil && os.IsNotExist(rmErr) {
+			return
+		}
 	}
 	s.quarantined++
 }

@@ -190,6 +190,19 @@ func (tc *Toolchain) Target() Target {
 	}
 }
 
+// CloneWithProgress returns a copy of the toolchain that delivers
+// progress events to fn instead of the original callback, sharing every
+// other setting — plans from the copy are bit-identical to the
+// original's. Serving layers use it to stream one request's stage
+// events without rebinding the shared toolchain (whose progress
+// callback is fixed at construction and may be observing a different
+// consumer).
+func (tc *Toolchain) CloneWithProgress(fn func(Event)) *Toolchain {
+	cp := *tc
+	cp.progress = fn
+	return &cp
+}
+
 // Seed returns the toolchain's base seed (recorded in emitted cells).
 func (tc *Toolchain) Seed() int64 { return tc.seed }
 
