@@ -122,6 +122,12 @@ type Plan struct {
 	// placed, EPR pairs distributed, or merge chains executed.
 	CommOps int64
 
+	// Modular records hierarchical-compile provenance (per-module cache
+	// hits, recompiled modules, stitch costs) when the plan came from
+	// CompileIncremental's modular path; nil for flat compiles and for
+	// single-module fast-path programs.
+	Modular *ModularResult `json:",omitempty"`
+
 	// Braid is the double-defect / surgery simulation result (nil for
 	// the planar backend).
 	Braid *BraidResult

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"surfcomm"
+	"surfcomm/internal/debugserve"
 	"surfcomm/internal/faultinject"
 	"surfcomm/internal/service"
 	"surfcomm/internal/store"
@@ -59,7 +60,17 @@ func main() {
 		"trust X-Forwarded-For for rate-limit client identity (only behind surfrouter or another overwriting proxy)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"graceful drain bound; compiles still running at the deadline are force-canceled")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this address via a dedicated mux (empty = off; keep it private)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		stopPprof, err := debugserve.Start(*pprofAddr, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopPprof()
+	}
 
 	tc, err := surfcomm.NewToolchain(
 		surfcomm.WithSeed(*seed),

@@ -86,6 +86,50 @@ func corpus(n int) ([][]byte, error) {
 	return bodies, nil
 }
 
+// modularCorpus builds the hierarchical edit-recompile corpus: variant
+// 0 is the N-stage pipeline program itself, and each later variant is
+// a one-module mutation of a rotating stage — the request stream a
+// team iterating on one kernel at a time would generate. Every variant
+// has a distinct program digest (the plan cache misses the first time
+// each appears) but shares all-but-one module with the base, so the
+// replica's module cache should absorb most of the compile work. Like
+// corpus, the result is a pure function of its arguments.
+func modularCorpus(n, stages int) ([][]byte, error) {
+	base, err := surfcomm.PipelineProgram(stages)
+	if err != nil {
+		return nil, err
+	}
+	// Stage modules in deterministic rotation order (skip the entry).
+	var stageNames []string
+	for name := range base.Modules {
+		if name != base.Entry {
+			stageNames = append(stageNames, name)
+		}
+	}
+	sort.Strings(stageNames)
+
+	bodies := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		p := base
+		if i > 0 {
+			p, err = surfcomm.MutateModule(base, stageNames[(i-1)%len(stageNames)], i)
+			if err != nil {
+				return nil, fmt.Errorf("variant %d: %w", i, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := surfcomm.WriteProgramQASM(&buf, p); err != nil {
+			return nil, fmt.Errorf("variant %d: %w", i, err)
+		}
+		body, err := json.Marshal(service.Request{QASM: buf.String(), Backend: "braid"})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
 // schedule generates the deterministic request sequence: circuit
 // indices drawn from a seeded Zipf over the corpus, endpoint drawn
 // from the estimate fraction.
@@ -146,16 +190,32 @@ func main() {
 	estimateFrac := flag.Float64("estimate-frac", 0.15, "fraction of requests sent to /estimate instead of /compile")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	modular := flag.Bool("modular", false,
+		"hierarchical edit-recompile workload: rotating one-module mutations of an N-stage pipeline (reports the module-cache hit fraction)")
+	stages := flag.Int("stages", 6, "pipeline stages in the -modular corpus")
 	flag.Parse()
 	if *requests <= 0 || *concurrency <= 0 || *circuits <= 0 {
 		log.Fatal("-requests, -concurrency, and -circuits must be positive")
 	}
+	if *modular && *stages < 1 {
+		log.Fatal("-stages must be positive")
+	}
 
-	bodies, err := corpus(*circuits)
+	var bodies [][]byte
+	var err error
+	if *modular {
+		bodies, err = modularCorpus(*circuits, *stages)
+	} else {
+		bodies, err = corpus(*circuits)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	items := schedule(bodies, *requests, *seed, *zipfS, *estimateFrac)
+
+	if !*modular {
+		*stages = 0 // only a -modular corpus has a stage width to record
+	}
 
 	client := &http.Client{Timeout: *timeout}
 	before := scrapeHealth(client, *target)
@@ -204,6 +264,8 @@ func main() {
 		Circuits:     *circuits,
 		ZipfS:        *zipfS,
 		EstimateFrac: *estimateFrac,
+		Modular:      *modular,
+		Stages:       *stages,
 	}, outcomes, elapsed, before, after)
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -219,6 +281,11 @@ func main() {
 	log.Printf("%d requests in %.2fs: p50 %.1fms p99 %.1fms, statuses %v, cached %.0f%%",
 		*requests, elapsed.Seconds(), report.LatencyMs.P50, report.LatencyMs.P99,
 		report.StatusCounts, report.CachedFrac*100)
+	if report.ModuleHitFrac != nil {
+		log.Printf("module cache: %d hits / %d disk / %d misses (%.0f%% of module lookups served from cache)",
+			report.Cache.ModuleHits, report.Cache.ModuleDiskHits, report.Cache.ModuleMisses,
+			*report.ModuleHitFrac*100)
+	}
 }
 
 // doOne sends one scheduled request and measures it.
@@ -301,10 +368,18 @@ func buildReport(target string, spec WorkloadSpec, outcomes []outcome, elapsed t
 			var b, a CacheDelta
 			if json.Unmarshal(before["cache"], &b) == nil && json.Unmarshal(after["cache"], &a) == nil {
 				rep.Cache = &CacheDelta{
-					Hits:     a.Hits - b.Hits,
-					Misses:   a.Misses - b.Misses,
-					Deduped:  a.Deduped - b.Deduped,
-					DiskHits: a.DiskHits - b.DiskHits,
+					Hits:           a.Hits - b.Hits,
+					Misses:         a.Misses - b.Misses,
+					Deduped:        a.Deduped - b.Deduped,
+					DiskHits:       a.DiskHits - b.DiskHits,
+					ModuleHits:     a.ModuleHits - b.ModuleHits,
+					ModuleDiskHits: a.ModuleDiskHits - b.ModuleDiskHits,
+					ModuleMisses:   a.ModuleMisses - b.ModuleMisses,
+				}
+				served := rep.Cache.ModuleHits + rep.Cache.ModuleDiskHits
+				if lookups := served + rep.Cache.ModuleMisses; lookups > 0 {
+					frac := float64(served) / float64(lookups)
+					rep.ModuleHitFrac = &frac
 				}
 			}
 		} else if _, ok := after["forwarded"]; ok {

@@ -33,6 +33,12 @@ type Report struct {
 	// Cache is the target's own cache-counter delta over the run, when
 	// the target is a single replica whose /healthz exposes one.
 	Cache *CacheDelta `json:"cache,omitempty"`
+	// ModuleHitFrac is the fraction of module-plan lookups served from
+	// cache during the run (LRU or disk), present when the target's
+	// module counters moved — the incremental pipeline's figure of
+	// merit: a one-module edit to an N-module program should score
+	// (N-1)/N even though every program digest missed.
+	ModuleHitFrac *float64 `json:"module_hit_frac,omitempty"`
 	// Router is the router-counter delta over the run, when the target
 	// is a surfrouter.
 	Router *RouterDelta `json:"router,omitempty"`
@@ -47,6 +53,10 @@ type WorkloadSpec struct {
 	Circuits     int     `json:"circuits"`
 	ZipfS        float64 `json:"zipf_s"`
 	EstimateFrac float64 `json:"estimate_frac"`
+	// Modular marks the hierarchical edit-recompile workload; Stages is
+	// the pipeline width its corpus was built from.
+	Modular bool `json:"modular,omitempty"`
+	Stages  int  `json:"stages,omitempty"`
 }
 
 // LatencyStats are request-latency percentiles in milliseconds.
@@ -58,11 +68,18 @@ type LatencyStats struct {
 }
 
 // CacheDelta is the served replica's cache movement during the run.
+// The Module* counters move only under hierarchical (-modular) traffic:
+// they count per-module plan lookups inside incremental compiles, one
+// level below the whole-program cache the other counters watch.
 type CacheDelta struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
 	Deduped  uint64 `json:"deduped"`
 	DiskHits uint64 `json:"disk_hits"`
+
+	ModuleHits     uint64 `json:"module_hits,omitempty"`
+	ModuleDiskHits uint64 `json:"module_disk_hits,omitempty"`
+	ModuleMisses   uint64 `json:"module_misses,omitempty"`
 }
 
 // RouterDelta is the router's robustness-counter movement during the

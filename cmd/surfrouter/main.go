@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"surfcomm/internal/cluster"
+	"surfcomm/internal/debugserve"
 )
 
 // replicaFlags collects repeated -replica name=url (or bare url)
@@ -86,10 +87,19 @@ func main() {
 	hedgePercentile := flag.Float64("hedge-percentile", 0, "hedge requests outliving this latency percentile, e.g. 0.95 (0 = off)")
 	hedgeMinSamples := flag.Int("hedge-min-samples", 0, "latency samples required before hedging arms (0 = 32)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this address via a dedicated mux (empty = off; keep it private)")
 	flag.Parse()
 
 	if len(replicas) == 0 {
 		log.Fatal("at least one -replica is required")
+	}
+	if *pprofAddr != "" {
+		stopPprof, err := debugserve.Start(*pprofAddr, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopPprof()
 	}
 	rt, err := cluster.New(cluster.Config{
 		Replicas:        replicas,

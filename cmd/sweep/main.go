@@ -49,6 +49,7 @@ func main() {
 	dec := flag.Bool("decoder", false, "§2.3: Monte Carlo error-model validation grid (opt-in)")
 	decStrategy := flag.String("decoder-strategy", "", "decoding strategy for -decoder: mwpm or unionfind (default mwpm)")
 	decode := flag.Bool("decode", false, "decoder strategy benchmark: parity + work-op crossover for mwpm vs unionfind (opt-in)")
+	modular := flag.Bool("modular", false, "hierarchical incremental-compilation study: monolithic vs per-module caching (opt-in)")
 	yield := flag.Bool("yield", false, "communication-yield study: braid compiles on defective devices (opt-in)")
 	defectFrac := flag.String("defect-frac", "", "comma-separated defect fractions for -yield (default 0,0.02,0.05)")
 	yieldApp := flag.String("yield-app", "GSE", "application for the -yield study")
@@ -59,7 +60,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-cell results to this JSON file (e.g. BENCH_sweep.json)")
 	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
 	flag.Parse()
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec && !*yield && !*decode
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec && !*yield && !*decode && !*modular
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -129,6 +130,11 @@ func main() {
 	}
 	if *decode {
 		if err := runDecodeBench(ctx, *seed, *workers, &records); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *modular {
+		if err := runModular(ctx, *seed, *workers, &records); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"surfcomm/internal/circuit"
+	"surfcomm/internal/scerr"
+)
+
+// stageQubits is the width of each pipeline stage module.
+const stageQubits = 8
+
+// PipelineProgram builds the hierarchical incremental-compilation
+// workload: an entry module over enough qubits to window n distinct
+// stage modules, each stage a distinct-bodied 8-qubit kernel, called
+// over overlapping qubit windows (stride 4, so adjacent stages share
+// half their qubits — cross-module braid traffic is real, not
+// decorative). It is the corpus the modular benchmarks, the
+// examples/incremental walkthrough, and surfload's -modular mode edit
+// one module of and recompile.
+func PipelineProgram(n int) (*circuit.Program, error) {
+	if n < 1 {
+		return nil, scerr.BadConfig("apps: pipeline needs >= 1 stage, got %d", n)
+	}
+	const stride = stageQubits / 2
+	width := stageQubits + stride*(n-1)
+	p := circuit.NewProgram("pipeline", width)
+	entry := p.Modules["pipeline"]
+	// A little local work in the entry keeps it non-trivial.
+	entry.Gate(circuit.PrepZ, 0)
+	entry.Gate(circuit.H, 0)
+	for i := 0; i < n; i++ {
+		name := stageName(i)
+		m := stageModule(name, i)
+		if err := p.AddModule(m); err != nil {
+			return nil, err
+		}
+		args := make([]int, stageQubits)
+		for q := range args {
+			args[q] = i*stride + q
+		}
+		entry.Call(name, args...)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func stageName(i int) string { return "stage" + string(rune('a'+i%26)) + suffix(i/26) }
+
+func suffix(k int) string {
+	if k == 0 {
+		return ""
+	}
+	s := ""
+	for k > 0 {
+		s = string(rune('0'+k%10)) + s
+		k /= 10
+	}
+	return s
+}
+
+// stageRounds is the entangler-ladder depth of each stage kernel. The
+// body must be big enough that recompiling a module costs visibly more
+// than stitching it — a one-gate "module" would make the incremental
+// path look artificially cheap (all stitch, no compile) and the
+// monolithic path artificially competitive.
+const stageRounds = 6
+
+// stageModule builds a distinct kernel body per stage index: rounds of
+// entangler ladders plus an index-dependent tail, so no two stages
+// share a content digest.
+func stageModule(name string, idx int) *circuit.Module {
+	m := &circuit.Module{Name: name, NumQubits: stageQubits}
+	for r := 0; r < stageRounds; r++ {
+		for q := 0; q < stageQubits; q++ {
+			m.Gate(circuit.H, q)
+		}
+		for q := 0; q+1 < stageQubits; q++ {
+			m.Gate(circuit.CNOT, q, q+1)
+		}
+		m.Gate(circuit.T, (idx+r)%stageQubits)
+	}
+	// Index-dependent tail: rotate a different qubit pair per stage.
+	a := idx % stageQubits
+	b := (idx*3 + 1) % stageQubits
+	if b == a {
+		b = (b + 1) % stageQubits
+	}
+	m.Gate(circuit.T, a)
+	m.Gate(circuit.CZ, a, b)
+	m.Gate(circuit.Tdg, b)
+	for i := 0; i <= idx%4; i++ {
+		m.Gate(circuit.S, (a+i)%stageQubits)
+	}
+	return m
+}
+
+// MutateModule returns a deep copy of the program with one module's
+// body extended by a deterministic, variant-keyed gate pair — the
+// "edit one module" step of the incremental workflows. Distinct
+// variants produce distinct content digests; the module's interface
+// (name, width) never changes, so only that module goes dirty.
+func MutateModule(p *circuit.Program, name string, variant int) (*circuit.Program, error) {
+	m, ok := p.Modules[name]
+	if !ok {
+		return nil, scerr.BadConfig("apps: no module %q to mutate", name)
+	}
+	cp := p.Clone()
+	mm := cp.Modules[name]
+	q := (variant + 7) % m.NumQubits
+	if q < 0 {
+		q += m.NumQubits
+	}
+	mm.Gate(circuit.Z, q)
+	mm.Gate(circuit.S, (q+1)%m.NumQubits)
+	// Encode the variant's bits as a Z/S tail so *every* variant has a
+	// distinct body — a fixed-shape edit would cycle with the qubit
+	// count and silently turn long edit-loops into full cache hits.
+	for v := variant; v > 0; v >>= 1 {
+		if v&1 == 1 {
+			mm.Gate(circuit.S, q)
+		} else {
+			mm.Gate(circuit.Z, q)
+		}
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

@@ -183,18 +183,22 @@ func (g Gate) Validate(numQubits int) error {
 	if g.Op == Barrier && len(g.Qubits) == 0 {
 		return fmt.Errorf("circuit: barrier needs at least one qubit")
 	}
-	seen := make(map[int]bool, len(g.Qubits))
-	for _, q := range g.Qubits {
+	// Duplicate detection scans the prefix instead of building a set:
+	// operand lists are tiny (1-2 qubits for gates, a module width for
+	// barriers), and this runs per gate on every Append and Validate —
+	// a map allocation here dominates hierarchical recompile profiles.
+	for i, q := range g.Qubits {
 		if q < 0 {
 			return fmt.Errorf("circuit: negative qubit index %d in %v", q, g.Op)
 		}
 		if numQubits >= 0 && q >= numQubits {
 			return fmt.Errorf("circuit: qubit %d out of range [0,%d) in %v", q, numQubits, g.Op)
 		}
-		if seen[q] {
-			return fmt.Errorf("circuit: repeated qubit %d in %v", q, g.Op)
+		for _, prev := range g.Qubits[:i] {
+			if prev == q {
+				return fmt.Errorf("circuit: repeated qubit %d in %v", q, g.Op)
+			}
 		}
-		seen[q] = true
 	}
 	return nil
 }

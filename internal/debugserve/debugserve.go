@@ -1,0 +1,49 @@
+// Package debugserve exposes the net/http/pprof profiling endpoints on
+// a dedicated listener and mux, isolated from a daemon's serving mux.
+//
+// The isolation is the point: registering pprof on the serving mux (the
+// net/http/pprof import side effect on http.DefaultServeMux) would
+// expose heap dumps and CPU profiles to anyone who can reach the
+// service port. Here the operator opts in with an explicit address —
+// typically localhost or a firewalled port — and the serving handler
+// never learns the profiling routes exist.
+package debugserve
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Start serves the pprof endpoints (/debug/pprof/...) on addr using a
+// dedicated mux, returning a stop function. The listen happens
+// synchronously so a bad address fails at startup rather than being
+// discovered mid-incident when the profile is finally needed.
+func Start(addr string, logf func(format string, args ...any)) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		// No write timeout: /debug/pprof/profile?seconds=30 streams for
+		// as long as the operator asked it to.
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			logf("pprof server: %v", serr)
+		}
+	}()
+	logf("pprof on http://%s/debug/pprof/ (dedicated mux — keep this address private)", ln.Addr())
+	// Close, not Shutdown: an in-flight 30s CPU profile must not stall a
+	// daemon's drain window.
+	return func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,51 @@
+package debugserve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartServesPprofIndex(t *testing.T) {
+	var logged strings.Builder
+	stop, err := Start("127.0.0.1:0", func(format string, args ...any) {
+		fmt.Fprintf(&logged, format, args...)
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer stop()
+
+	// The startup log line carries the resolved address.
+	line := logged.String()
+	i := strings.Index(line, "http://")
+	j := strings.Index(line, "/debug/pprof/")
+	if i < 0 || j < i {
+		t.Fatalf("startup log does not name the endpoint: %q", line)
+	}
+
+	t.Run("index", func(t *testing.T) {
+		// Reconstruct the base URL from the logged line.
+		base := line[i:j]
+		resp, err := http.Get(base + "/debug/pprof/")
+		if err != nil {
+			t.Fatalf("GET index: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("index status %d", resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if !strings.Contains(string(body), "goroutine") {
+			t.Error("pprof index does not list the goroutine profile")
+		}
+	})
+}
+
+func TestStartBadAddressFailsFast(t *testing.T) {
+	if _, err := Start("256.0.0.1:99999", func(string, ...any) {}); err == nil {
+		t.Fatal("want a startup error for an unusable address")
+	}
+}

@@ -21,13 +21,16 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.BalanceTolerance == 0 {
+	// Negative values are degenerate (no refinement passes, a coarsen
+	// loop that never terminates early, an inverted balance band) —
+	// treat them like the zero value rather than honoring them.
+	if o.BalanceTolerance <= 0 {
 		o.BalanceTolerance = 0.08
 	}
-	if o.MaxCoarseSize == 0 {
+	if o.MaxCoarseSize <= 0 {
 		o.MaxCoarseSize = 24
 	}
-	if o.Passes == 0 {
+	if o.Passes <= 0 {
 		o.Passes = 8
 	}
 	return o

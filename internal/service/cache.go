@@ -158,6 +158,38 @@ func (c *planCache) do(ctx context.Context, key string, persist bool, compute fu
 	return f.plan, false, f.err
 }
 
+// peek returns the cached plan under key without touching the
+// hit/miss counters (the module layer keeps its own), still promoting
+// the entry. Module plans share the LRU budget with program plans —
+// a namespaced key ("module/<digest>") keeps the keyspaces apart.
+func (c *planCache) peek(key string) (surfcomm.Plan, bool) {
+	if c.max < 1 {
+		return surfcomm.Plan{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return surfcomm.Plan{}, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put inserts a plan under key (no-op with caching disabled), evicting
+// past the weight budget like any fresh compile.
+func (c *planCache) put(key string, plan surfcomm.Plan) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return // already present (racing module compiles agree byte-for-byte)
+	}
+	c.insertLocked(key, plan)
+}
+
 // insertLocked adds a freshly compiled plan and evicts from the LRU
 // tail past the weight budget. A plan heavier than the entire budget
 // is not retained at all (it is served to its requesters and then
@@ -203,6 +235,14 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 	// Inflight is the number of compiles running right now.
 	Inflight int `json:"inflight"`
+	// Module-layer counters (hierarchical compiles only): ModuleHits
+	// are module plans served from the LRU, ModuleDiskHits were read
+	// through from the persistent store, ModuleMisses compiled fresh.
+	// Filled by Service.Stats — the planCache itself does not track
+	// them.
+	ModuleHits     uint64 `json:"module_hits,omitempty"`
+	ModuleDiskHits uint64 `json:"module_disk_hits,omitempty"`
+	ModuleMisses   uint64 `json:"module_misses,omitempty"`
 }
 
 // stats snapshots the counters.

@@ -96,6 +96,9 @@ type Service struct {
 	inj            *faultinject.Injector
 	dec            decodeCounters
 	draining       atomic.Bool
+	// Module-cache layer counters (hierarchical compiles): LRU hits,
+	// disk read-throughs, and fresh module compiles.
+	modHits, modDiskHits, modMisses atomic.Uint64
 
 	modelsMu     sync.Mutex
 	models       []surfcomm.AppModel
@@ -208,7 +211,12 @@ func (ds *DeviceSpec) device() (*surfcomm.Device, error) {
 // Omitted fields keep the toolchain's settings, so a request carrying
 // only QASM compiles at the server's configured target.
 type Request struct {
-	// QASM is the circuit in the toolchain's flat QASM dialect.
+	// QASM is the circuit, in either the flat QASM dialect or the
+	// module-extended hierarchical dialect (entry/module/call
+	// directives). Hierarchical programs compile through the
+	// incremental module pipeline: each module is cached independently
+	// under its content digest, so recompiling an edited program reuses
+	// every unchanged module.
 	QASM string `json:"qasm"`
 	// Backend names the compiling backend ("braid", "planar",
 	// "surgery"); empty selects "braid".
@@ -234,10 +242,12 @@ type Request struct {
 }
 
 // compileKey is one resolved request: everything the compile needs,
-// plus the digest identifying it in the cache.
+// plus the digest identifying it in the cache. Exactly one of circuit
+// (flat dialect) and program (hierarchical dialect) is non-nil.
 type compileKey struct {
 	backend surfcomm.Backend
 	circuit *surfcomm.Circuit
+	program *surfcomm.Program
 	target  surfcomm.Target
 	digest  string
 }
@@ -259,7 +269,15 @@ func (s *Service) resolve(req Request) (compileKey, error) {
 	if strings.TrimSpace(req.QASM) == "" {
 		return compileKey{}, scerr.BadConfig("service: empty qasm")
 	}
-	circ, err := surfcomm.ReadQASM(strings.NewReader(req.QASM))
+	var (
+		circ *surfcomm.Circuit
+		prog *surfcomm.Program
+	)
+	if surfcomm.LooksHierarchicalQASM(req.QASM) {
+		prog, err = surfcomm.ReadProgramQASM(strings.NewReader(req.QASM))
+	} else {
+		circ, err = surfcomm.ReadQASM(strings.NewReader(req.QASM))
+	}
 	if err != nil {
 		return compileKey{}, scerr.BadConfig("service: qasm: %v", err)
 	}
@@ -295,15 +313,24 @@ func (s *Service) resolve(req Request) (compileKey, error) {
 		target.Device = dev
 	}
 
-	// Canonical circuit bytes: re-emit the parsed circuit so spacing
-	// and comments in the submitted text do not split the cache key.
+	// Canonical circuit bytes: re-emit the parsed circuit (or program)
+	// so spacing and comments in the submitted text do not split the
+	// cache key. The two dialects canonicalize into disjoint byte
+	// spaces (flat text opens with a comment/qubits line, hierarchical
+	// with an entry directive), so they can never collide on a digest.
 	var canon bytes.Buffer
-	if err := surfcomm.WriteQASM(&canon, circ); err != nil {
+	if prog != nil {
+		err = surfcomm.WriteProgramQASM(&canon, prog)
+	} else {
+		err = surfcomm.WriteQASM(&canon, circ)
+	}
+	if err != nil {
 		return compileKey{}, scerr.BadConfig("service: qasm: %v", err)
 	}
 	return compileKey{
 		backend: backend,
 		circuit: circ,
+		program: prog,
 		target:  target,
 		digest:  digest(name, canon.Bytes(), target),
 	}, nil
@@ -341,13 +368,23 @@ func RoutingKey(req Request) (string, error) {
 	if strings.TrimSpace(req.QASM) == "" {
 		return "", scerr.BadConfig("service: empty qasm")
 	}
-	circ, err := surfcomm.ReadQASM(strings.NewReader(req.QASM))
-	if err != nil {
-		return "", scerr.BadConfig("service: qasm: %v", err)
-	}
 	var canon bytes.Buffer
-	if err := surfcomm.WriteQASM(&canon, circ); err != nil {
-		return "", scerr.BadConfig("service: qasm: %v", err)
+	if surfcomm.LooksHierarchicalQASM(req.QASM) {
+		prog, err := surfcomm.ReadProgramQASM(strings.NewReader(req.QASM))
+		if err != nil {
+			return "", scerr.BadConfig("service: qasm: %v", err)
+		}
+		if err := surfcomm.WriteProgramQASM(&canon, prog); err != nil {
+			return "", scerr.BadConfig("service: qasm: %v", err)
+		}
+	} else {
+		circ, err := surfcomm.ReadQASM(strings.NewReader(req.QASM))
+		if err != nil {
+			return "", scerr.BadConfig("service: qasm: %v", err)
+		}
+		if err := surfcomm.WriteQASM(&canon, circ); err != nil {
+			return "", scerr.BadConfig("service: qasm: %v", err)
+		}
 	}
 	backend := req.Backend
 	if backend == "" {
@@ -468,7 +505,18 @@ func (s *Service) compile(ctx context.Context, req Request, emit func(StageEvent
 				emit(StageEvent{Stage: "toolchain/" + ev.Stage, Backend: ev.Backend, Cell: ev.Cell})
 			})
 		}
-		p, err := tc.Compile(compileCtx, key.backend, key.circuit, func(t *surfcomm.Target) { *t = key.target })
+		var p surfcomm.Plan
+		var err error
+		if key.program != nil {
+			// Hierarchical compile: modules are cached independently in
+			// the service's LRU/disk stack under their content digests,
+			// so an edited program's recompile reuses every unchanged
+			// module even though its program digest missed.
+			mtc := tc.CloneWithModuleCache(&svcModuleCache{s: s, persist: persist})
+			p, err = mtc.CompileIncremental(compileCtx, key.backend, key.program, func(t *surfcomm.Target) { *t = key.target })
+		} else {
+			p, err = tc.Compile(compileCtx, key.backend, key.circuit, func(t *surfcomm.Target) { *t = key.target })
+		}
 		if err == nil {
 			// Only successful compiles feed the queue-pricing EWMA:
 			// injected/aborted compiles would teach admission the wrong
@@ -509,7 +557,21 @@ func (s *Service) Estimate(req Request) (surfcomm.Estimate, error) {
 	if strings.TrimSpace(req.QASM) == "" {
 		return surfcomm.Estimate{}, scerr.BadConfig("service: empty qasm")
 	}
-	circ, err := surfcomm.ReadQASM(strings.NewReader(req.QASM))
+	var (
+		circ *surfcomm.Circuit
+		err  error
+	)
+	if surfcomm.LooksHierarchicalQASM(req.QASM) {
+		// Characterization is a flat-circuit analysis: flatten the
+		// program fully inlined (the maximal-parallelism view).
+		prog, perr := surfcomm.ReadProgramQASM(strings.NewReader(req.QASM))
+		if perr != nil {
+			return surfcomm.Estimate{}, scerr.BadConfig("service: qasm: %v", perr)
+		}
+		circ, err = prog.Flatten(surfcomm.InlineAll)
+	} else {
+		circ, err = surfcomm.ReadQASM(strings.NewReader(req.QASM))
+	}
 	if err != nil {
 		return surfcomm.Estimate{}, scerr.BadConfig("service: qasm: %v", err)
 	}
@@ -565,8 +627,15 @@ func (s *Service) Models(ctx context.Context) ([]surfcomm.AppModel, error) {
 	return f.models, f.err
 }
 
-// Stats snapshots the cache counters.
-func (s *Service) Stats() CacheStats { return s.cache.stats() }
+// Stats snapshots the cache counters, folding in the module-cache
+// layer's hit/miss/disk counters (hierarchical compiles only).
+func (s *Service) Stats() CacheStats {
+	cs := s.cache.stats()
+	cs.ModuleHits = s.modHits.Load()
+	cs.ModuleDiskHits = s.modDiskHits.Load()
+	cs.ModuleMisses = s.modMisses.Load()
+	return cs
+}
 
 // AdmissionStats snapshots the admission queue and rate-limit counters.
 func (s *Service) AdmissionStats() AdmissionStats {

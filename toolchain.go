@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"surfcomm/internal/decoder"
+	"surfcomm/internal/modcompile"
 	"surfcomm/internal/resource"
 	"surfcomm/internal/scerr"
 	"surfcomm/internal/sweep"
@@ -158,6 +159,8 @@ type Toolchain struct {
 	device         *Device
 	decodeStrategy decoder.Strategy
 	progress       func(Event)
+	modCache       ModuleCache
+	stitchMemo     *modcompile.StitchMemo
 }
 
 // NewToolchain builds a Toolchain from functional options; option
@@ -168,6 +171,11 @@ func NewToolchain(opts ...ToolchainOption) (*Toolchain, error) {
 		tech:     Superconducting(1e-8),
 		policy:   Policy6,
 		seed:     1,
+		// Every toolchain carries a stitch memo: it is empty (and free)
+		// until the first hierarchical compile, and clones share it, so
+		// serving layers that clone per request still reuse the linker's
+		// placement work across structurally identical programs.
+		stitchMemo: modcompile.NewStitchMemo(),
 	}
 	for _, opt := range opts {
 		if err := opt(tc); err != nil {
