@@ -53,6 +53,11 @@ type Target struct {
 	// bit-identical to the pre-device pipeline. Routes impossible on a
 	// defective device fail with an error matching ErrUnroutable.
 	Device *Device
+	// Defects is an optional live-defect schedule: couplers that die
+	// mid-execution (braid and surgery backends). In-flight braids are
+	// torn down and re-routed around each death; ErrUnroutable only
+	// when the surviving fabric disconnects.
+	Defects *DefectSchedule
 }
 
 // withDefaults fills the paper's default target parameters.
@@ -240,6 +245,7 @@ func braidCompile(ctx context.Context, c *Circuit, t *Target, surgery bool) (Pla
 		Placement:      tt.Placement,
 		Surgery:        surgery,
 		Device:         tt.Device,
+		Defects:        tt.Defects,
 	})
 	if err != nil {
 		return Plan{}, err

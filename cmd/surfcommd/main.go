@@ -55,6 +55,7 @@ func main() {
 	queueDepth := flag.Int("queue", service.DefaultQueueDepth, "compile queue bound behind the worker slots (negative = no queueing)")
 	rate := flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-client burst size (0 = 2x rate)")
+	calibPath := flag.String("calibration", "", "calibration snapshot JSON realized onto every default-device compile (empty = uniform device)")
 	chaos := flag.String("chaos", "", "fault injection spec, e.g. compile-error=0.1,torn-write=0.2,compile-latency=50ms,seed=7")
 	trustForwarded := flag.Bool("trust-forwarded", false,
 		"trust X-Forwarded-For for rate-limit client identity (only behind surfrouter or another overwriting proxy)")
@@ -72,12 +73,26 @@ func main() {
 		defer stopPprof()
 	}
 
-	tc, err := surfcomm.NewToolchain(
+	opts := []surfcomm.ToolchainOption{
 		surfcomm.WithSeed(*seed),
 		surfcomm.WithDistance(*distance),
 		surfcomm.WithTechnology(surfcomm.Superconducting(*pp)),
 		surfcomm.WithWorkers(*workers),
-	)
+	}
+	if *calibPath != "" {
+		f, err := os.Open(*calibPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cal, err := surfcomm.LoadCalibration(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("calibration %s: digest %.12s…, taken %s", cal.Name, cal.Digest(), cal.Taken.Format(time.RFC3339))
+		opts = append(opts, surfcomm.WithCalibration(cal))
+	}
+	tc, err := surfcomm.NewToolchain(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,9 @@
 // physical rate, deterministic per-cell seeds). Like the other flags
 // they narrow the run to the selected studies. `-epr -decoder -json
 // BENCH_planar.json` regenerates the committed planar-pipeline
-// artifact.
+// artifact, and `-calib -json BENCH_calib.json` regenerates the
+// calibration-study artifact (square vs heavy-hex coupling, uniform vs
+// calibrated devices, live-defect survival).
 //
 // The studies run on a shared surfcomm.Toolchain: the grids evaluate on
 // its worker pool (-workers, default GOMAXPROCS) and results are
@@ -54,13 +56,17 @@ func main() {
 	defectFrac := flag.String("defect-frac", "", "comma-separated defect fractions for -yield (default 0,0.02,0.05)")
 	yieldApp := flag.String("yield-app", "GSE", "application for the -yield study")
 	clustered := flag.Bool("clustered", false, "use clustered defects instead of random yield for -yield")
+	calib := flag.Bool("calib", false, "calibration study: square vs heavy-hex, uniform vs calibrated, live-defect survival (opt-in)")
+	calibApp := flag.String("calib-app", "GSE", "application for the -calib study")
+	calibPath := flag.String("calibration", "", "calibration snapshot JSON for the -calib study (default: synthetic per-cell snapshots)")
+	squareOnly := flag.Bool("square-only", false, "drop the heavy-hex rows from the -calib study")
 	pp := flag.Float64("pp", 1e-8, "physical error rate for -fig7/-fig8")
 	seed := flag.Int64("seed", 1, "characterization seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write per-cell results to this JSON file (e.g. BENCH_sweep.json)")
 	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
 	flag.Parse()
-	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec && !*yield && !*decode && !*modular
+	all := !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*epr && !*dec && !*yield && !*decode && !*modular && !*calib
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -152,6 +158,23 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *calib {
+		copt := surfcomm.SweepCalibOptions{App: *calibApp, SquareOnly: *squareOnly}
+		if *calibPath != "" {
+			f, err := os.Open(*calibPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			copt.Calibration, err = surfcomm.LoadCalibration(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := runCalib(ctx, tc, copt, &records); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *jsonPath != "" {
 		if err := surfcomm.WriteSweepRecordsFile(*jsonPath, records); err != nil {
@@ -198,6 +221,49 @@ func runYield(ctx context.Context, tc *surfcomm.Toolchain, yopt surfcomm.SweepYi
 	}
 	fmt.Println("Defects stretch schedules (dimension-ordered routes detour via BFS) until")
 	fmt.Println("the fabric disconnects and compiles fail fast with ErrUnroutable.")
+	return nil
+}
+
+func runCalib(ctx context.Context, tc *surfcomm.Toolchain, copt surfcomm.SweepCalibOptions, records *[]surfcomm.SweepCellResult) error {
+	cells, err := tc.CalibGrid(ctx, copt)
+	if err != nil {
+		return err
+	}
+	*records = append(*records, surfcomm.SweepCalibRecords(cells)...)
+	fmt.Println("\nCalibration study: coupling topology, calibrated heterogeneity, live defects")
+	fmt.Println(strings.Repeat("-", 100))
+	fmt.Printf("%-6s %-10s %-12s %5s %10s %7s %8s %8s %11s %11s %11s\n",
+		"App", "topology", "cells", "trial", "cycles", "ratio", "adaptive", "reroutes", "p_tile min", "p_tile max", "p_L(sched)")
+	for _, c := range cells {
+		label := "uniform"
+		if c.Calibrated {
+			label = "calibrated"
+		}
+		if c.Defects > 0 {
+			label = fmt.Sprintf("defects=%d", c.Defects)
+		}
+		if !c.Survived {
+			fmt.Printf("%-6s %-10s %-12s %5d %10s\n", c.App, c.Topology, label, c.Trial, "unroutable")
+			continue
+		}
+		fmt.Printf("%-6s %-10s %-12s %5d %10d %7.3f %8d %8d %11.3e %11.3e %11.3e\n",
+			c.App, c.Topology, label, c.Trial, c.Cycles, c.Ratio, c.Adaptive, c.Reroutes, c.RateMin, c.RateMax, c.LogicalRate)
+	}
+	var defectCells, survived int
+	for _, c := range cells {
+		if c.Defects > 0 {
+			defectCells++
+			if c.Survived {
+				survived++
+			}
+		}
+	}
+	if defectCells > 0 {
+		fmt.Printf("live-defect survival: %d/%d runs re-routed around mid-schedule coupler deaths\n",
+			survived, defectCells)
+	}
+	fmt.Println("Calibration realizes as heterogeneous link weights (slow couplers stretch braids)")
+	fmt.Println("and per-tile error rates (placement avoids hot tiles; p_L prices the spread).")
 	return nil
 }
 

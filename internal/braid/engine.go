@@ -63,6 +63,14 @@ type Config struct {
 	// exactly the paper's point: surgery has neither braiding's fast
 	// movement nor teleportation's prefetchability.
 	Surgery bool
+	// Defects is an optional schedule of mid-execution coupler deaths:
+	// at each event's cycle the link is masked out of the mesh and any
+	// in-flight braid holding it is torn down and re-routed around the
+	// new mask (via the same dimension-ordered → adaptive BFS
+	// escalation). The simulation fails with an error matching
+	// scerr.ErrUnroutable only when the surviving fabric genuinely
+	// cannot carry the remaining traffic.
+	Defects *device.DefectSchedule
 	// Placement overrides the policy-selected qubit arrangement.
 	Placement *layout.Placement
 	// RecordSchedule captures the discovered static schedule in
@@ -108,6 +116,9 @@ type Result struct {
 	BraidsPlaced   int64
 	AdaptiveRoutes int64
 	Reinjections   int64
+	// Reroutes counts in-flight braids torn down and re-placed around a
+	// mid-execution coupler death (Config.Defects).
+	Reroutes       int64
 	Tiles          int
 	PhysicalQubits int
 	// Schedule is the recorded static schedule (nil unless
@@ -135,6 +146,10 @@ type op struct {
 	phase   int // 0 pending-open, 1 opening, 2 pending-close, 3 closing, 4 done
 	path    mesh.Path
 	factory int
+	// gen invalidates in-flight completions: a defect-event teardown
+	// bumps it, so the torn-down phase's completion is skipped when it
+	// pops instead of being excised from the heap.
+	gen int
 }
 
 // event is a pending placement attempt: the opening or closing phase of
@@ -162,6 +177,7 @@ type completion struct {
 	time int64
 	op   int
 	kind compKind
+	gen  int   // op generation at push; stale pops are skipped
 	seq  int64 // insertion order: deterministic pop order at equal times
 }
 
@@ -256,9 +272,31 @@ type engine struct {
 	braidsPlaced   int64
 	adaptiveRoutes int64
 	reinjections   int64
+	reroutes       int64
+
+	// Live-defect schedule: events sorted by cycle, consumed in order as
+	// simulated time passes them.
+	defects   []device.DefectEvent
+	defectIdx int
 
 	record   bool
 	schedule []ScheduleEntry
+}
+
+// removeEntry deletes the most recent recorded entry for (op, kind) —
+// the aborted phase of a defect-event teardown. Failed placements are
+// not part of the static schedule (§6.1: "failed schedules are not
+// recorded"); the re-route records a fresh entry when it commits.
+func (e *engine) removeEntry(opIndex int, kind EntryKind) {
+	if !e.record {
+		return
+	}
+	for i := len(e.schedule) - 1; i >= 0; i-- {
+		if e.schedule[i].Op == opIndex && e.schedule[i].Kind == kind {
+			e.schedule = append(e.schedule[:i], e.schedule[i+1:]...)
+			return
+		}
+	}
 }
 
 // recordEntry appends to the static schedule when recording is on.
@@ -327,14 +365,15 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, p Policy, cfg Conf
 		return Result{}, err
 	}
 	e := &engine{
-		cfg:    cfg,
-		policy: p,
-		arch:   arch,
-		net:    arch.NewMesh(),
-		dag:    dag,
-		record: cfg.RecordSchedule,
-		ctx:    ctx,
-		done:   ctx.Done(),
+		cfg:     cfg,
+		policy:  p,
+		arch:    arch,
+		net:     arch.NewMesh(),
+		dag:     dag,
+		record:  cfg.RecordSchedule,
+		defects: cfg.Defects.Sorted(),
+		ctx:     ctx,
+		done:    ctx.Done(),
 	}
 	if err := e.buildOps(c); err != nil {
 		return Result{}, err
@@ -355,6 +394,7 @@ func SimulateContext(ctx context.Context, c *circuit.Circuit, p Policy, cfg Conf
 		BraidsPlaced:       e.braidsPlaced,
 		AdaptiveRoutes:     e.adaptiveRoutes,
 		Reinjections:       e.reinjections,
+		Reroutes:           e.reroutes,
 		Tiles:              arch.TotalTiles(),
 		PhysicalQubits:     arch.PhysicalQubits(cfg.Distance),
 	}
@@ -401,6 +441,13 @@ func realizeDevice(dev *device.Device, qubits int, fixed *layout.Placement) (*de
 		view := device.NewView(rows, cols, func(c device.Coord) bool {
 			return !topo.TileDead(device.Coord{Row: c.Row, Col: physicalCol(c.Col)})
 		})
+		if topo.Calibrated() {
+			// Expose per-tile calibrated error rates so the placement
+			// optimizer steers qubits toward low-error regions.
+			view.SetErrorRates(func(c device.Coord) float64 {
+				return topo.TileErrorRate(device.Coord{Row: c.Row, Col: physicalCol(c.Col)})
+			})
+		}
 		if view.AliveCount() >= qubits || fixed != nil {
 			if !topo.Degraded() {
 				return nil, nil, nil
@@ -537,8 +584,24 @@ func (e *engine) phaseLatencyHops(hops int) int64 {
 // device the slowest link along the route stretches the whole phase —
 // the stabilization rounds are paced by the worst channel the braid
 // (or merge chain) occupies. Perfect devices multiply by 1 exactly.
+//
+// On a *calibrated* fabric the stretch is priced per actual traversed
+// link instead of by the single worst one: the phase scales with the
+// mean per-link cost of the route (Σ weight·(1+gateError) / hops), so
+// one slow coupler on a long route costs its share rather than taxing
+// the whole path at the worst-link rate. Legacy weighted presets keep
+// the worst-link formula, preserving their committed artifacts
+// bit-for-bit.
 func (e *engine) phaseLatency(p mesh.Path) int64 {
 	lat := e.phaseLatencyHops(len(p) - 1)
+	if e.net.Calibrated() {
+		if hops := len(p) - 1; hops > 0 {
+			if mean := e.net.PathCost(p) / float64(hops); mean > 1 {
+				lat = int64(math.Ceil(float64(lat) * mean))
+			}
+		}
+		return lat
+	}
 	if w := e.net.PathMaxWeight(p); w > 1 {
 		lat = int64(math.Ceil(float64(lat) * w))
 	}
@@ -549,6 +612,14 @@ func (e *engine) tileIndex(c layout.Coord) int { return c.Row*e.arch.TileCols + 
 
 func (e *engine) run() error {
 	heights := e.dag.Heights()
+	// Arm the live-defect schedule: events at or before cycle 0 apply
+	// immediately (nothing is in flight yet), later ones get a wake
+	// completion so simulated time always lands on their cycle even when
+	// no braid completes there.
+	e.applyDefects(heights)
+	for _, ev := range e.defects[e.defectIdx:] {
+		e.push(completion{time: ev.Cycle, kind: compWake})
+	}
 	// Seed the ready set with dependency-free ops.
 	worklist := e.worklist[:0]
 	for i := range e.ops {
@@ -827,7 +898,7 @@ func (e *engine) placeBraidOpen(ev *event, o *op) bool {
 	o.path = path
 	o.phase = 1
 	lat := e.phaseLatency(path)
-	e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compOpenDone})
+	e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compOpenDone, gen: o.gen})
 	e.recordEntry(ScheduleEntry{
 		Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + lat,
 		Path: append(mesh.Path(nil), path...), Factory: -1,
@@ -871,7 +942,7 @@ func (e *engine) placeMagicOpen(ev *event, o *op) bool {
 		o.path = path
 		o.phase = 1
 		lat := e.phaseLatency(path)
-		e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compOpenDone})
+		e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compOpenDone, gen: o.gen})
 		e.recordEntry(ScheduleEntry{
 			Op: ev.opIndex, Kind: EntryOpen, Start: e.now, End: e.now + lat,
 			Path: append(mesh.Path(nil), path...), Factory: c.f,
@@ -890,7 +961,7 @@ func (e *engine) placeClose(ev *event, o *op, src, dst mesh.Node) bool {
 	o.path = path
 	o.phase = 3
 	lat := e.phaseLatency(path)
-	e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compCloseDone})
+	e.push(completion{time: e.now + lat, op: ev.opIndex, kind: compCloseDone, gen: o.gen})
 	e.recordEntry(ScheduleEntry{
 		Op: ev.opIndex, Kind: EntryClose, Start: e.now, End: e.now + lat,
 		Path: append(mesh.Path(nil), path...), Factory: o.factory,
@@ -908,6 +979,9 @@ func (e *engine) placeClose(ev *event, o *op, src, dst mesh.Node) bool {
 // releases, a failed attempt returns it — so routing allocates nothing
 // once the pool has warmed up.
 func (e *engine) route(ev *event, src, dst mesh.Node) (mesh.Path, bool) {
+	if e.net.Calibrated() {
+		return e.routeCalibrated(ev, src, dst)
+	}
 	p := mesh.XYPathInto(e.getPath(), src, dst)
 	if e.net.PathFree(p) {
 		return p, true
@@ -928,6 +1002,44 @@ func (e *engine) route(ev *event, src, dst mesh.Node) (mesh.Path, bool) {
 		}
 	}
 	e.putPath(p)
+	return nil, false
+}
+
+// routeCalibrated is route on a calibrated fabric: both dimension-
+// ordered candidates are priced per traversed link (mesh.PathCost) and
+// the cheaper free one wins — the router prefers fast, low-error
+// corridors instead of taking the XY staircase unconditionally. Ties
+// keep XY, so a uniform calibration routes exactly like the legacy
+// path. Escalation to the adaptive BFS fallback is unchanged.
+func (e *engine) routeCalibrated(ev *event, src, dst mesh.Node) (mesh.Path, bool) {
+	xy := mesh.XYPathInto(e.getPath(), src, dst)
+	yx := mesh.YXPathInto(e.getPath(), src, dst)
+	first, second := xy, yx
+	if e.net.PathCost(yx) < e.net.PathCost(xy) {
+		first, second = yx, xy
+	}
+	if e.net.PathFree(first) {
+		e.putPath(second)
+		return first, true
+	}
+	escalate := e.now-ev.readySince >= e.cfg.AdaptTimeout
+	if !escalate && e.net.Masked() && e.net.PathBlockedByMask(first) {
+		escalate = true
+	}
+	if escalate {
+		if e.net.PathFree(second) {
+			e.putPath(first)
+			return second, true
+		}
+		var ok bool
+		if first, ok = e.net.AdaptiveRouteInto(first, src, dst); ok {
+			e.adaptiveRoutes++
+			e.putPath(second)
+			return first, true
+		}
+	}
+	e.putPath(first)
+	e.putPath(second)
 	return nil, false
 }
 
@@ -969,10 +1081,15 @@ func (e *engine) push(c completion) {
 }
 
 // advance pops every completion at the next timestamp and processes it.
+// Defect events due at (or before) the timestamp apply first — a braid
+// scheduled to finish exactly at the death cycle is conservatively torn
+// down and re-routed, and its now-stale completion is skipped by the
+// generation check.
 func (e *engine) advance(heights []int) {
 	t := e.heap[0].time
 	e.flushUtil(t)
 	e.now = t
+	e.applyDefects(heights)
 	worklist := e.worklist[:0]
 	for len(e.heap) > 0 && e.heap[0].time == t {
 		c := e.heap.pop()
@@ -985,6 +1102,9 @@ func (e *engine) advance(heights []int) {
 			worklist = e.completeOp(c.op, worklist)
 		case compOpenDone:
 			o := &e.ops[c.op]
+			if c.gen != o.gen {
+				continue // phase torn down by a defect event
+			}
 			e.release(o.path, c.op)
 			e.putPath(o.path)
 			o.path = nil
@@ -999,6 +1119,9 @@ func (e *engine) advance(heights []int) {
 			})
 		case compCloseDone:
 			o := &e.ops[c.op]
+			if c.gen != o.gen {
+				continue // phase torn down by a defect event
+			}
 			e.release(o.path, c.op)
 			e.putPath(o.path)
 			o.path = nil
@@ -1015,6 +1138,88 @@ func (e *engine) advance(heights []int) {
 		}
 	}
 	e.worklist = e.admit(worklist, heights)
+}
+
+// applyDefects consumes every defect event due at or before the current
+// cycle: the coupler is masked out of the mesh, and any in-flight braid
+// phase holding it is torn down and re-queued so the normal placement
+// path re-routes it around the new mask. Events naming links outside
+// the realized mesh (a schedule drawn for a larger chip) are ignored.
+func (e *engine) applyDefects(heights []int) {
+	for e.defectIdx < len(e.defects) && e.defects[e.defectIdx].Cycle <= e.now {
+		ev := e.defects[e.defectIdx]
+		e.defectIdx++
+		if e.net.LinkMasked(ev.A, ev.B) {
+			continue // already dead (static defect or duplicate event)
+		}
+		e.net.MaskLink(ev.A, ev.B)
+		if !e.net.LinkMasked(ev.A, ev.B) {
+			continue // outside the mesh
+		}
+		e.teardownCrossing(ev.A, ev.B, heights)
+	}
+}
+
+// teardownCrossing aborts every in-flight braid phase whose claimed path
+// traverses the newly dead link: the claim is released, the op's
+// generation is bumped (invalidating its pending completion), and the
+// phase is re-queued as a fresh ready event. An aborted opening reverts
+// to pending-open and returns its endpoint tiles (and factory port, with
+// no refill penalty — no state was consumed); an aborted closing reverts
+// to pending-close with its tiles still held. The recorded schedule
+// drops the aborted entry — failed schedules are not recorded (§6.1) —
+// and the re-route records a fresh one when it commits.
+func (e *engine) teardownCrossing(a, b mesh.Node, heights []int) {
+	for i := range e.ops {
+		o := &e.ops[i]
+		if (o.phase != 1 && o.phase != 3) || !pathUsesLink(o.path, a, b) {
+			continue
+		}
+		e.release(o.path, i)
+		e.putPath(o.path)
+		o.path = nil
+		o.gen++
+		e.reroutes++
+		if o.phase == 1 {
+			o.phase = 0
+			e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[0]])] = false
+			if o.kind == opBraid {
+				e.tileBusy[e.tileIndex(e.arch.QubitTile[o.qubits[1]])] = false
+			} else {
+				e.factoryBusy[o.factory] = false
+				o.factory = -1
+			}
+			e.removeEntry(i, EntryOpen)
+			e.insertEvent(event{
+				opIndex:    i,
+				height:     heights[i],
+				length:     e.opLength(i),
+				readySince: e.now,
+			})
+		} else {
+			o.phase = 2
+			e.removeEntry(i, EntryClose)
+			e.insertEvent(event{
+				opIndex:    i,
+				phase:      1,
+				closing:    true,
+				height:     heights[i],
+				length:     e.opLength(i),
+				readySince: e.now,
+			})
+		}
+	}
+}
+
+// pathUsesLink reports whether the path traverses the (a,b) channel in
+// either direction.
+func pathUsesLink(p mesh.Path, a, b mesh.Node) bool {
+	for i := 0; i+1 < len(p); i++ {
+		if (p[i] == a && p[i+1] == b) || (p[i] == b && p[i+1] == a) {
+			return true
+		}
+	}
+	return false
 }
 
 // completeOp marks an op done and returns newly dependency-free

@@ -275,6 +275,11 @@ type ReplicaHealth struct {
 	Breaker string `json:"breaker"`
 	Served  uint64 `json:"served"`
 	Failed  uint64 `json:"failed"`
+	// Calibration is the replica's last-probed calibration digest
+	// ("uncalibrated" when it compiles on the uniform device; empty
+	// before the first successful probe). Divergent digests across rows
+	// mean the fleet disagrees on what it is compiling for.
+	Calibration string `json:"calibration,omitempty"`
 }
 
 // RouterHealth is the router's /healthz reply: the cluster as the
@@ -305,12 +310,14 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		if state != Open {
 			routable++
 		}
+		digest, _ := rep.calDigest.Load().(string)
 		h.Replicas = append(h.Replicas, ReplicaHealth{
-			Name:    rep.name,
-			URL:     rep.base.String(),
-			Breaker: state.String(),
-			Served:  rep.served.Load(),
-			Failed:  rep.failed.Load(),
+			Name:        rep.name,
+			URL:         rep.base.String(),
+			Breaker:     state.String(),
+			Served:      rep.served.Load(),
+			Failed:      rep.failed.Load(),
+			Calibration: digest,
 		})
 	}
 	h.Status = "ok"

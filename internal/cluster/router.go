@@ -77,6 +77,11 @@ type replica struct {
 	br     *Breaker
 	served atomic.Uint64 // responses relayed from this replica
 	failed atomic.Uint64 // connection errors + 5xx from this replica
+	// calDigest is the replica's last-probed calibration digest
+	// ("uncalibrated" for replicas compiling on the uniform device) —
+	// replicas disagreeing here split the plan keyspace, so the prober
+	// logs every change and /healthz reports the fleet view.
+	calDigest atomic.Value // string
 }
 
 // Router is the consistent-hash front door: it owns the ring, the
@@ -233,12 +238,53 @@ func (rt *Router) probeAll() {
 					rt.logf("cluster: probe closed breaker for %s", rep.name)
 				}
 				rep.br.Success()
+				rt.probeCalibration(ctx, rep)
 			} else {
 				rep.br.Failure()
 			}
 		}(rep)
 	}
 	wg.Wait()
+}
+
+// probeCalibration relays a ready replica's /healthz calibration view
+// into the probe log: the digest identifies which snapshot the replica
+// compiles under, so a fleet serving divergent calibrations (one
+// replica restarted onto a fresher snapshot) is visible the moment the
+// prober sees it. Only changes are logged; probe failures here are
+// silent (readiness already passed — a slow /healthz is not an outage).
+func (rt *Router) probeCalibration(ctx context.Context, rep *replica) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base.JoinPath("/healthz").String(), nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10)) //nolint:errcheck
+		return
+	}
+	var h struct {
+		Calibration *service.CalibrationHealth `json:"calibration"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h) != nil {
+		return
+	}
+	digest := "uncalibrated"
+	if h.Calibration != nil && h.Calibration.Digest != "" {
+		digest = h.Calibration.Digest
+	}
+	if prev, _ := rep.calDigest.Swap(digest).(string); prev != digest {
+		if h.Calibration != nil {
+			rt.logf("cluster: probe: %s calibration %q digest %.12s… age %.0fs",
+				rep.name, h.Calibration.Name, digest, h.Calibration.AgeSeconds)
+		} else {
+			rt.logf("cluster: probe: %s uncalibrated", rep.name)
+		}
+	}
 }
 
 // rankedAllowed returns the failover sequence for key, filtered to

@@ -1,0 +1,280 @@
+// Calibration snapshots: per-qubit and per-coupler measurements of a
+// real chip, in the versioned JSON format hardware providers publish
+// (T1/T2/readout error per qubit, gate error and latency per coupler).
+// A snapshot realizes onto a Topology as heterogeneous link weights and
+// per-cell effective error rates, which the routing, placement, timing,
+// and logical-rate layers all price — the uniform-p model is the
+// special case of an empty snapshot.
+package device
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"surfcomm/internal/scerr"
+)
+
+// CalibrationVersion is the supported snapshot format version.
+const CalibrationVersion = 1
+
+// calSyndromeCycleSeconds converts decoherence times to a per-cycle
+// error contribution: the superconducting syndrome-measurement cycle
+// (4 two-qubit gates + 2 single-qubit gates + measure/reset, ~620 ns).
+const calSyndromeCycleSeconds = 620e-9
+
+// QubitCal is one qubit's calibration entry. Times are microseconds —
+// the unit calibration dashboards report.
+type QubitCal struct {
+	Row          int     `json:"row"`
+	Col          int     `json:"col"`
+	T1Us         float64 `json:"t1_us"`
+	T2Us         float64 `json:"t2_us"`
+	ReadoutError float64 `json:"readout_error"`
+}
+
+// EffectiveErrorRate folds the entry into one per-cycle physical error
+// rate: readout infidelity plus the decoherence accumulated over one
+// syndrome cycle (t_cycle/T1 + t_cycle/T2), clamped below 1.
+func (q QubitCal) EffectiveErrorRate() float64 {
+	p := q.ReadoutError
+	if q.T1Us > 0 {
+		p += calSyndromeCycleSeconds / (q.T1Us * 1e-6)
+	}
+	if q.T2Us > 0 {
+		p += calSyndromeCycleSeconds / (q.T2Us * 1e-6)
+	}
+	if p >= 1 {
+		p = 1 - 1e-12
+	}
+	return p
+}
+
+// CouplerCal is one coupler's calibration entry: the two-qubit gate
+// error across the link and its latency multiplier relative to the
+// chip's fastest coupler (1 = ideal; 0 defaults to 1).
+type CouplerCal struct {
+	A         [2]int  `json:"a"` // [row, col]
+	B         [2]int  `json:"b"`
+	GateError float64 `json:"gate_error"`
+	Latency   float64 `json:"latency,omitempty"`
+}
+
+// Calibration is one loaded snapshot.
+type Calibration struct {
+	Version  int          `json:"version"`
+	Name     string       `json:"name"`
+	Taken    time.Time    `json:"taken"`
+	Qubits   []QubitCal   `json:"qubits"`
+	Couplers []CouplerCal `json:"couplers"`
+
+	digest string
+}
+
+// validate range-checks every entry; violations fail with an error
+// matching scerr.ErrBadConfig.
+func (cal *Calibration) validate() error {
+	if cal.Version != CalibrationVersion {
+		return scerr.BadConfig("device: calibration: unsupported version %d (want %d)", cal.Version, CalibrationVersion)
+	}
+	if cal.Name == "" {
+		return scerr.BadConfig("device: calibration: missing name")
+	}
+	seenQ := make(map[Coord]bool, len(cal.Qubits))
+	for i, q := range cal.Qubits {
+		at := Coord{Row: q.Row, Col: q.Col}
+		switch {
+		case q.Row < 0 || q.Col < 0:
+			return scerr.BadConfig("device: calibration: qubit %d at negative coordinate %v", i, at)
+		case q.T1Us <= 0 || q.T2Us <= 0:
+			return scerr.BadConfig("device: calibration: qubit %d at %v: T1/T2 must be positive, got %g/%g µs",
+				i, at, q.T1Us, q.T2Us)
+		case q.ReadoutError < 0 || q.ReadoutError >= 1:
+			return scerr.BadConfig("device: calibration: qubit %d at %v: readout error %g outside [0,1)",
+				i, at, q.ReadoutError)
+		case seenQ[at]:
+			return scerr.BadConfig("device: calibration: duplicate qubit entry at %v", at)
+		}
+		seenQ[at] = true
+	}
+	seenC := make(map[[2]Coord]bool, len(cal.Couplers))
+	for i, c := range cal.Couplers {
+		a := Coord{Row: c.A[0], Col: c.A[1]}
+		b := Coord{Row: c.B[0], Col: c.B[1]}
+		key := normalizePair(a, b)
+		switch {
+		case a.Row < 0 || a.Col < 0 || b.Row < 0 || b.Col < 0:
+			return scerr.BadConfig("device: calibration: coupler %d at negative coordinate %v-%v", i, a, b)
+		case !Adjacent(a, b):
+			return scerr.BadConfig("device: calibration: coupler %d endpoints %v-%v not adjacent", i, a, b)
+		case c.GateError < 0 || c.GateError >= 1:
+			return scerr.BadConfig("device: calibration: coupler %d %v-%v: gate error %g outside [0,1)",
+				i, a, b, c.GateError)
+		case c.Latency != 0 && c.Latency < 1:
+			return scerr.BadConfig("device: calibration: coupler %d %v-%v: latency %g below 1 (links cannot beat ideal)",
+				i, a, b, c.Latency)
+		case seenC[key]:
+			return scerr.BadConfig("device: calibration: duplicate coupler entry %v-%v", a, b)
+		}
+		seenC[key] = true
+	}
+	return nil
+}
+
+func normalizePair(a, b Coord) [2]Coord {
+	if b.Row < a.Row || (b.Row == a.Row && b.Col < a.Col) {
+		a, b = b, a
+	}
+	return [2]Coord{a, b}
+}
+
+// finalize computes the canonical digest; call after any construction.
+func (cal *Calibration) finalize() error {
+	if err := cal.validate(); err != nil {
+		return err
+	}
+	canon, err := json.Marshal(cal)
+	if err != nil {
+		return fmt.Errorf("device: calibration: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	cal.digest = hex.EncodeToString(sum[:])
+	return nil
+}
+
+// Digest returns the snapshot's content digest (hex SHA-256 of the
+// canonical encoding) — whitespace- and field-order-insensitive, so two
+// loads of the same measurements always agree. Operators compare it
+// across a replica fleet to detect stale calibrations.
+func (cal *Calibration) Digest() string {
+	if cal == nil {
+		return ""
+	}
+	return cal.digest
+}
+
+// Age returns how stale the snapshot is at the given instant.
+func (cal *Calibration) Age(now time.Time) time.Duration {
+	return now.Sub(cal.Taken)
+}
+
+// ParseCalibration loads a snapshot from its versioned JSON form.
+// Malformed or out-of-range entries fail with an error matching
+// scerr.ErrBadConfig.
+func ParseCalibration(data []byte) (*Calibration, error) {
+	var cal Calibration
+	if err := json.Unmarshal(data, &cal); err != nil {
+		return nil, scerr.BadConfig("device: calibration: %v", err)
+	}
+	if err := cal.finalize(); err != nil {
+		return nil, err
+	}
+	return &cal, nil
+}
+
+// LoadCalibration reads a snapshot from r.
+func LoadCalibration(r io.Reader) (*Calibration, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("device: calibration: %w", err)
+	}
+	return ParseCalibration(data)
+}
+
+// Encode serializes the snapshot in its canonical JSON form.
+func (cal *Calibration) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cal)
+}
+
+// Apply realizes the snapshot onto a topology: couplers set link
+// latency weights and gate error rates, qubits set per-cell effective
+// error rates. Entries outside the grid are ignored (a snapshot
+// measures the physical chip; a realization may use a corner of it),
+// and uncovered cells keep rate 0 — consumers substitute the uniform
+// baseline. Applying any snapshot (even an empty one) marks the
+// topology calibrated, switching consumers to per-link pricing.
+func (cal *Calibration) Apply(t *Topology) {
+	t.markCalibrated()
+	for _, q := range cal.Qubits {
+		t.SetTileErrorRate(Coord{Row: q.Row, Col: q.Col}, q.EffectiveErrorRate())
+	}
+	for _, c := range cal.Couplers {
+		a := Coord{Row: c.A[0], Col: c.A[1]}
+		b := Coord{Row: c.B[0], Col: c.B[1]}
+		if lat := c.Latency; lat > 1 {
+			t.SetLinkWeight(a, b, lat)
+		}
+		t.SetLinkErrorRate(a, b, c.GateError)
+	}
+}
+
+// SyntheticCalibration generates a deterministic, plausible snapshot
+// for a rows×cols grid: T1/T2 spread around superconducting medians
+// (~200 µs), readout errors around 0.1–0.5%, coupler gate errors around
+// 0.5–1% with a tail of slow outlier couplers carrying latency
+// multipliers. The effective per-cycle rates straddle the threshold —
+// the regime where per-tile spreads actually matter. The same
+// (seed, dims) always generates byte-identical snapshots — the
+// calibration sweep study and its BENCH artifact depend on it.
+func SyntheticCalibration(seed int64, rows, cols int) *Calibration {
+	rng := rand.New(rand.NewSource(DeriveSeed(seed, rows, cols)))
+	cal := &Calibration{
+		Version: CalibrationVersion,
+		Name:    fmt.Sprintf("synthetic-%dx%d-seed%d", rows, cols, seed),
+		// A fixed reference instant keeps the digest deterministic.
+		Taken: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cal.Qubits = append(cal.Qubits, QubitCal{
+				Row:          r,
+				Col:          c,
+				T1Us:         120 + 280*rng.Float64(),
+				T2Us:         80 + 220*rng.Float64(),
+				ReadoutError: 0.001 + 0.004*rng.Float64(),
+			})
+		}
+	}
+	addCoupler := func(a, b Coord) {
+		cc := CouplerCal{
+			A:         [2]int{a.Row, a.Col},
+			B:         [2]int{b.Row, b.Col},
+			GateError: 0.003 + 0.008*rng.Float64(),
+		}
+		// ~1 in 8 couplers is a slow outlier.
+		if rng.Float64() < 0.125 {
+			cc.GateError += 0.01 + 0.02*rng.Float64()
+			cc.Latency = 1.5 + rng.Float64()
+		}
+		cal.Couplers = append(cal.Couplers, cc)
+	}
+	// Fixed link order (horizontal row-major, then vertical row-major)
+	// so the draw sequence is reproducible.
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			addCoupler(Coord{Row: r, Col: c}, Coord{Row: r, Col: c + 1})
+		}
+	}
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c < cols; c++ {
+			addCoupler(Coord{Row: r, Col: c}, Coord{Row: r + 1, Col: c})
+		}
+	}
+	sort.SliceStable(cal.Qubits, func(i, j int) bool {
+		if cal.Qubits[i].Row != cal.Qubits[j].Row {
+			return cal.Qubits[i].Row < cal.Qubits[j].Row
+		}
+		return cal.Qubits[i].Col < cal.Qubits[j].Col
+	})
+	if err := cal.finalize(); err != nil {
+		panic(fmt.Sprintf("device: synthetic calibration invariant broken: %v", err))
+	}
+	return cal
+}

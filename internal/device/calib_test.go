@@ -1,0 +1,214 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"surfcomm/internal/scerr"
+)
+
+// TestCalibrationRoundTrip pins the snapshot round trip: encoding a
+// snapshot and parsing it back preserves every entry and the content
+// digest, and re-encoding with different whitespace parses to the same
+// digest (the digest covers measurements, not formatting).
+func TestCalibrationRoundTrip(t *testing.T) {
+	cal := SyntheticCalibration(11, 5, 6)
+	var buf bytes.Buffer
+	if err := cal.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCalibration(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != cal.Digest() {
+		t.Fatalf("round-trip digest %s != %s", back.Digest(), cal.Digest())
+	}
+	if len(back.Qubits) != len(cal.Qubits) || len(back.Couplers) != len(cal.Couplers) {
+		t.Fatalf("round trip lost entries: %d/%d qubits, %d/%d couplers",
+			len(back.Qubits), len(cal.Qubits), len(back.Couplers), len(cal.Couplers))
+	}
+	// Reformat: strip the indentation the encoder added.
+	squashed := strings.ReplaceAll(strings.ReplaceAll(buf.String(), "\n", ""), "  ", "")
+	again, err := ParseCalibration([]byte(squashed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest() != cal.Digest() {
+		t.Fatal("whitespace changed the content digest")
+	}
+}
+
+// TestSyntheticCalibrationDeterministic pins the generator: same
+// (seed, dims) → identical digest, different seed → different digest.
+func TestSyntheticCalibrationDeterministic(t *testing.T) {
+	a := SyntheticCalibration(5, 4, 4)
+	b := SyntheticCalibration(5, 4, 4)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same seed/dims drew different snapshots")
+	}
+	if SyntheticCalibration(6, 4, 4).Digest() == a.Digest() {
+		t.Fatal("different seeds drew identical snapshots")
+	}
+}
+
+// TestParseCalibrationRejections walks the malformed-snapshot table:
+// every violation must fail with an error matching scerr.ErrBadConfig.
+func TestParseCalibrationRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"wrong version":  `{"version":2,"name":"x","qubits":[],"couplers":[]}`,
+		"missing name":   `{"version":1,"qubits":[],"couplers":[]}`,
+		"negative coord": `{"version":1,"name":"x","qubits":[{"row":-1,"col":0,"t1_us":100,"t2_us":80,"readout_error":0.01}]}`,
+		"zero T1":        `{"version":1,"name":"x","qubits":[{"row":0,"col":0,"t1_us":0,"t2_us":80,"readout_error":0.01}]}`,
+		"readout >= 1":   `{"version":1,"name":"x","qubits":[{"row":0,"col":0,"t1_us":100,"t2_us":80,"readout_error":1.5}]}`,
+		"duplicate qubit": `{"version":1,"name":"x","qubits":[
+			{"row":0,"col":0,"t1_us":100,"t2_us":80,"readout_error":0.01},
+			{"row":0,"col":0,"t1_us":90,"t2_us":70,"readout_error":0.02}]}`,
+		"non-adjacent coupler": `{"version":1,"name":"x","couplers":[{"a":[0,0],"b":[2,0],"gate_error":0.005}]}`,
+		"gate error >= 1":      `{"version":1,"name":"x","couplers":[{"a":[0,0],"b":[0,1],"gate_error":1}]}`,
+		"latency below 1":      `{"version":1,"name":"x","couplers":[{"a":[0,0],"b":[0,1],"gate_error":0.005,"latency":0.5}]}`,
+		"duplicate coupler": `{"version":1,"name":"x","couplers":[
+			{"a":[0,0],"b":[0,1],"gate_error":0.005},
+			{"a":[0,1],"b":[0,0],"gate_error":0.006}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseCalibration([]byte(raw)); !errors.Is(err, scerr.ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+// TestCalibrationApply pins realization: couplers with latency set link
+// weights and error rates, qubits set tile rates, out-of-grid entries
+// are ignored, and any applied snapshot marks the topology calibrated.
+func TestCalibrationApply(t *testing.T) {
+	raw := `{"version":1,"name":"apply","qubits":[
+		{"row":0,"col":0,"t1_us":100,"t2_us":100,"readout_error":0.01},
+		{"row":99,"col":99,"t1_us":100,"t2_us":100,"readout_error":0.5}],
+	"couplers":[
+		{"a":[0,0],"b":[0,1],"gate_error":0.02,"latency":2},
+		{"a":[98,99],"b":[99,99],"gate_error":0.9}]}`
+	cal, err := ParseCalibration([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := NewTopology(3, 3)
+	cal.Apply(topo)
+	if !topo.Calibrated() {
+		t.Fatal("applied snapshot left topology uncalibrated")
+	}
+	at := Coord{Row: 0, Col: 0}
+	want := QubitCal{T1Us: 100, T2Us: 100, ReadoutError: 0.01}.EffectiveErrorRate()
+	if got := topo.TileErrorRate(at); got != want {
+		t.Fatalf("tile rate %g, want %g", got, want)
+	}
+	right := Coord{Row: 0, Col: 1}
+	if w := topo.LinkWeight(at, right); w != 2 {
+		t.Fatalf("link weight %g, want 2", w)
+	}
+	if e := topo.LinkErrorRate(at, right); e != 0.02 {
+		t.Fatalf("link error rate %g, want 0.02", e)
+	}
+	// Out-of-grid entries must not have leaked anywhere.
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if r == 0 && c == 0 {
+				continue
+			}
+			if topo.TileErrorRate(Coord{Row: r, Col: c}) != 0 {
+				t.Fatalf("unexpected rate at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+// TestDeviceWithCalibration pins the facade: attaching a snapshot
+// changes the device's record string (the digest suffix that splits
+// cache lines) and realizes calibrated instances, while the bare
+// perfect device stays perfect.
+func TestDeviceWithCalibration(t *testing.T) {
+	cal := SyntheticCalibration(3, 4, 4)
+	d := Perfect().WithCalibration(cal)
+	if d.IsPerfect() {
+		t.Fatal("calibrated device claims perfect")
+	}
+	if Perfect().String() == d.String() {
+		t.Fatal("calibration did not change the device record string")
+	}
+	topo := d.Instance(4, 4)
+	if topo == nil || !topo.Calibrated() {
+		t.Fatal("calibrated device realized an uncalibrated instance")
+	}
+	if !Perfect().IsPerfect() {
+		t.Fatal("WithCalibration mutated the perfect device")
+	}
+	if got := Perfect().WithCalibration(nil); !got.IsPerfect() {
+		t.Fatal("nil calibration should leave the device perfect")
+	}
+}
+
+// TestSeedDerivation pins the shared helpers: CellSeed must equal the
+// historical inline base+index (committed BENCH artifacts encode it),
+// and DeriveSeed must vary with every dimension.
+func TestSeedDerivation(t *testing.T) {
+	if CellSeed(42, 7) != 49 {
+		t.Fatalf("CellSeed(42, 7) = %d, want 49", CellSeed(42, 7))
+	}
+	base := DeriveSeed(1, 8, 9)
+	if DeriveSeed(1, 9, 8) == base || DeriveSeed(2, 8, 9) == base || DeriveSeed(1, 8, 10) == base {
+		t.Fatal("DeriveSeed collision across distinct inputs")
+	}
+}
+
+// TestDefectScheduleSorted pins ordering: Sorted is stable for
+// same-cycle events and does not mutate the receiver.
+func TestDefectScheduleSorted(t *testing.T) {
+	s := &DefectSchedule{Events: []DefectEvent{
+		{Cycle: 9, A: Coord{Row: 0, Col: 0}, B: Coord{Row: 0, Col: 1}},
+		{Cycle: 2, A: Coord{Row: 1, Col: 0}, B: Coord{Row: 1, Col: 1}},
+		{Cycle: 2, A: Coord{Row: 2, Col: 0}, B: Coord{Row: 2, Col: 1}},
+	}}
+	got := s.Sorted()
+	if got[0].Cycle != 2 || got[1].Cycle != 2 || got[2].Cycle != 9 {
+		t.Fatalf("sort order wrong: %+v", got)
+	}
+	if got[0].A.Row != 1 || got[1].A.Row != 2 {
+		t.Fatal("same-cycle events reordered (sort not stable)")
+	}
+	if s.Events[0].Cycle != 9 {
+		t.Fatal("Sorted mutated the receiver")
+	}
+	var nilSched *DefectSchedule
+	if !nilSched.Empty() || nilSched.Sorted() != nil {
+		t.Fatal("nil schedule should be empty")
+	}
+}
+
+// TestRandomDefectScheduleDeterministic pins the draw and its bounds.
+func TestRandomDefectScheduleDeterministic(t *testing.T) {
+	a := RandomDefectSchedule(5, 6, 6, 4, 100)
+	b := RandomDefectSchedule(5, 6, 6, 4, 100)
+	if len(a.Events) != 4 || len(b.Events) != 4 {
+		t.Fatalf("drew %d/%d events, want 4", len(a.Events), len(b.Events))
+	}
+	seen := map[[2]Coord]bool{}
+	for i, ev := range a.Events {
+		if ev != b.Events[i] {
+			t.Fatal("same seed drew different schedules")
+		}
+		if ev.Cycle < 1 || ev.Cycle > 100 {
+			t.Fatalf("cycle %d outside [1,100]", ev.Cycle)
+		}
+		if !Adjacent(ev.A, ev.B) {
+			t.Fatalf("event %d kills non-adjacent pair %v-%v", i, ev.A, ev.B)
+		}
+		key := normalizePair(ev.A, ev.B)
+		if seen[key] {
+			t.Fatalf("duplicate coupler %v", key)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,85 @@
+package device
+
+import (
+	"math/rand"
+	"slices"
+)
+
+// Time-varying defects: couplers that die *during* execution. A static
+// defect map (Topology) models fabrication yield; a DefectSchedule
+// models the failures that happen while a schedule is running — a TLS
+// defect drifting onto a coupler's frequency, a flux line dropping out.
+// The braid engine consumes the schedule mid-simulation: when a coupler
+// dies, in-flight braids holding it are torn down and re-routed around
+// the new mask via the adaptive BFS fallback, and ErrUnroutable is
+// raised only when the fabric genuinely disconnects.
+
+// DefectEvent kills the coupler between adjacent cells A and B at the
+// start of cycle Cycle.
+type DefectEvent struct {
+	Cycle int64 `json:"cycle"`
+	A     Coord `json:"a"`
+	B     Coord `json:"b"`
+}
+
+// DefectSchedule is an ordered list of mid-execution coupler deaths.
+type DefectSchedule struct {
+	Name   string        `json:"name"`
+	Events []DefectEvent `json:"events"`
+}
+
+// Empty reports whether the schedule has no events (nil schedules are
+// empty).
+func (s *DefectSchedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Sorted returns the events in non-decreasing cycle order (stable, so
+// same-cycle events keep their declaration order). The receiver is not
+// modified.
+func (s *DefectSchedule) Sorted() []DefectEvent {
+	if s.Empty() {
+		return nil
+	}
+	out := slices.Clone(s.Events)
+	slices.SortStableFunc(out, func(a, b DefectEvent) int {
+		switch {
+		case a.Cycle < b.Cycle:
+			return -1
+		case a.Cycle > b.Cycle:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// RandomDefectSchedule draws a deterministic schedule of n distinct
+// coupler deaths on a rows×cols grid, with death cycles uniform in
+// [1, horizon]. The same (seed, dims, n, horizon) always draws the same
+// schedule — the live-defect sweep study depends on it.
+func RandomDefectSchedule(seed int64, rows, cols, n int, horizon int64) *DefectSchedule {
+	if horizon < 1 {
+		horizon = 1
+	}
+	// Enumerate the candidate links in the canonical fixed order.
+	type link struct{ a, b Coord }
+	var links []link
+	t := NewTopology(rows, cols)
+	t.eachLink(func(a, b Coord) {
+		links = append(links, link{a, b})
+	})
+	if n > len(links) {
+		n = len(links)
+	}
+	rng := rand.New(rand.NewSource(DeriveSeed(seed, rows, cols)))
+	rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	s := &DefectSchedule{Name: "random"}
+	for i := 0; i < n; i++ {
+		s.Events = append(s.Events, DefectEvent{
+			Cycle: 1 + rng.Int63n(horizon),
+			A:     links[i].a,
+			B:     links[i].b,
+		})
+	}
+	s.Events = s.Sorted()
+	return s
+}

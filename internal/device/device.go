@@ -52,6 +52,7 @@ const (
 	PresetPerfect   = "perfect"
 	PresetRandom    = "random-yield"
 	PresetClustered = "clustered"
+	PresetHeavyHex  = "heavy-hex"
 )
 
 // Device is a topology spec: a named defect model plus the seed and
@@ -61,6 +62,8 @@ type Device struct {
 	frac   float64
 	seed   int64
 	build  func(*Topology, *rand.Rand) // custom realization hook
+	graph  *CouplingGraph              // coupling pattern; nil means square
+	cal    *Calibration                // calibration overlay; nil means uniform
 }
 
 // Perfect returns the ideal uniform device: no dead tiles, no disabled
@@ -93,6 +96,62 @@ func Custom(name string, seed int64, build func(*Topology, *rand.Rand)) *Device 
 	return &Device{preset: name, seed: seed, build: build}
 }
 
+// HeavyHex returns a device with the heavy-hexagon coupling pattern:
+// the square fabric minus the vertical couplers the heavy-hex lattice
+// does not ship (see HeavyHexGraph). No randomness — the seed only
+// participates in realization-seed derivation for consistency with the
+// other presets.
+func HeavyHex(seed int64) *Device {
+	return &Device{preset: PresetHeavyHex, seed: seed, graph: HeavyHexGraph()}
+}
+
+// OnGraph returns a device realized on an arbitrary coupling pattern.
+// The complete square graph realizes non-degraded topologies and keeps
+// every consumer on its perfect fast path.
+func OnGraph(g *CouplingGraph, seed int64) *Device {
+	if g == nil || g.Name() == GraphSquare {
+		return Perfect()
+	}
+	return &Device{preset: g.Name(), seed: seed, graph: g}
+}
+
+// WithCalibration returns a copy of the device carrying a calibration
+// snapshot: every realized topology gains the snapshot's heterogeneous
+// link weights and per-cell error rates (and reports Calibrated). A nil
+// snapshot returns the device unchanged. The receiver may be nil (the
+// perfect device).
+func (d *Device) WithCalibration(cal *Calibration) *Device {
+	if cal == nil {
+		return d
+	}
+	var out Device
+	if d != nil {
+		out = *d
+	} else {
+		out.preset = PresetPerfect
+	}
+	out.cal = cal
+	return &out
+}
+
+// Calibration returns the device's calibration snapshot (nil when
+// uniform).
+func (d *Device) Calibration() *Calibration {
+	if d == nil {
+		return nil
+	}
+	return d.cal
+}
+
+// Graph returns the device's coupling pattern (nil means the complete
+// square mesh).
+func (d *Device) Graph() *CouplingGraph {
+	if d == nil {
+		return nil
+	}
+	return d.graph
+}
+
 func clampFrac(f float64) float64 {
 	if f < 0 {
 		return 0
@@ -104,9 +163,10 @@ func clampFrac(f float64) float64 {
 }
 
 // IsPerfect reports whether the device realizes defect-free topologies.
-// A nil Device is perfect.
+// A nil Device is perfect; a coupling-graph or calibrated device never
+// is.
 func (d *Device) IsPerfect() bool {
-	return d == nil || (d.preset == PresetPerfect && d.build == nil)
+	return d == nil || (d.preset == PresetPerfect && d.build == nil && d.graph == nil && d.cal == nil)
 }
 
 // Preset returns the device's preset (or custom) name.
@@ -134,12 +194,27 @@ func (d *Device) Seed() int64 {
 }
 
 // String names the device the way sweep records serialize it:
-// "perfect", or "preset(p=…,seed=…)".
+// "perfect", or "preset(p=…,seed=…)", with a "+cal:…" suffix naming
+// the calibration snapshot's digest prefix when one is attached (the
+// snapshot changes realized topologies, so it is part of the device
+// identity — and of every compile digest built from it).
 func (d *Device) String() string {
 	if d.IsPerfect() {
 		return PresetPerfect
 	}
-	return fmt.Sprintf("%s(p=%g,seed=%d)", d.preset, d.frac, d.seed)
+	s := fmt.Sprintf("%s(p=%g,seed=%d)", d.preset, d.frac, d.seed)
+	if d.cal != nil {
+		s += "+cal:" + shortDigest(d.cal.Digest())
+	}
+	return s
+}
+
+// shortDigest abbreviates a content digest for record strings and logs.
+func shortDigest(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
 }
 
 // Instance realizes the device at a rows×cols cell grid. Realization is
@@ -153,7 +228,7 @@ func (d *Device) Instance(rows, cols int) *Topology {
 	// The realization RNG is derived from the seed and the dims so that
 	// one spec instantiated at several grids (a tile grid for placement,
 	// a junction grid for routing) stays deterministic per grid.
-	rng := rand.New(rand.NewSource(d.seed ^ int64(rows)*0x9e3779b9 ^ int64(cols)*0x85ebca6b))
+	rng := rand.New(rand.NewSource(DeriveSeed(d.seed, rows, cols)))
 	switch {
 	case d.build != nil:
 		d.build(t, rng)
@@ -161,6 +236,12 @@ func (d *Device) Instance(rows, cols int) *Topology {
 		d.realizeRandom(t, rng)
 	case d.preset == PresetClustered:
 		d.realizeClustered(t, rng)
+	}
+	if d.graph != nil {
+		d.graph.Apply(t)
+	}
+	if d.cal != nil {
+		d.cal.Apply(t)
 	}
 	return t
 }

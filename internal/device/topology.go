@@ -21,6 +21,15 @@ type Topology struct {
 	disabled   int
 	maxWeight  float64
 	degraded   bool
+
+	// Calibration overlay (nil/false until a snapshot is applied):
+	// per-cell effective physical error rates and per-link gate error
+	// rates. A calibrated topology reports Degraded even with no dead
+	// cells, so consumers leave their uniform fast paths and price the
+	// heterogeneity.
+	tileErr    []float64
+	eH, eV     []float64
+	calibrated bool
 }
 
 // NewTopology returns a perfect rows×cols topology.
@@ -170,9 +179,91 @@ func (t *Topology) SetLinkWeight(a, b Coord, w float64) {
 }
 
 // Degraded reports whether the topology differs from the perfect grid
-// in any way — the flag consumers use to stay on (or leave) their
-// ideal-grid fast paths.
-func (t *Topology) Degraded() bool { return t.degraded }
+// in any way — dead cells, disabled links, non-unit weights, or a
+// calibration overlay — the flag consumers use to stay on (or leave)
+// their ideal-grid fast paths.
+func (t *Topology) Degraded() bool { return t.degraded || t.calibrated }
+
+// Calibrated reports whether a calibration snapshot has been applied:
+// per-cell and per-link error rates are meaningful and consumers should
+// price heterogeneity per traversed link instead of by the worst link.
+func (t *Topology) Calibrated() bool { return t.calibrated }
+
+// markCalibrated switches the topology to calibrated semantics,
+// allocating the overlay storage on first use.
+func (t *Topology) markCalibrated() {
+	if t.calibrated {
+		return
+	}
+	t.calibrated = true
+	t.tileErr = make([]float64, t.rows*t.cols)
+	t.eH = make([]float64, len(t.disH))
+	t.eV = make([]float64, len(t.disV))
+}
+
+// SetTileErrorRate records the effective physical error rate of one
+// cell from its calibration (clamped to [0,1)) and marks the topology
+// calibrated.
+func (t *Topology) SetTileErrorRate(c Coord, p float64) {
+	if !t.InBounds(c) {
+		return
+	}
+	t.markCalibrated()
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 1 - 1e-12
+	}
+	t.tileErr[t.index(c)] = p
+}
+
+// TileErrorRate returns the calibrated effective physical error rate of
+// a cell; 0 means uncalibrated (callers substitute the uniform rate).
+func (t *Topology) TileErrorRate(c Coord) float64 {
+	if !t.calibrated || !t.InBounds(c) {
+		return 0
+	}
+	return t.tileErr[t.index(c)]
+}
+
+// SetLinkErrorRate records the two-qubit gate error rate of an
+// adjacent-cell link (clamped to [0,1)) and marks the topology
+// calibrated.
+func (t *Topology) SetLinkErrorRate(a, b Coord, p float64) {
+	h, i, ok := t.linkSlot(a, b)
+	if !ok {
+		return
+	}
+	t.markCalibrated()
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 1 - 1e-12
+	}
+	if h {
+		t.eH[i] = p
+	} else {
+		t.eV[i] = p
+	}
+}
+
+// LinkErrorRate returns the calibrated gate error rate of an
+// adjacent-cell link; 0 means uncalibrated or invalid.
+func (t *Topology) LinkErrorRate(a, b Coord) float64 {
+	if !t.calibrated {
+		return 0
+	}
+	h, i, ok := t.linkSlot(a, b)
+	if !ok {
+		return 0
+	}
+	if h {
+		return t.eH[i]
+	}
+	return t.eV[i]
+}
 
 // DeadTiles returns the defective cell count.
 func (t *Topology) DeadTiles() int { return t.deadTiles }

@@ -14,6 +14,11 @@ type View struct {
 	alive      []bool
 	aliveCount int
 	dist       []int32 // all-pairs hop distance, Unreachable across components
+
+	// errRate is the optional per-cell calibrated error rate (nil when
+	// the device is uncalibrated — every cell then reports 0 and the
+	// placement objective reduces to pure distance).
+	errRate func(Coord) float64
 }
 
 // Unreachable is the View distance between cells with no alive path.
@@ -92,6 +97,25 @@ func (v *View) Alive(c Coord) bool {
 
 // AliveCount returns the number of usable cells.
 func (v *View) AliveCount() int { return v.aliveCount }
+
+// SetErrorRates attaches a per-cell calibrated error-rate function to
+// the view (nil detaches). It returns the view for chaining.
+func (v *View) SetErrorRates(fn func(Coord) float64) *View {
+	v.errRate = fn
+	return v
+}
+
+// Calibrated reports whether the view carries per-cell error rates.
+func (v *View) Calibrated() bool { return v.errRate != nil }
+
+// ErrorRate returns the cell's calibrated physical error rate (0 when
+// the view is uncalibrated or the cell is out of bounds).
+func (v *View) ErrorRate(c Coord) float64 {
+	if v.errRate == nil || !v.Alive(c) {
+		return 0
+	}
+	return v.errRate(c)
+}
 
 // Distance returns the device-aware hop distance between two cells
 // (Unreachable when no alive path connects them). The table is built on

@@ -279,8 +279,38 @@ func WeightedDistanceOn(g *partition.Graph, p *Placement, v *device.View) int {
 	return total
 }
 
+// errorPenaltyWeight converts a placement's summed per-tile calibrated
+// error rate into distance units for the optimizer objective: a tile
+// that is 1% worse than its neighbors costs one braid hop. Large enough
+// to steer qubits off noisy tiles, small enough that distance still
+// dominates.
+const errorPenaltyWeight = 100
+
+// ErrorPenalty sums the calibrated error rates of the tiles a placement
+// occupies (0 on an uncalibrated view or nil view) — the low-error-
+// region preference term of the placement objective.
+func ErrorPenalty(p *Placement, v *device.View) float64 {
+	if v == nil || !v.Calibrated() {
+		return 0
+	}
+	total := 0.0
+	for _, c := range p.Pos {
+		total += v.ErrorRate(c)
+	}
+	return total
+}
+
+// placementCost is the full device-aware objective: weighted interaction
+// distance plus the calibrated error penalty. On an uncalibrated view
+// the penalty is 0 and the comparison is exactly the integer distance
+// objective.
+func placementCost(g *partition.Graph, p *Placement, v *device.View) float64 {
+	return float64(WeightedDistanceOn(g, p, v)) + errorPenaltyWeight*ErrorPenalty(p, v)
+}
+
 // OptimizedOn is Optimized against a device view: recursive bisection
-// over the usable tiles only, costed with device-aware distances, with
+// over the usable tiles only, costed with device-aware distances (plus a
+// low-error-region preference when the view carries calibration), with
 // the device-aware row-major placement kept as the never-worse-than-
 // naive candidate. A nil view selects the original Optimized exactly.
 func OptimizedOn(g *partition.Graph, seed int64, v *device.View) (*Placement, error) {
@@ -295,13 +325,13 @@ func OptimizedOn(g *partition.Graph, seed int64, v *device.View) (*Placement, er
 	if n == 0 {
 		return best, nil
 	}
-	bestCost := WeightedDistanceOn(g, best, v)
+	bestCost := placementCost(g, best, v)
 	for trial := 0; trial < 3; trial++ {
 		p, err := bisectionPlacementOn(g, seed+int64(trial)*101, v)
 		if err != nil {
 			return nil, err
 		}
-		if cost := WeightedDistanceOn(g, p, v); cost < bestCost {
+		if cost := placementCost(g, p, v); cost < bestCost {
 			best, bestCost = p, cost
 		}
 	}

@@ -286,6 +286,66 @@ func (m *Mesh) PathMaxWeight(p Path) float64 {
 	return w
 }
 
+// Calibrated reports whether the applied topology carries a calibration
+// overlay — the flag that switches consumers from worst-link to
+// per-traversed-link pricing.
+func (m *Mesh) Calibrated() bool { return m.topo != nil && m.topo.Calibrated() }
+
+// PathCost prices a path per traversed link under the applied
+// calibration: Σ weight·(1+gateError) over the path's links — the
+// generalization of the scalar PathMaxWeight to heterogeneous fabrics.
+// Slow couplers cost their latency multiplier, error-prone couplers an
+// additional fidelity penalty, so minimum-cost route selection prefers
+// fast, clean corridors. On an uncalibrated mesh every link costs 1 and
+// PathCost degenerates to the hop count.
+func (m *Mesh) PathCost(p Path) float64 {
+	if len(p) < 2 {
+		return 0
+	}
+	if m.topo == nil {
+		return float64(len(p) - 1)
+	}
+	cost := 0.0
+	for i := 1; i < len(p); i++ {
+		cost += m.topo.LinkWeight(p[i-1], p[i]) * (1 + m.topo.LinkErrorRate(p[i-1], p[i]))
+	}
+	return cost
+}
+
+// MaskLink disables one link at runtime — a coupler death from a
+// live-defect schedule. Unlike ApplyTopology it composes with the
+// current mask (or creates one on a previously perfect mesh) without
+// touching reservation state: a braid currently holding the link keeps
+// its claim until the engine tears it down and re-routes. Out-of-mesh
+// links are ignored.
+func (m *Mesh) MaskLink(a, b Node) {
+	h, i, ok := m.linkIndex(NewLink(a, b))
+	if !ok {
+		return
+	}
+	if !m.masked {
+		m.masked = true
+		if m.deadNode == nil {
+			m.deadNode = make([]bool, m.rows*m.cols)
+		}
+		if m.maskH == nil {
+			m.maskH = make([]bool, len(m.linkOwnerH))
+			m.maskV = make([]bool, len(m.linkOwnerV))
+		}
+	}
+	if h {
+		m.maskH[i] = true
+	} else {
+		m.maskV[i] = true
+	}
+}
+
+// LinkMasked reports whether the link between two adjacent junctions is
+// disabled by the device mask or a runtime MaskLink.
+func (m *Mesh) LinkMasked(a, b Node) bool {
+	return m.linkMasked(NewLink(a, b))
+}
+
 // NodeOwner returns the claim owner of a junction (Free if unclaimed).
 func (m *Mesh) NodeOwner(n Node) int {
 	if !m.InBounds(n) {

@@ -1,0 +1,114 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"surfcomm"
+	"surfcomm/internal/service"
+)
+
+// TestRequestCalibrationSplitsDigests pins the cache-correctness story:
+// a per-request calibration snapshot must move the compile digest (its
+// measurements change the plan), two requests under the same snapshot
+// share one cache line, and a different snapshot splits again.
+func TestRequestCalibrationSplitsDigests(t *testing.T) {
+	svc := newService(t, service.Config{})
+	qasm := testQASM(t)
+	var calA, calB bytes.Buffer
+	if err := surfcomm.SyntheticCalibration(1, 8, 8).Encode(&calA); err != nil {
+		t.Fatal(err)
+	}
+	if err := surfcomm.SyntheticCalibration(2, 8, 8).Encode(&calB); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := svc.Compile(context.Background(), service.Request{QASM: qasm, Backend: "braid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := svc.Compile(context.Background(), service.Request{QASM: qasm, Backend: "braid", Calibration: calA.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Digest == plain.Digest {
+		t.Fatal("calibrated request shares the uncalibrated digest")
+	}
+	a2, err := svc.Compile(context.Background(), service.Request{QASM: qasm, Backend: "braid", Calibration: calA.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Digest != a1.Digest || !a2.Cached {
+		t.Fatalf("same-snapshot repeat missed the cache (digest %s vs %s, cached=%v)",
+			a2.Digest, a1.Digest, a2.Cached)
+	}
+	b, err := svc.Compile(context.Background(), service.Request{QASM: qasm, Backend: "braid", Calibration: calB.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Digest == a1.Digest {
+		t.Fatal("different snapshots share a digest")
+	}
+
+	if _, err := svc.Compile(context.Background(),
+		service.Request{QASM: qasm, Calibration: []byte(`{"version": 99}`)}); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Fatalf("malformed calibration: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestHeavyHexDeviceSpec pins the serving-layer preset: "heavy-hex"
+// compiles (it is connected at any dims) and keys its own cache line;
+// a defect fraction on it is rejected (the pattern is deterministic).
+func TestHeavyHexDeviceSpec(t *testing.T) {
+	svc := newService(t, service.Config{})
+	qasm := testQASM(t)
+	plain, err := svc.Compile(context.Background(), service.Request{QASM: qasm, Backend: "braid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := svc.Compile(context.Background(), service.Request{
+		QASM: qasm, Backend: "braid", Device: &service.DeviceSpec{Preset: "heavy-hex", Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.Digest == plain.Digest {
+		t.Fatal("heavy-hex request shares the square-mesh digest")
+	}
+	if hex.Plan.Cycles < plain.Plan.Cycles {
+		t.Fatalf("heavy-hex schedule (%d cycles) beat the full square mesh (%d)",
+			hex.Plan.Cycles, plain.Plan.Cycles)
+	}
+	if _, err := svc.Compile(context.Background(), service.Request{
+		QASM: qasm, Device: &service.DeviceSpec{Preset: "heavy-hex", Frac: 0.05},
+	}); !errors.Is(err, surfcomm.ErrBadConfig) {
+		t.Fatalf("heavy-hex with frac: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestCalibrationHealth pins the /healthz block: nil without a
+// startup snapshot, and {name, digest, age} with one.
+func TestCalibrationHealth(t *testing.T) {
+	if h := newService(t, service.Config{}).CalibrationHealth(time.Now()); h != nil {
+		t.Fatalf("uncalibrated service reports %+v", h)
+	}
+	cal := surfcomm.SyntheticCalibration(1, 8, 8)
+	tc, err := surfcomm.NewToolchain(surfcomm.WithDistance(5), surfcomm.WithSeed(1),
+		surfcomm.WithCalibration(cal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := service.New(tc, service.Config{}).CalibrationHealth(cal.Taken.Add(90 * time.Second))
+	if h == nil {
+		t.Fatal("calibrated service reports no calibration health")
+	}
+	if h.Name != cal.Name || h.Digest != cal.Digest() {
+		t.Fatalf("health = %+v, want name %q digest %q", h, cal.Name, cal.Digest())
+	}
+	if h.AgeSeconds != 90 {
+		t.Fatalf("age = %gs, want 90", h.AgeSeconds)
+	}
+}

@@ -80,20 +80,30 @@ type ModelResponse struct {
 	CongestionDD     float64 `json:"congestion_dd"`
 }
 
+// CalibrationHealth is the /healthz view of the service's startup
+// calibration snapshot: the content digest (compared across a replica
+// fleet to detect divergent calibrations) and the snapshot's age.
+type CalibrationHealth struct {
+	Name       string  `json:"name"`
+	Digest     string  `json:"digest"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
 // HealthResponse is the /healthz reply: liveness plus the cache,
 // admission, store, and chaos counters operators watch. /healthz is
 // pure liveness — it answers 200 even while draining or overloaded;
 // /readyz is the routing signal.
 type HealthResponse struct {
-	Status        string            `json:"status"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Workers       int               `json:"workers"`
-	Draining      bool              `json:"draining"`
-	Cache         CacheStats        `json:"cache"`
-	Admission     AdmissionStats    `json:"admission"`
-	Decode        DecodeStats       `json:"decode"`
-	Store         *store.Stats      `json:"store,omitempty"`
-	Faults        map[string]uint64 `json:"faults,omitempty"`
+	Status        string             `json:"status"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Workers       int                `json:"workers"`
+	Draining      bool               `json:"draining"`
+	Cache         CacheStats         `json:"cache"`
+	Admission     AdmissionStats     `json:"admission"`
+	Decode        DecodeStats        `json:"decode"`
+	Store         *store.Stats       `json:"store,omitempty"`
+	Faults        map[string]uint64  `json:"faults,omitempty"`
+	Calibration   *CalibrationHealth `json:"calibration,omitempty"`
 }
 
 // httpStatus maps pipeline sentinel errors to HTTP statuses: bad
@@ -359,6 +369,7 @@ func NewHandler(s *Service) http.Handler {
 			Decode:        s.DecodeStats(),
 			Store:         s.StoreStats(),
 			Faults:        s.FaultCounts(),
+			Calibration:   s.CalibrationHealth(time.Now()),
 		})
 	})
 

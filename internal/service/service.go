@@ -15,6 +15,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
@@ -165,12 +166,12 @@ func New(tc *surfcomm.Toolchain, cfg Config) *Service {
 // DeviceSpec selects a device-topology preset for a request — the
 // JSON-friendly form of the surfcomm.Device constructors.
 type DeviceSpec struct {
-	// Preset is "perfect", "random-yield", or "clustered"; empty means
-	// perfect.
+	// Preset is "perfect", "random-yield", "clustered", or "heavy-hex";
+	// empty means perfect.
 	Preset string `json:"preset"`
 	// Frac is the defect fraction (random-yield, clustered).
 	Frac float64 `json:"frac,omitempty"`
-	// Seed is the realization seed (random-yield, clustered).
+	// Seed is the realization seed (random-yield, clustered, heavy-hex).
 	Seed int64 `json:"seed,omitempty"`
 }
 
@@ -202,8 +203,14 @@ func (ds *DeviceSpec) device() (*surfcomm.Device, error) {
 			return surfcomm.RandomYieldDevice(ds.Frac, ds.Seed), nil
 		}
 		return surfcomm.ClusteredDefectsDevice(ds.Frac, ds.Seed), nil
+	case "heavy-hex":
+		if ds.Frac != 0 {
+			return nil, scerr.BadConfig("service: device preset %q takes no frac (heavy-hex drops couplers by pattern, not yield)",
+				ds.Preset)
+		}
+		return surfcomm.HeavyHexDevice(ds.Seed), nil
 	}
-	return nil, scerr.BadConfig("service: unknown device preset %q (valid: perfect, random-yield, clustered)", ds.Preset)
+	return nil, scerr.BadConfig("service: unknown device preset %q (valid: perfect, random-yield, clustered, heavy-hex)", ds.Preset)
 }
 
 // Request is one compile request: the circuit as QASM text plus the
@@ -236,6 +243,14 @@ type Request struct {
 	PhysicalError float64 `json:"physical_error,omitempty"`
 	// Device selects the device topology the machine is realized on.
 	Device *DeviceSpec `json:"device,omitempty"`
+	// Calibration is an inline calibration snapshot (the versioned JSON
+	// schema device.ParseCalibration accepts) realized onto the request's
+	// device. It overrides the service's startup calibration for this
+	// request; malformed snapshots answer 400. The snapshot's content
+	// digest joins the compile digest (through the device's record
+	// string), so requests under different calibrations never share a
+	// cache line.
+	Calibration json.RawMessage `json:"calibration,omitempty"`
 	// RecordSchedule captures the static schedule in the cached plan so
 	// it can be replay-validated (braid-family backends).
 	RecordSchedule bool `json:"record_schedule,omitempty"`
@@ -311,6 +326,16 @@ func (s *Service) resolve(req Request) (compileKey, error) {
 			return compileKey{}, err
 		}
 		target.Device = dev
+		// A request-selected device starts uncalibrated; the service's
+		// startup calibration (already folded into the default target's
+		// device) does not silently follow it.
+	}
+	if len(req.Calibration) > 0 {
+		cal, err := surfcomm.ParseCalibration(req.Calibration)
+		if err != nil {
+			return compileKey{}, err
+		}
+		target.Device = target.Device.WithCalibration(cal)
 	}
 
 	// Canonical circuit bytes: re-emit the parsed circuit (or program)
@@ -401,6 +426,11 @@ func RoutingKey(req Request) (string, error) {
 	}
 	if req.Device != nil {
 		fmt.Fprintf(h, "device=%s/%g/%d\n", req.Device.Preset, req.Device.Frac, req.Device.Seed)
+	}
+	if len(req.Calibration) > 0 {
+		// Raw snapshot bytes, not the parsed digest: the router must not
+		// spend parse time, and the key only has to be consistent.
+		fmt.Fprintf(h, "cal=%x\n", sha256.Sum256(req.Calibration))
 	}
 	h.Write(canon.Bytes())
 	return hex.EncodeToString(h.Sum(nil)), nil
@@ -689,3 +719,18 @@ func (s *Service) Close() { s.cache.disk.close() }
 
 // Toolchain returns the toolchain the service compiles with.
 func (s *Service) Toolchain() *surfcomm.Toolchain { return s.tc }
+
+// CalibrationHealth reports the toolchain's startup calibration as its
+// /healthz view (digest + age at now); nil when the service compiles
+// uncalibrated.
+func (s *Service) CalibrationHealth(now time.Time) *CalibrationHealth {
+	cal := s.tc.Calibration()
+	if cal == nil {
+		return nil
+	}
+	return &CalibrationHealth{
+		Name:       cal.Name,
+		Digest:     cal.Digest(),
+		AgeSeconds: cal.Age(now).Seconds(),
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"surfcomm/internal/apps"
 	"surfcomm/internal/braid"
 	"surfcomm/internal/decoder"
+	"surfcomm/internal/device"
 	"surfcomm/internal/simd"
 	"surfcomm/internal/teleport"
 	"surfcomm/internal/toolflow"
@@ -164,7 +165,7 @@ func DecoderGrid(ctx context.Context, opt Options, distances []int, rates []floa
 		name = strategy.Name()
 	}
 	return Map(ctx, opt, cells, func(i int, c cell) (DecoderCell, error) {
-		seed := opt.Seed + int64(i)
+		seed := device.CellSeed(opt.Seed, i)
 		l, err := decoder.NewLattice(c.d)
 		if err != nil {
 			return DecoderCell{}, err

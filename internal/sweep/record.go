@@ -230,6 +230,45 @@ func YieldRecords(cells []YieldCell) []CellResult {
 	return out
 }
 
+// CalibRecords converts a calibration study to cell results; each
+// record names the realized device (including the calibration snapshot
+// digest when one is attached) and carries the cell's derived seed.
+func CalibRecords(cells []CalibCell) []CellResult {
+	out := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		survived := 0.0
+		if c.Survived {
+			survived = 1
+		}
+		label := "uniform"
+		if c.Calibrated {
+			label = "calibrated"
+		}
+		if c.Defects > 0 {
+			label = fmt.Sprintf("defects=%d", c.Defects)
+		}
+		out = append(out, CellResult{
+			Study:  "calib",
+			Device: c.Device,
+			Cell:   fmt.Sprintf("%s/%s/%s/trial%d", c.App, c.Topology, label, c.Trial),
+			Seed:   c.Seed,
+			Metrics: map[string]float64{
+				"cycles":       float64(c.Cycles),
+				"ratio":        c.Ratio,
+				"adaptive":     float64(c.Adaptive),
+				"reroutes":     float64(c.Reroutes),
+				"tiles":        float64(c.Tiles),
+				"rate_min":     c.RateMin,
+				"rate_max":     c.RateMax,
+				"rate_mean":    c.RateMean,
+				"logical_rate": c.LogicalRate,
+				"survived":     survived,
+			},
+		})
+	}
+	return out
+}
+
 // Figure6Records converts a Figure 6 policy grid to cell results.
 func Figure6Records(seed int64, cells []Figure6Cell) []CellResult {
 	out := make([]CellResult, 0, len(cells))

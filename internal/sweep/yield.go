@@ -111,7 +111,7 @@ func YieldGrid(ctx context.Context, opt Options, yopt YieldOptions) ([]YieldCell
 		}
 	}
 	return Map(ctx, opt, cells, func(i int, c cell) (YieldCell, error) {
-		seed := opt.Seed + int64(i)
+		seed := device.CellSeed(opt.Seed, i)
 		dev := device.RandomYield(c.frac, seed)
 		if yopt.Clustered {
 			dev = device.ClusteredDefects(c.frac, seed)

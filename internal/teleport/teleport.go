@@ -241,7 +241,14 @@ func (d *Distributor) ensureDevice(geo geometry, cfg Config) {
 				nb := dirDelta(cur, dir)
 				h := hop
 				if topo.InBounds(nb) {
-					if w := topo.LinkWeight(cur, nb); w > 1 {
+					w := topo.LinkWeight(cur, nb)
+					if topo.Calibrated() {
+						// Calibrated fabrics price each channel's fidelity
+						// too: error-prone couplers slow the swap corridor
+						// (extra purification rounds per crossing).
+						w *= 1 + topo.LinkErrorRate(cur, nb)
+					}
+					if w > 1 {
 						h = int64(math.Ceil(float64(hop) * w))
 					}
 				}

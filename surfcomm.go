@@ -370,6 +370,13 @@ type SweepYieldCell = sweep.YieldCell
 // defect fractions, trials per fraction, clustered vs. random defects).
 type SweepYieldOptions = sweep.YieldOptions
 
+// SweepCalibCell is one braid compile of the calibration study
+// (topology × calibration × live-defect grid).
+type SweepCalibCell = sweep.CalibCell
+
+// SweepCalibOptions selects the calibration-study grid.
+type SweepCalibOptions = sweep.CalibOptions
+
 // SweepModels characterizes the reference suite across a worker pool;
 // results are deterministic and identical to ReferenceModels at any
 // worker count.
@@ -466,6 +473,13 @@ func SweepYieldRecords(cells []SweepYieldCell) []SweepCellResult {
 	return sweep.YieldRecords(cells)
 }
 
+// SweepCalibRecords converts a calibration study to cell results; each
+// record names the realized device (with calibration digest) it
+// compiled on.
+func SweepCalibRecords(cells []SweepCalibCell) []SweepCellResult {
+	return sweep.CalibRecords(cells)
+}
+
 // SweepEPRWindowLabel names a window row the way the §8.1 tables print
 // it.
 func SweepEPRWindowLabel(windowCycles int64) string {
@@ -511,6 +525,87 @@ func ClusteredDefectsDevice(frac float64, seed int64) *Device {
 func CustomDevice(name string, seed int64, build func(*DeviceTopology, *rand.Rand)) *Device {
 	return device.Custom(name, seed, build)
 }
+
+// --- Coupling graphs & calibration ---
+
+// CouplingGraph is a grid-embedded coupling pattern: which couplers of
+// the square fabric a device family actually ships. The square graph is
+// the complete pattern; other graphs subtract edges.
+type CouplingGraph = device.CouplingGraph
+
+// SquareGraph returns the complete square coupling pattern (every
+// device realized on it stays on the perfect fast path).
+func SquareGraph() *CouplingGraph { return device.SquareGraph() }
+
+// HeavyHexGraph returns the heavy-hexagon coupling pattern: all
+// horizontal couplers, vertical rungs only every fourth column
+// (alternating offset per row), degree ≤ 3 everywhere.
+func HeavyHexGraph() *CouplingGraph { return device.HeavyHexGraph() }
+
+// ParseCouplingGraph loads a custom coupling pattern from its versioned
+// JSON unit-cell form; malformed specs fail with ErrBadConfig.
+func ParseCouplingGraph(data []byte) (*CouplingGraph, error) {
+	return device.ParseCouplingGraph(data)
+}
+
+// LoadCouplingGraph reads a coupling pattern spec from r.
+func LoadCouplingGraph(r io.Reader) (*CouplingGraph, error) { return device.LoadCouplingGraph(r) }
+
+// HeavyHexDevice returns a device on the heavy-hexagon coupling
+// pattern.
+func HeavyHexDevice(seed int64) *Device { return device.HeavyHex(seed) }
+
+// DeviceOnGraph returns a device realized on an arbitrary coupling
+// pattern (the square graph returns the perfect device).
+func DeviceOnGraph(g *CouplingGraph, seed int64) *Device { return device.OnGraph(g, seed) }
+
+// Calibration is one versioned calibration snapshot: per-qubit T1/T2
+// and readout error, per-coupler gate error and latency multiplier.
+// Attached to a Device (Device.WithCalibration) it realizes as
+// heterogeneous link weights and per-tile error rates that routing,
+// placement, timing, and the logical-rate model all price.
+type Calibration = device.Calibration
+
+// QubitCal and CouplerCal are the snapshot's entry types.
+type (
+	QubitCal   = device.QubitCal
+	CouplerCal = device.CouplerCal
+)
+
+// ParseCalibration loads a snapshot from its versioned JSON form;
+// malformed or out-of-range entries fail with ErrBadConfig.
+func ParseCalibration(data []byte) (*Calibration, error) { return device.ParseCalibration(data) }
+
+// LoadCalibration reads a snapshot from r.
+func LoadCalibration(r io.Reader) (*Calibration, error) { return device.LoadCalibration(r) }
+
+// SyntheticCalibration generates a deterministic, plausible snapshot
+// for a rows×cols grid — the calibration sweep study's input.
+func SyntheticCalibration(seed int64, rows, cols int) *Calibration {
+	return device.SyntheticCalibration(seed, rows, cols)
+}
+
+// DefectSchedule is an ordered list of mid-execution coupler deaths
+// consumed by the braid engine: in-flight braids holding a dead link
+// are torn down and re-routed around the new mask.
+type DefectSchedule = device.DefectSchedule
+
+// DefectEvent kills one coupler at the start of a cycle.
+type DefectEvent = device.DefectEvent
+
+// RandomDefectSchedule draws a deterministic schedule of n distinct
+// coupler deaths on a rows×cols grid with death cycles in [1, horizon].
+func RandomDefectSchedule(seed int64, rows, cols, n int, horizon int64) *DefectSchedule {
+	return device.RandomDefectSchedule(seed, rows, cols, n, horizon)
+}
+
+// DeriveSeed mixes a base seed with grid dims — the shared derivation
+// behind every per-(seed, dims) realization in the toolchain.
+func DeriveSeed(base int64, rows, cols int) int64 { return device.DeriveSeed(base, rows, cols) }
+
+// CellSeed derives the per-cell seed of a sweep grid from the base seed
+// and the cell index.
+func CellSeed(base int64, cell int) int64 { return device.CellSeed(base, cell) }
 
 // --- Layout ---
 

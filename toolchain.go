@@ -96,6 +96,30 @@ func WithDevice(d *Device) ToolchainOption {
 	}
 }
 
+// WithCalibration attaches a calibration snapshot to the toolchain's
+// device: every backend compiles onto the calibrated fabric
+// (heterogeneous link weights, per-tile error rates, cost-priced
+// routing). Composes with WithDevice regardless of option order; nil
+// detaches.
+func WithCalibration(cal *Calibration) ToolchainOption {
+	return func(tc *Toolchain) error {
+		tc.calibration = cal
+		return nil
+	}
+}
+
+// WithDefectSchedule installs a live-defect schedule: couplers that die
+// at given cycles mid-execution. The braid and surgery backends tear
+// down and re-route in-flight braids around each death; runs fail with
+// ErrUnroutable only when the surviving fabric disconnects. Nil
+// detaches.
+func WithDefectSchedule(s *DefectSchedule) ToolchainOption {
+	return func(tc *Toolchain) error {
+		tc.defects = s
+		return nil
+	}
+}
+
 // WithSeed sets the base seed for layout, partitioning, and
 // characterization (default 1). The seed is part of every result's
 // identity: equal seeds reproduce byte-identical schedules and records.
@@ -157,6 +181,8 @@ type Toolchain struct {
 	workers        int
 	seed           int64
 	device         *Device
+	calibration    *Calibration
+	defects        *DefectSchedule
 	decodeStrategy decoder.Strategy
 	progress       func(Event)
 	modCache       ModuleCache
@@ -194,9 +220,15 @@ func (tc *Toolchain) Target() Target {
 		Policy:     tc.policy,
 		Seed:       tc.seed,
 		Window:     JITWindowAuto,
-		Device:     tc.device,
+		Device:     tc.device.WithCalibration(tc.calibration),
+		Defects:    tc.defects,
 	}
 }
+
+// Calibration returns the toolchain's attached calibration snapshot
+// (nil when uniform) — serving layers report its digest and age from
+// here.
+func (tc *Toolchain) Calibration() *Calibration { return tc.calibration }
 
 // CloneWithProgress returns a copy of the toolchain that delivers
 // progress events to fn instead of the original callback, sharing every
@@ -448,6 +480,21 @@ func (tc *Toolchain) YieldGrid(ctx context.Context, yopt SweepYieldOptions) ([]S
 		label = func(i int) string { return fmt.Sprintf("cell%d", i) }
 	}
 	return sweep.YieldGrid(ctx, tc.sweepOpts("yield", label), yopt)
+}
+
+// CalibGrid runs the calibration study: square vs. heavy-hex coupling,
+// uniform vs. calibrated devices, and live-defect survival, compiled
+// through the braid backend across the worker pool. Per-cell seeds
+// derive deterministically from the toolchain's seed.
+func (tc *Toolchain) CalibGrid(ctx context.Context, copt SweepCalibOptions) ([]SweepCalibCell, error) {
+	if copt.Calibration == nil {
+		copt.Calibration = tc.calibration
+	}
+	var label func(int) string
+	if tc.progress != nil {
+		label = func(i int) string { return fmt.Sprintf("cell%d", i) }
+	}
+	return sweep.CalibGrid(ctx, tc.sweepOpts("calib", label), copt)
 }
 
 // EPRStudy runs the §8.1 pipelined-EPR window study per suite
